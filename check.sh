@@ -1,0 +1,29 @@
+#!/bin/sh
+# Repository health check: format, vet, full tests, quick bench smoke.
+set -e
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "needs gofmt:"
+	echo "$unformatted"
+	exit 1
+fi
+echo ok
+
+echo "== go vet =="
+go vet ./...
+echo ok
+
+echo "== go build =="
+go build ./...
+echo ok
+
+echo "== go test =="
+go test ./...
+
+echo "== bench smoke (micro benches only) =="
+go test -run xxx -bench 'Table1|GridNear|SimEventQueue|AODVDiscovery' -benchtime 10x .
+
+echo "all checks passed"

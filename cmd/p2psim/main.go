@@ -1,0 +1,173 @@
+// Command p2psim runs one scenario of the paper's simulation study and
+// prints a summary plus (optionally) the per-figure series.
+//
+// Usage:
+//
+//	p2psim -nodes 50 -alg regular -duration 3600 -reps 33
+//	p2psim -nodes 150 -alg hybrid -series connect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"manetp2p"
+)
+
+func parseAlg(s string) (manetp2p.Algorithm, error) {
+	for _, a := range manetp2p.Algorithms() {
+		if strings.EqualFold(a.String(), s) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (basic|regular|random|hybrid)", s)
+}
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 50, "number of ad-hoc nodes")
+		algName  = flag.String("alg", "regular", "algorithm: basic|regular|random|hybrid")
+		duration = flag.Float64("duration", 3600, "simulated seconds per replication")
+		reps     = flag.Int("reps", 33, "replications")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		fraction = flag.Float64("p2p", 0.75, "fraction of nodes in the p2p overlay")
+		speed    = flag.Float64("speed", 1.0, "max node speed, m/s")
+		area     = flag.Float64("area", 100, "square arena side, metres")
+		rng      = flag.Float64("range", 10, "radio range, metres")
+		series   = flag.String("series", "", "also print a node series: connect|ping|query")
+		curves   = flag.Bool("curves", false, "also print the per-file distance/answer curves")
+		quals    = flag.Bool("classes", false, "use phone/PDA/notebook device classes (hybrid)")
+		traceOut = flag.String("trace", "", "run a single replication and write a JSON-lines event trace to this file ('-' = stdout)")
+		routing  = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
+		traffic  = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
+		config   = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
+		saveCfg  = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
+	)
+	flag.Parse()
+
+	var sc manetp2p.Scenario
+	if *config != "" {
+		loaded, err := manetp2p.LoadScenario(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc = loaded
+	} else {
+		alg, err := parseAlg(*algName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc = manetp2p.DefaultScenario(*nodes, alg)
+		sc.Duration = manetp2p.Seconds(*duration)
+		sc.Replications = *reps
+		sc.Seed = *seed
+		sc.MemberFraction = *fraction
+		sc.MaxSpeed = *speed
+		sc.AreaSide = *area
+		sc.Range = *rng
+	}
+	if *config == "" {
+		if *quals {
+			sc.Quals = manetp2p.DeviceClasses()
+		}
+		switch strings.ToLower(*routing) {
+		case "aodv":
+			sc.Routing = manetp2p.RoutingAODV
+		case "dsr":
+			sc.Routing = manetp2p.RoutingDSR
+		case "dsdv":
+			sc.Routing = manetp2p.RoutingDSDV
+		case "flood":
+			sc.Routing = manetp2p.RoutingFlood
+		default:
+			fmt.Fprintf(os.Stderr, "unknown routing %q\n", *routing)
+			os.Exit(2)
+		}
+		if *traffic > 0 {
+			sc.TrafficBucket = manetp2p.Seconds(*traffic)
+		}
+	}
+	if *saveCfg != "" {
+		if err := manetp2p.SaveScenario(*saveCfg, sc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceOut != "" {
+		runTraced(sc, *traceOut)
+		return
+	}
+
+	res, err := manetp2p.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	manetp2p.WriteSummary(os.Stdout, res)
+
+	if *curves {
+		fmt.Println()
+		if err := manetp2p.WriteFileCurves(os.Stdout, []*manetp2p.Result{res}, 10); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *traffic > 0 {
+		fmt.Println()
+		if err := manetp2p.WriteTrafficSeries(os.Stdout, []*manetp2p.Result{res}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *series != "" {
+		kinds := map[string]manetp2p.SeriesKind{
+			"connect": manetp2p.SeriesConnect,
+			"ping":    manetp2p.SeriesPing,
+			"query":   manetp2p.SeriesQuery,
+		}
+		kind, ok := kinds[strings.ToLower(*series)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown series %q\n", *series)
+			os.Exit(2)
+		}
+		fmt.Println()
+		if err := manetp2p.WriteNodeSeries(os.Stdout, kind, []*manetp2p.Result{res}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runTraced executes one replication with tracing on and dumps the
+// event log.
+func runTraced(sc manetp2p.Scenario, path string) {
+	sc.TraceCapacity = 1 << 20
+	s, err := manetp2p.NewSimulation(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.Step(sc.Duration)
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := s.Net.Tracer.WriteJSON(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if lost := s.Net.Tracer.Lost(); lost > 0 {
+		fmt.Fprintf(os.Stderr, "note: %d events dropped (buffer full)\n", lost)
+	}
+}

@@ -1,0 +1,159 @@
+// Command sweep runs the parameter studies from the paper's future-work
+// list (§8): node density, wireless coverage (radio range), mobility
+// speed, death/birth churn and energy budget. Each sweep prints one TSV
+// row per parameter point with the headline metrics for the selected
+// algorithms.
+//
+// Usage:
+//
+//	sweep -axis density
+//	sweep -axis range -algs basic,regular
+//	sweep -axis energy -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"manetp2p"
+	"manetp2p/internal/metrics"
+)
+
+type point struct {
+	label string
+	mod   func(*manetp2p.Scenario)
+}
+
+func axes() map[string][]point {
+	return map[string][]point{
+		"density": {
+			{"25", func(sc *manetp2p.Scenario) { sc.NumNodes = 25 }},
+			{"50", func(sc *manetp2p.Scenario) { sc.NumNodes = 50 }},
+			{"100", func(sc *manetp2p.Scenario) { sc.NumNodes = 100 }},
+			{"150", func(sc *manetp2p.Scenario) { sc.NumNodes = 150 }},
+		},
+		"range": {
+			{"5m", func(sc *manetp2p.Scenario) { sc.Range = 5 }},
+			{"10m", func(sc *manetp2p.Scenario) { sc.Range = 10 }},
+			{"20m", func(sc *manetp2p.Scenario) { sc.Range = 20 }},
+			{"30m", func(sc *manetp2p.Scenario) { sc.Range = 30 }},
+		},
+		"speed": {
+			{"0.5m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 0.5 }},
+			{"1m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 1.0 }},
+			{"2m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 2.0 }},
+			{"5m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 5.0 }},
+		},
+		"churn": {
+			{"none", func(sc *manetp2p.Scenario) {}},
+			{"mild", func(sc *manetp2p.Scenario) {
+				sc.Churn = manetp2p.ChurnConfig{MeanUptime: manetp2p.Seconds(1200), MeanDowntime: manetp2p.Seconds(120)}
+			}},
+			{"moderate", func(sc *manetp2p.Scenario) {
+				sc.Churn = manetp2p.ChurnConfig{MeanUptime: manetp2p.Seconds(600), MeanDowntime: manetp2p.Seconds(120)}
+			}},
+			{"heavy", func(sc *manetp2p.Scenario) {
+				sc.Churn = manetp2p.ChurnConfig{MeanUptime: manetp2p.Seconds(300), MeanDowntime: manetp2p.Seconds(120)}
+			}},
+		},
+		"energy": {
+			{"infinite", func(sc *manetp2p.Scenario) {}},
+			{"5J", func(sc *manetp2p.Scenario) { sc.Energy = manetp2p.DefaultEnergy(5) }},
+			{"2J", func(sc *manetp2p.Scenario) { sc.Energy = manetp2p.DefaultEnergy(2) }},
+			{"1J", func(sc *manetp2p.Scenario) { sc.Energy = manetp2p.DefaultEnergy(1) }},
+		},
+		"mobility": {
+			{"stationary", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityStationary }},
+			{"waypoint", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityWaypoint }},
+			{"walk", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityWalk }},
+			{"direction", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityDirection }},
+			{"gaussmarkov", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityGaussMarkov }},
+		},
+		"routing": {
+			{"aodv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingAODV }},
+			{"dsr", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSR }},
+			{"flood", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingFlood }},
+			{"dsdv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSDV }},
+		},
+	}
+}
+
+func main() {
+	var (
+		axis  = flag.String("axis", "density", "sweep axis: density|range|speed|churn|energy|routing|mobility")
+		algsF = flag.String("algs", "basic,regular,random,hybrid", "comma-separated algorithms")
+		reps  = flag.Int("reps", 5, "replications per point")
+		nodes = flag.Int("nodes", 50, "base node count (non-density sweeps)")
+		dur   = flag.Float64("duration", 3600, "simulated seconds")
+		seed  = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	points, ok := axes()[strings.ToLower(*axis)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown axis %q\n", *axis)
+		os.Exit(2)
+	}
+	var algs []manetp2p.Algorithm
+	for _, name := range strings.Split(*algsF, ",") {
+		found := false
+		for _, a := range manetp2p.Algorithms() {
+			if strings.EqualFold(a.String(), strings.TrimSpace(name)) {
+				algs = append(algs, a)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("# sweep axis=%s, %d reps/point, %gs simulated\n", *axis, *reps, *dur)
+	fmt.Println("point\talg\tconnect/node\tping/node\tquery/node\tfound%\tdist\tanswers\tdeaths\tlargest-comp")
+	for _, pt := range points {
+		for _, alg := range algs {
+			sc := manetp2p.DefaultScenario(*nodes, alg)
+			sc.Duration = manetp2p.Seconds(*dur)
+			sc.Replications = *reps
+			sc.Seed = *seed
+			pt.mod(&sc)
+			res, err := manetp2p.Run(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			found, reqs, answers := 0.0, 0, 0.0
+			var dists []float64
+			for _, fc := range res.PerFile {
+				reqs += fc.Requests
+				found += fc.FoundRate * float64(fc.Requests)
+				answers += fc.Answers.Mean * float64(fc.Requests)
+				if fc.Distance.N > 0 {
+					dists = append(dists, fc.Distance.Mean)
+				}
+			}
+			foundPct, dist, answ := 0.0, 0.0, 0.0
+			if reqs > 0 {
+				foundPct = 100 * found / float64(reqs)
+				answ = answers / float64(reqs)
+			}
+			if len(dists) > 0 {
+				for _, d := range dists {
+					dist += d
+				}
+				dist /= float64(len(dists))
+			}
+			fmt.Printf("%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.2f\n",
+				pt.label, alg,
+				res.Totals[metrics.Connect].Mean,
+				res.Totals[metrics.Ping].Mean,
+				res.Totals[metrics.Query].Mean,
+				foundPct, dist, answ,
+				res.Deaths.Mean,
+				res.Overlay.LargestComponent.Mean)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package manetp2p_test
+
+import (
+	"fmt"
+
+	"manetp2p"
+)
+
+// The default scenario is Table 2 of the paper: 100 m × 100 m arena,
+// 10 m radio range, 75% of nodes in the overlay, 3600 s, 33 runs.
+func ExampleDefaultScenario() {
+	sc := manetp2p.DefaultScenario(50, manetp2p.Regular)
+	fmt.Println(sc.Name, sc.NumNodes, sc.Replications, sc.Params.MaxNConn, sc.Params.QueryTTL)
+	// Output: Regular-50 50 33 3 6
+}
+
+// Run executes a scenario's replications concurrently and aggregates
+// the paper's metrics.
+func ExampleRun() {
+	sc := manetp2p.DefaultScenario(20, manetp2p.Basic)
+	sc.Duration = manetp2p.Seconds(120)
+	sc.Replications = 1
+	sc.SnapshotEvery = 0
+	res, err := manetp2p.Run(sc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(res.PerFile), len(res.ConnectSeries))
+	// Output: 20 15
+}
+
+// NewSimulation gives step-by-step control over a single replication.
+func ExampleNewSimulation() {
+	sc := manetp2p.DefaultScenario(10, manetp2p.Regular)
+	s, err := manetp2p.NewSimulation(sc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s.Step(manetp2p.Seconds(60))
+	fmt.Println(s.Now() == manetp2p.Seconds(60), len(s.Net.Members()))
+	// Output: true 8
+}
+
+// GiniCoefficient quantifies load concentration across nodes.
+func ExampleGiniCoefficient() {
+	even := manetp2p.GiniCoefficient([]float64{10, 10, 10, 10})
+	skewed := manetp2p.GiniCoefficient([]float64{1, 1, 1, 37})
+	fmt.Printf("%.2f %.2f\n", even, skewed)
+	// Output: 0.00 0.68
+}

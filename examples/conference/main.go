@@ -1,0 +1,103 @@
+// Conference: the paper's motivating scenario for the Hybrid algorithm
+// (§4, §6.2) — a meeting room full of heterogeneous devices (phones,
+// PDAs, notebooks) that organize themselves into master/slave subnets,
+// with the notebooks carrying the load.
+//
+// The example drives a single live simulation step by step and reports
+// how the hierarchy evolves, then shows that high-qualifier devices
+// absorb most of the traffic (the paper's Figures 11–12 argument).
+//
+//	go run ./examples/conference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manetp2p"
+	"manetp2p/internal/metrics"
+	"manetp2p/internal/p2p"
+)
+
+func main() {
+	sc := manetp2p.DefaultScenario(60, manetp2p.Hybrid)
+	sc.Quals = manetp2p.DeviceClasses() // phones 0.2, PDAs 0.5, notebooks 0.9
+	sc.AreaSide = 60                    // a dense conference venue
+	sc.Replications = 1
+
+	s, err := manetp2p.NewSimulation(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("time     masters  slaves  initial  mesh-links")
+	for minute := 1; minute <= 30; minute++ {
+		s.Step(manetp2p.Seconds(60))
+		if minute%3 != 0 {
+			continue
+		}
+		masters, slaves, initial, mesh := census(s)
+		fmt.Printf("%4dmin  %7d  %6d  %7d  %10d\n", minute, masters, slaves, initial, mesh)
+	}
+
+	// Load by device class: masters (mostly notebooks) should receive
+	// far more queries and pings than slaves.
+	byClass := map[float64][]float64{}
+	for id, sv := range s.Net.Servents {
+		if sv == nil {
+			continue
+		}
+		load := float64(s.Net.Collector.Received(id, metrics.Query) +
+			s.Net.Collector.Received(id, metrics.Ping))
+		byClass[sv.Qualifier()] = append(byClass[sv.Qualifier()], load)
+	}
+	fmt.Println("\nmean received query+ping load by device class:")
+	for _, class := range []struct {
+		q    float64
+		name string
+	}{{0.2, "phone"}, {0.5, "PDA"}, {0.9, "notebook"}} {
+		loads := byClass[class.q]
+		if len(loads) == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, l := range loads {
+			sum += l
+		}
+		fmt.Printf("  %-9s (q=%.1f): %6.1f messages over %d devices\n",
+			class.name, class.q, sum/float64(len(loads)), len(loads))
+	}
+
+	// The Gini coefficient makes the skew explicit: hybrid concentrates
+	// load by design ("a higher load to nodes with higher capacity").
+	var all []float64
+	for _, loads := range byClass {
+		all = append(all, loads...)
+	}
+	fmt.Printf("\nload Gini coefficient: %.2f (0 = even, 1 = concentrated)\n",
+		manetp2p.GiniCoefficient(all))
+}
+
+// census counts hybrid roles and master-mesh links.
+func census(s *manetp2p.Simulation) (masters, slaves, initial, mesh int) {
+	for _, sv := range s.Net.Servents {
+		if sv == nil || !sv.Joined() {
+			continue
+		}
+		switch sv.State() {
+		case p2p.StateMaster:
+			masters++
+			for _, peer := range sv.Peers() {
+				if other := s.Net.Servents[peer]; other != nil && other.State() == p2p.StateMaster {
+					mesh++
+				}
+			}
+		case p2p.StateSlave:
+			slaves++
+		default:
+			initial++
+		}
+	}
+	mesh /= 2 // each mesh link counted at both ends
+	return
+}

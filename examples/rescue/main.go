@@ -1,0 +1,50 @@
+// Rescue: an emergency-operation MANET (§4 motivates ad-hoc networks
+// for exactly this) under the stresses from the paper's future-work
+// list — finite batteries and node churn. Compares how the Basic and
+// Regular algorithms age the network: Basic's indiscriminate flooding
+// drains batteries and kills nodes sooner.
+//
+//	go run ./examples/rescue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manetp2p"
+	"manetp2p/internal/metrics"
+)
+
+func main() {
+	fmt.Println("rescue scenario: 50 responders, 2 J batteries, churn (radios cycle off/on)")
+	fmt.Println()
+	fmt.Println("alg      deaths/rep  energy-J/node  connect/node  found%")
+	for _, alg := range []manetp2p.Algorithm{manetp2p.Basic, manetp2p.Regular} {
+		sc := manetp2p.DefaultScenario(50, alg)
+		sc.Replications = 5
+		sc.Energy = manetp2p.DefaultEnergy(2.0)
+		sc.Churn = manetp2p.ChurnConfig{
+			MeanUptime:   manetp2p.Seconds(900),
+			MeanDowntime: manetp2p.Seconds(120),
+		}
+		res, err := manetp2p.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		found, reqs := 0.0, 0
+		for _, fc := range res.PerFile {
+			reqs += fc.Requests
+			found += fc.FoundRate * float64(fc.Requests)
+		}
+		pct := 0.0
+		if reqs > 0 {
+			pct = 100 * found / float64(reqs)
+		}
+		fmt.Printf("%-8s %10.1f  %13.3f  %12.1f  %5.1f\n",
+			alg, res.Deaths.Mean, res.EnergySpent.Mean,
+			res.Totals[metrics.Connect].Mean, pct)
+	}
+	fmt.Println()
+	fmt.Println("The Basic algorithm's fixed-radius broadcasts burn more energy per node,")
+	fmt.Println("killing more responders' radios — the paper's network-lifetime argument (§7.4).")
+}

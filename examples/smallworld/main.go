@@ -1,0 +1,68 @@
+// Smallworld: the paper's §6.1.2 analysis — does the Random algorithm's
+// long-range link turn the overlay into a small-world graph (high
+// clustering, short pathlength)? The paper could not detect the effect
+// (§7.4) and offered two explanations: (a) too few nodes relative to
+// the number of connections, and (b) "due to the dynamics of the
+// network, the random connections go down before the nodes could
+// benefit from them."
+//
+// This example reproduces the null result at paper scale and then
+// isolates explanation (b): with mobility frozen, the long links
+// survive and Random's pathlength advantage appears.
+//
+//	go run ./examples/smallworld
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manetp2p"
+	"manetp2p/internal/graphs"
+)
+
+func main() {
+	fmt.Println("overlay graph structure: Regular vs Random algorithm")
+	fmt.Println()
+
+	fmt.Println("(1) Paper scale — 50 nodes, 100x100 m, mobile (sparse, partitioned):")
+	compare(50, 100, false)
+	fmt.Println()
+	fmt.Println("(2) Denser and mobile — 150 nodes, 70x70 m:")
+	compare(150, 70, false)
+	fmt.Println()
+	fmt.Println("(3) Denser and STATIC — same, mobility frozen:")
+	compare(150, 70, true)
+	fmt.Println()
+	fmt.Println("Cases (1) and (2) reproduce the paper's null result. The paper's")
+	fmt.Println("second explanation — mobility tears random links down before they")
+	fmt.Println("help — is what case (3) isolates: without mobility the long links")
+	fmt.Println("persist, and the Random overlay's pathlength drops toward the")
+	fmt.Println("log n / log k random-graph reference.")
+}
+
+func compare(nodes int, area float64, static bool) {
+	fmt.Println("    alg      clustering  pathlength  largest-comp  degree")
+	for _, alg := range []manetp2p.Algorithm{manetp2p.Regular, manetp2p.Random} {
+		sc := manetp2p.DefaultScenario(nodes, alg)
+		sc.AreaSide = area
+		sc.Replications = 2
+		sc.Duration = manetp2p.Seconds(1200)
+		sc.SnapshotEvery = manetp2p.Seconds(300)
+		sc.Stationary = static
+		res, err := manetp2p.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-8s %10.3f  %10.3f  %12.2f  %6.2f\n",
+			alg,
+			res.Overlay.Clustering.Mean,
+			res.Overlay.PathLength.Mean,
+			res.Overlay.LargestComponent.Mean,
+			res.Overlay.MeanDegree.Mean)
+	}
+	n := int(float64(nodes) * 0.75)
+	k := 3
+	fmt.Printf("    reference: L_regular(n=%d,k=%d)=%.1f, L_random=%.2f\n",
+		n, k, graphs.RegularPathLength(n, k), graphs.RandomPathLength(n, k))
+}

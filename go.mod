@@ -1,0 +1,3 @@
+module manetp2p
+
+go 1.22

@@ -1,0 +1,94 @@
+// Package aodv implements the network layer used by the paper's
+// simulations: AODV on-demand routing (RREQ/RREP/RERR with destination
+// sequence numbers and expanding-ring search, after the Perkins/Royer/Das
+// draft the paper cites) plus the paper's "controlled broadcast" — a
+// TTL-limited flood in which every node keeps a cache of recently seen
+// broadcast IDs so no message is forwarded twice (§7 of the paper).
+//
+// Two deliberate simplifications relative to the full IETF draft, neither
+// of which the paper's metrics are sensitive to:
+//
+//   - Link-layer feedback replaces HELLO beacons: a forwarding node checks
+//     radio reachability of the next hop at transmit time (modelling an
+//     802.11 ACK failure) and emits RERR on failure.
+//   - RERR propagates as a 1-hop broadcast re-issued by nodes that lose
+//     routes, rather than via per-route precursor lists.
+package aodv
+
+import "fmt"
+
+// Nominal on-air packet sizes in bytes, used for traffic and energy
+// accounting. Values follow the field layouts of the AODV draft.
+const (
+	sizeRREQ       = 24
+	sizeRREP       = 20
+	sizeRERRBase   = 4
+	sizeRERRPerDst = 8
+	sizeDataHdr    = 16
+	sizeBcastHdr   = 16
+)
+
+// rreq is a route request, flooded with an expanding-ring TTL.
+type rreq struct {
+	Origin    int
+	OriginSeq uint32
+	ID        uint32 // per-origin broadcast id for duplicate suppression
+	Dst       int
+	DstSeq    uint32 // last known sequence number for Dst (0 = unknown)
+	HopCount  int    // hops traveled so far
+	TTL       int    // remaining hops the request may still travel
+}
+
+// rrep is a route reply, unicast hop-by-hop along the reverse route.
+type rrep struct {
+	Origin   int // the requester the reply travels to
+	Dst      int // the destination the route leads to
+	DstSeq   uint32
+	HopCount int // hops from the replying node to Dst
+}
+
+// unreachable names one destination lost by a broken link.
+type unreachable struct {
+	Dst int
+	Seq uint32
+}
+
+// rerr announces broken routes to upstream users of the link.
+type rerr struct {
+	Unreachable []unreachable
+}
+
+func (e rerr) size() int { return sizeRERRBase + sizeRERRPerDst*len(e.Unreachable) }
+
+// data is an application packet routed hop-by-hop.
+type data struct {
+	Origin   int
+	Dst      int
+	HopCount int // hops traveled so far
+	TTL      int // remaining hop budget; guards against (transient) loops
+	Size     int // application payload size in bytes
+	Payload  any
+}
+
+// bcast is a controlled-broadcast application packet. Like an RREQ it
+// carries the origin's sequence number, so forwarding it installs a
+// reverse route to the origin — responders can answer by unicast without
+// a fresh route discovery, exactly the pattern the paper's connect
+// messages rely on.
+type bcast struct {
+	Origin    int
+	OriginSeq uint32
+	ID        uint32
+	HopCount  int
+	TTL       int
+	Size      int
+	Payload   any
+}
+
+func (p data) String() string {
+	return fmt.Sprintf("data{%d->%d hops=%d ttl=%d}", p.Origin, p.Dst, p.HopCount, p.TTL)
+}
+
+func (p bcast) String() string {
+	return fmt.Sprintf("bcast{%d id=%d hops=%d ttl=%d}", p.Origin, p.ID, p.HopCount, p.TTL)
+}

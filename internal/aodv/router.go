@@ -1,0 +1,535 @@
+package aodv
+
+import (
+	"fmt"
+
+	"manetp2p/internal/netif"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+// The router implements the pluggable network-layer interface.
+var _ netif.Protocol = (*Router)(nil)
+
+// Config tunes the routing layer. Zero fields are filled from defaults.
+type Config struct {
+	ActiveRouteTimeout  sim.Time // lifetime of an unused route
+	SeenCacheTimeout    sim.Time // duplicate-suppression window for floods
+	MaxDiscoveryRetries int      // extra network-wide RREQ attempts
+	TTLStart            int      // first expanding-ring radius
+	TTLIncrement        int      // ring growth per attempt
+	TTLMax              int      // network-wide search radius
+	HopTraversal        sim.Time // per-hop time budget for discovery timers
+	DataTTL             int      // hop budget for data packets
+	BufferCap           int      // packets buffered per pending discovery
+
+	// DisableBcastDupCache turns off the controlled broadcast's
+	// duplicate suppression — the ablation of the paper's §7 ns-2
+	// modification. With it off, every received copy of a flood is
+	// re-forwarded (TTL-bounded broadcast storm).
+	DisableBcastDupCache bool
+}
+
+// DefaultConfig returns the parameters used by the paper reproduction:
+// AODV-draft-flavoured expanding ring over a network whose diameter is
+// ~14 hops (100 m arena, 10 m range).
+func DefaultConfig() Config {
+	return Config{
+		// Route staleness mostly manifests as a broken next hop, which
+		// the link-layer InRange check catches on use; the timeout only
+		// bounds silent staleness, so it can be generous.
+		ActiveRouteTimeout:  30 * sim.Second,
+		SeenCacheTimeout:    30 * sim.Second,
+		MaxDiscoveryRetries: 2,
+		TTLStart:            4,
+		TTLIncrement:        4,
+		TTLMax:              20,
+		HopTraversal:        10 * sim.Millisecond,
+		DataTTL:             30,
+		BufferCap:           16,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ActiveRouteTimeout <= 0 {
+		c.ActiveRouteTimeout = d.ActiveRouteTimeout
+	}
+	if c.SeenCacheTimeout <= 0 {
+		c.SeenCacheTimeout = d.SeenCacheTimeout
+	}
+	if c.MaxDiscoveryRetries <= 0 {
+		c.MaxDiscoveryRetries = d.MaxDiscoveryRetries
+	}
+	if c.TTLStart <= 0 {
+		c.TTLStart = d.TTLStart
+	}
+	if c.TTLIncrement <= 0 {
+		c.TTLIncrement = d.TTLIncrement
+	}
+	if c.TTLMax <= 0 {
+		c.TTLMax = d.TTLMax
+	}
+	if c.HopTraversal <= 0 {
+		c.HopTraversal = d.HopTraversal
+	}
+	if c.DataTTL <= 0 {
+		c.DataTTL = d.DataTTL
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = d.BufferCap
+	}
+	return c
+}
+
+// Delivery is an upper-layer arrival: who originated the message, how
+// many ad-hoc hops it traveled, and the payload.
+type Delivery = netif.Delivery
+
+// Stats counts routing-layer activity for one node.
+type Stats struct {
+	RREQSent     uint64
+	RREQRelayed  uint64
+	RREPSent     uint64
+	RERRSent     uint64
+	DataSent     uint64
+	DataRelayed  uint64
+	DataDropped  uint64 // no route / TTL exhausted / buffer overflow
+	BcastSent    uint64
+	BcastRelayed uint64
+	BcastDup     uint64 // duplicates suppressed by the controlled-broadcast cache
+	Discoveries  uint64
+	DiscoverFail uint64
+}
+
+type seenKey struct {
+	origin int
+	id     uint32
+}
+
+// discovery tracks one in-progress route search. A repair discovery
+// (started for a transit packet, RFC 3561 §6.12) stays at the initial
+// ring radius and never retries — local repair is a cheap bounded
+// attempt, not a network-wide search.
+type discovery struct {
+	ttl     int
+	retries int
+	repair  bool
+	timer   *sim.Event
+	queue   []data
+}
+
+// Router is the per-node network layer. It attaches to the shared medium
+// as the node's frame receiver and exposes unicast (AODV) and controlled
+// broadcast to the layer above.
+type Router struct {
+	id  int
+	sim *sim.Sim
+	med *radio.Medium
+	cfg Config
+
+	table     *routeTable
+	seq       uint32
+	rreqID    uint32
+	bcastID   uint32
+	seenRREQ  map[seenKey]sim.Time
+	seenBcast map[seenKey]sim.Time
+	pending   map[int]*discovery
+	stats     Stats
+
+	onBroadcast  func(Delivery)
+	onUnicast    func(Delivery)
+	onSendFailed func(dst int, payload any)
+}
+
+// NewRouter creates the routing layer for node id. The caller must pass
+// r.HandleFrame as the node's radio receiver when joining the medium.
+func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	return &Router{
+		id:        id,
+		sim:       s,
+		med:       med,
+		cfg:       cfg.withDefaults(),
+		table:     newRouteTable(),
+		seenRREQ:  make(map[seenKey]sim.Time),
+		seenBcast: make(map[seenKey]sim.Time),
+		pending:   make(map[int]*discovery),
+	}
+}
+
+// ID returns the node this router belongs to.
+func (r *Router) ID() int { return r.id }
+
+// Stats returns the router's activity counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// OnBroadcast installs the controlled-broadcast upper-layer hook. Every
+// node that receives a (deduplicated) broadcast sees it, member of the
+// overlay or not — exactly like a promiscuous flood relay.
+func (r *Router) OnBroadcast(fn func(Delivery)) { r.onBroadcast = fn }
+
+// OnUnicast installs the upper-layer hook for data addressed to this node.
+func (r *Router) OnUnicast(fn func(Delivery)) { r.onUnicast = fn }
+
+// OnSendFailed installs a hook invoked when a packet is abandoned because
+// route discovery failed or the buffer overflowed.
+func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
+
+// HopsTo reports the current route-table distance to dst in ad-hoc hops,
+// if a valid route exists. It does not trigger discovery.
+func (r *Router) HopsTo(dst int) (int, bool) {
+	e, ok := r.table.get(dst, r.sim.Now())
+	if !ok {
+		return 0, false
+	}
+	return e.hopCount, true
+}
+
+// Broadcast floods payload to every node within ttl ad-hoc hops using the
+// controlled broadcast (duplicate-suppressed, TTL-limited).
+func (r *Router) Broadcast(ttl, size int, payload any) {
+	if ttl <= 0 {
+		panic("aodv: Broadcast with non-positive TTL")
+	}
+	if !r.med.Up(r.id) {
+		return
+	}
+	r.bcastID++
+	r.seq++
+	pkt := bcast{Origin: r.id, OriginSeq: r.seq, ID: r.bcastID, HopCount: 0, TTL: ttl, Size: size, Payload: payload}
+	r.markSeen(r.seenBcast, seenKey{r.id, pkt.ID})
+	r.stats.BcastSent++
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: size + sizeBcastHdr, Payload: pkt})
+}
+
+// Send routes an application payload of the given size to dst,
+// discovering a route on demand. Sending to self delivers locally with
+// zero hops on the next event-loop turn.
+func (r *Router) Send(dst, size int, payload any) {
+	if dst == r.id {
+		r.sim.Schedule(0, func() {
+			if r.onUnicast != nil {
+				r.onUnicast(Delivery{From: r.id, Hops: 0, Payload: payload})
+			}
+		})
+		return
+	}
+	if !r.med.Up(r.id) {
+		return
+	}
+	pkt := data{Origin: r.id, Dst: dst, HopCount: 0, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
+	r.stats.DataSent++
+	if _, ok := r.table.get(dst, r.sim.Now()); ok {
+		r.forwardData(pkt)
+		return
+	}
+	r.enqueue(pkt)
+}
+
+// enqueue buffers pkt awaiting a route and kicks discovery if necessary.
+// Transit packets (local repair) share the buffer with locally
+// originated ones.
+func (r *Router) enqueue(pkt data) {
+	d, inProgress := r.pending[pkt.Dst]
+	if !inProgress {
+		d = &discovery{ttl: r.cfg.TTLStart, repair: pkt.Origin != r.id}
+		r.pending[pkt.Dst] = d
+		r.sendRREQ(pkt.Dst, d)
+	} else if pkt.Origin == r.id {
+		// A locally originated packet upgrades a repair discovery to a
+		// full escalating search.
+		d.repair = false
+	}
+	if len(d.queue) >= r.cfg.BufferCap {
+		r.stats.DataDropped++
+		if pkt.Origin == r.id {
+			r.failSend(pkt.Dst, pkt.Payload)
+		}
+		return
+	}
+	d.queue = append(d.queue, pkt)
+}
+
+func (r *Router) failSend(dst int, payload any) {
+	if r.onSendFailed != nil {
+		r.onSendFailed(dst, payload)
+	}
+}
+
+// sendRREQ emits one ring of the expanding-ring search and arms the
+// retry timer.
+func (r *Router) sendRREQ(dst int, d *discovery) {
+	r.rreqID++
+	r.seq++
+	var dstSeq uint32
+	if e, ok := r.table.raw(dst); ok && e.haveSeq {
+		dstSeq = e.seq
+	}
+	q := rreq{Origin: r.id, OriginSeq: r.seq, ID: r.rreqID, Dst: dst, DstSeq: dstSeq, HopCount: 0, TTL: d.ttl}
+	r.markSeen(r.seenRREQ, seenKey{r.id, q.ID})
+	r.stats.RREQSent++
+	r.stats.Discoveries++
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
+
+	wait := 2 * sim.Time(d.ttl) * r.cfg.HopTraversal
+	d.timer = r.sim.Schedule(wait, func() { r.discoveryTimeout(dst, d) })
+}
+
+// discoveryTimeout escalates the ring or gives up.
+func (r *Router) discoveryTimeout(dst int, d *discovery) {
+	if r.pending[dst] != d { // completed or superseded
+		return
+	}
+	if d.repair {
+		// One bounded attempt only.
+		d.retries = r.cfg.MaxDiscoveryRetries + 1
+	} else if d.ttl < r.cfg.TTLMax {
+		d.ttl += r.cfg.TTLIncrement
+		if d.ttl > r.cfg.TTLMax {
+			d.ttl = r.cfg.TTLMax
+		}
+	} else {
+		d.retries++
+	}
+	if d.retries > r.cfg.MaxDiscoveryRetries {
+		delete(r.pending, dst)
+		r.stats.DiscoverFail++
+		announced := false
+		for _, pkt := range d.queue {
+			r.stats.DataDropped++
+			if pkt.Origin == r.id {
+				r.failSend(dst, pkt.Payload)
+			} else if !announced {
+				// Failed local repair: tell upstream users of the route.
+				r.sendRERRFor(dst, r.sim.Now())
+				announced = true
+			}
+		}
+		return
+	}
+	r.sendRREQ(dst, d)
+}
+
+// completeDiscovery flushes packets buffered for dst.
+func (r *Router) completeDiscovery(dst int) {
+	d, ok := r.pending[dst]
+	if !ok {
+		return
+	}
+	delete(r.pending, dst)
+	d.timer.Cancel()
+	for _, pkt := range d.queue {
+		r.forwardData(pkt)
+	}
+}
+
+// forwardData sends pkt one hop along the current route. A missing or
+// broken route triggers re-discovery — also for transit packets (AODV's
+// local repair, RFC 3561 §6.12): the relay buffers the packet and
+// searches for the destination itself rather than dropping.
+func (r *Router) forwardData(pkt data) {
+	now := r.sim.Now()
+	e, ok := r.table.get(pkt.Dst, now)
+	if !ok {
+		r.enqueue(pkt)
+		return
+	}
+	if !r.med.InRange(r.id, e.nextHop) {
+		// Link-layer feedback: the hop is gone. Tear down everything
+		// that used it, tell the neighborhood, then locally repair.
+		r.linkBreak(e.nextHop, now)
+		r.enqueue(pkt)
+		return
+	}
+	if pkt.Origin != r.id {
+		r.stats.DataRelayed++
+	}
+	r.table.refresh(pkt.Dst, now, r.cfg.ActiveRouteTimeout)
+	r.table.refresh(pkt.Origin, now, r.cfg.ActiveRouteTimeout)
+	r.med.Send(radio.Frame{Src: r.id, Dst: e.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
+}
+
+// linkBreak invalidates all routes through via and broadcasts an RERR.
+func (r *Router) linkBreak(via int, now sim.Time) {
+	lost := r.table.invalidateVia(via, now)
+	if len(lost) == 0 {
+		return
+	}
+	r.emitRERR(lost)
+}
+
+// sendRERRFor reports a single unroutable destination.
+func (r *Router) sendRERRFor(dst int, now sim.Time) {
+	seq, _ := r.table.invalidate(dst, now)
+	r.emitRERR([]unreachable{{Dst: dst, Seq: seq}})
+}
+
+func (r *Router) emitRERR(lost []unreachable) {
+	if !r.med.Up(r.id) {
+		return
+	}
+	e := rerr{Unreachable: lost}
+	r.stats.RERRSent++
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: e.size(), Payload: e})
+}
+
+// HandleFrame is the radio receive callback; it dispatches on packet type.
+func (r *Router) HandleFrame(f radio.Frame) {
+	switch pkt := f.Payload.(type) {
+	case rreq:
+		r.handleRREQ(f.Src, pkt)
+	case rrep:
+		r.handleRREP(f.Src, pkt)
+	case rerr:
+		r.handleRERR(f.Src, pkt)
+	case data:
+		r.handleData(f.Src, pkt)
+	case bcast:
+		r.handleBcast(f.Src, pkt)
+	default:
+		panic(fmt.Sprintf("aodv: unknown payload type %T", f.Payload))
+	}
+}
+
+func (r *Router) handleRREQ(prev int, q rreq) {
+	if q.Origin == r.id || r.haveSeen(r.seenRREQ, seenKey{q.Origin, q.ID}) {
+		return
+	}
+	r.markSeen(r.seenRREQ, seenKey{q.Origin, q.ID})
+	now := r.sim.Now()
+	q.HopCount++
+	// Learn/refresh the reverse route to the requester.
+	r.table.update(q.Origin, prev, q.HopCount, q.OriginSeq, true, now, r.cfg.ActiveRouteTimeout)
+	if prev != q.Origin {
+		r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
+	}
+
+	if q.Dst == r.id {
+		// We are the destination: answer with our own sequence number.
+		if seqGreater(q.DstSeq, r.seq) {
+			r.seq = q.DstSeq
+		}
+		r.seq++
+		r.sendRREP(rrep{Origin: q.Origin, Dst: r.id, DstSeq: r.seq, HopCount: 0}, now)
+		return
+	}
+	if e, ok := r.table.get(q.Dst, now); ok && e.haveSeq && !seqGreater(q.DstSeq, e.seq) {
+		// Intermediate node with a route at least as fresh as requested.
+		r.sendRREP(rrep{Origin: q.Origin, Dst: q.Dst, DstSeq: e.seq, HopCount: e.hopCount}, now)
+		return
+	}
+	if q.TTL > 1 {
+		q.TTL--
+		r.stats.RREQRelayed++
+		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
+	}
+}
+
+// sendRREP unicasts a reply one hop toward the requester.
+func (r *Router) sendRREP(p rrep, now sim.Time) {
+	e, ok := r.table.get(p.Origin, now)
+	if !ok || !r.med.InRange(r.id, e.nextHop) {
+		return // reverse route already gone; the ring will retry
+	}
+	r.stats.RREPSent++
+	r.table.refresh(p.Origin, now, r.cfg.ActiveRouteTimeout)
+	r.med.Send(radio.Frame{Src: r.id, Dst: e.nextHop, Size: sizeRREP, Payload: p})
+}
+
+func (r *Router) handleRREP(prev int, p rrep) {
+	now := r.sim.Now()
+	p.HopCount++
+	// Learn the forward route to the replied-for destination.
+	r.table.update(p.Dst, prev, p.HopCount, p.DstSeq, true, now, r.cfg.ActiveRouteTimeout)
+	r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
+	if p.Origin == r.id {
+		r.completeDiscovery(p.Dst)
+		return
+	}
+	r.sendRREP(p, now)
+}
+
+func (r *Router) handleRERR(prev int, e rerr) {
+	now := r.sim.Now()
+	var propagate []unreachable
+	for _, u := range e.Unreachable {
+		if ent, ok := r.table.get(u.Dst, now); ok && ent.nextHop == prev {
+			seq, was := r.table.invalidate(u.Dst, now)
+			if was {
+				propagate = append(propagate, unreachable{Dst: u.Dst, Seq: seq})
+			}
+		}
+	}
+	if len(propagate) > 0 {
+		r.emitRERR(propagate)
+	}
+}
+
+func (r *Router) handleData(prev int, pkt data) {
+	now := r.sim.Now()
+	pkt.HopCount++
+	// Path accumulation: we now know a route back to the packet origin.
+	r.table.update(pkt.Origin, prev, pkt.HopCount, 0, false, now, r.cfg.ActiveRouteTimeout)
+	r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
+	if pkt.Dst == r.id {
+		if r.onUnicast != nil {
+			r.onUnicast(Delivery{From: pkt.Origin, Hops: pkt.HopCount, Payload: pkt.Payload})
+		}
+		return
+	}
+	if pkt.TTL <= 1 {
+		r.stats.DataDropped++
+		return
+	}
+	pkt.TTL--
+	r.forwardData(pkt)
+}
+
+func (r *Router) handleBcast(prev int, b bcast) {
+	if b.Origin == r.id {
+		return
+	}
+	dup := r.haveSeen(r.seenBcast, seenKey{b.Origin, b.ID})
+	if dup {
+		r.stats.BcastDup++
+		if !r.cfg.DisableBcastDupCache {
+			return
+		}
+	}
+	r.markSeen(r.seenBcast, seenKey{b.Origin, b.ID})
+	now := r.sim.Now()
+	b.HopCount++
+	// Like an RREQ, a controlled broadcast teaches relays the way back to
+	// its origin, so responders can reply by unicast immediately.
+	r.table.update(b.Origin, prev, b.HopCount, b.OriginSeq, true, now, r.cfg.ActiveRouteTimeout)
+	if prev != b.Origin {
+		r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
+	}
+	if r.onBroadcast != nil {
+		r.onBroadcast(Delivery{From: b.Origin, Hops: b.HopCount, Payload: b.Payload})
+	}
+	if b.TTL > 1 {
+		b.TTL--
+		r.stats.BcastRelayed++
+		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: b.Size + sizeBcastHdr, Payload: b})
+	}
+}
+
+// haveSeen reports whether key is in the duplicate cache and still fresh.
+func (r *Router) haveSeen(cache map[seenKey]sim.Time, k seenKey) bool {
+	t, ok := cache[k]
+	return ok && r.sim.Now()-t < r.cfg.SeenCacheTimeout
+}
+
+// markSeen records key, sweeping expired entries when the cache grows.
+func (r *Router) markSeen(cache map[seenKey]sim.Time, k seenKey) {
+	if len(cache) > 4096 {
+		cutoff := r.sim.Now() - r.cfg.SeenCacheTimeout
+		for key, t := range cache {
+			if t < cutoff {
+				delete(cache, key)
+			}
+		}
+	}
+	cache[k] = r.sim.Now()
+}

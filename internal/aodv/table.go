@@ -1,0 +1,127 @@
+package aodv
+
+import (
+	"sort"
+
+	"manetp2p/internal/sim"
+)
+
+// routeEntry is one row of the per-node routing table.
+type routeEntry struct {
+	nextHop    int
+	hopCount   int
+	seq        uint32
+	validUntil sim.Time
+	valid      bool
+	haveSeq    bool // seq is meaningful (learned, not guessed)
+}
+
+// routeTable maps destination -> entry. Expiry is lazy: lookups treat
+// entries past validUntil as invalid.
+type routeTable struct {
+	entries map[int]*routeEntry
+}
+
+func newRouteTable() *routeTable {
+	return &routeTable{entries: make(map[int]*routeEntry)}
+}
+
+// get returns the entry for dst if it is valid at time now.
+func (t *routeTable) get(dst int, now sim.Time) (*routeEntry, bool) {
+	e, ok := t.entries[dst]
+	if !ok || !e.valid || e.validUntil < now {
+		return e, false
+	}
+	return e, true
+}
+
+// raw returns the entry regardless of validity (for sequence numbers).
+func (t *routeTable) raw(dst int) (*routeEntry, bool) {
+	e, ok := t.entries[dst]
+	return e, ok
+}
+
+// update installs a route to dst if it is fresher (higher seq), or equally
+// fresh but shorter, or if no valid route exists. It reports whether the
+// table changed.
+func (t *routeTable) update(dst, nextHop, hopCount int, seq uint32, haveSeq bool, now, lifetime sim.Time) bool {
+	e, ok := t.entries[dst]
+	if !ok {
+		t.entries[dst] = &routeEntry{
+			nextHop: nextHop, hopCount: hopCount, seq: seq,
+			validUntil: now + lifetime, valid: true, haveSeq: haveSeq,
+		}
+		return true
+	}
+	currentValid := e.valid && e.validUntil >= now
+	accept := false
+	switch {
+	case !currentValid:
+		accept = true
+	case haveSeq && e.haveSeq && seqGreater(seq, e.seq):
+		accept = true
+	case haveSeq && e.haveSeq && seq == e.seq && hopCount < e.hopCount:
+		accept = true
+	case haveSeq && !e.haveSeq:
+		accept = true
+	case !haveSeq && hopCount < e.hopCount:
+		accept = true
+	}
+	if !accept {
+		return false
+	}
+	e.nextHop = nextHop
+	e.hopCount = hopCount
+	if haveSeq {
+		// Never move a sequence number backwards.
+		if !e.haveSeq || seqGreater(seq, e.seq) || seq == e.seq {
+			e.seq = seq
+		}
+		e.haveSeq = true
+	}
+	e.validUntil = now + lifetime
+	e.valid = true
+	return true
+}
+
+// refresh extends the lifetime of an existing valid route (route used).
+func (t *routeTable) refresh(dst int, now, lifetime sim.Time) {
+	if e, ok := t.get(dst, now); ok {
+		e.validUntil = now + lifetime
+	}
+}
+
+// invalidate marks the route to dst broken and bumps its sequence number
+// so stale information cannot resurrect it. It reports the entry's last
+// sequence number (for RERR) and whether a valid route was actually torn
+// down.
+func (t *routeTable) invalidate(dst int, now sim.Time) (uint32, bool) {
+	e, ok := t.entries[dst]
+	if !ok {
+		return 0, false
+	}
+	wasValid := e.valid && e.validUntil >= now
+	e.valid = false
+	if e.haveSeq {
+		e.seq++
+	}
+	return e.seq, wasValid
+}
+
+// invalidateVia tears down all valid routes whose next hop is via and
+// returns the affected destinations (in id order, so identical runs emit
+// identical RERRs) with their bumped sequence numbers.
+func (t *routeTable) invalidateVia(via int, now sim.Time) []unreachable {
+	var out []unreachable
+	for dst, e := range t.entries {
+		if e.valid && e.validUntil >= now && e.nextHop == via {
+			seq, _ := t.invalidate(dst, now)
+			out = append(out, unreachable{Dst: dst, Seq: seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	return out
+}
+
+// seqGreater compares sequence numbers with wraparound (RFC 3561 §6.1).
+func seqGreater(a, b uint32) bool { return int32(a-b) > 0 }

@@ -1,0 +1,129 @@
+package aodv
+
+import (
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+func TestSeqGreaterWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{2, 1, true},
+		{1, 2, false},
+		{1, 1, false},
+		{0, 0xffffffff, true}, // wrapped: 0 is "greater" than max
+		{0xffffffff, 0, false},
+		{0x80000001, 1, false}, // more than half the space apart
+	}
+	for _, c := range cases {
+		if got := seqGreater(c.a, c.b); got != c.want {
+			t.Errorf("seqGreater(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteTableInstallAndExpiry(t *testing.T) {
+	rt := newRouteTable()
+	const life = 10 * sim.Second
+	if !rt.update(5, 2, 3, 7, true, 0, life) {
+		t.Fatal("fresh install rejected")
+	}
+	e, ok := rt.get(5, 5*sim.Second)
+	if !ok || e.nextHop != 2 || e.hopCount != 3 {
+		t.Fatalf("get = %+v ok=%v, want valid route via 2", e, ok)
+	}
+	if _, ok := rt.get(5, 11*sim.Second); ok {
+		t.Fatal("expired route still valid")
+	}
+	// An expired route must accept any replacement.
+	if !rt.update(5, 9, 8, 1, true, 12*sim.Second, life) {
+		t.Fatal("replacement of expired route rejected")
+	}
+}
+
+func TestRouteTableFreshnessRules(t *testing.T) {
+	rt := newRouteTable()
+	const life = 100 * sim.Second
+	rt.update(5, 2, 3, 10, true, 0, life)
+	// Older sequence number: reject.
+	if rt.update(5, 4, 1, 9, true, 0, life) {
+		t.Error("stale-seq update accepted")
+	}
+	// Same seq, longer path: reject.
+	if rt.update(5, 4, 5, 10, true, 0, life) {
+		t.Error("same-seq longer-path update accepted")
+	}
+	// Same seq, shorter path: accept.
+	if !rt.update(5, 4, 2, 10, true, 0, life) {
+		t.Error("same-seq shorter-path update rejected")
+	}
+	// Newer seq, even if longer: accept.
+	if !rt.update(5, 7, 9, 11, true, 0, life) {
+		t.Error("fresher-seq update rejected")
+	}
+	e, _ := rt.get(5, 0)
+	if e.nextHop != 7 || e.hopCount != 9 || e.seq != 11 {
+		t.Errorf("entry = %+v, want via 7 hops 9 seq 11", e)
+	}
+	// Seqless update against seq-bearing valid route: only shorter wins.
+	if rt.update(5, 8, 12, 0, false, 0, life) {
+		t.Error("seqless longer update accepted")
+	}
+	if !rt.update(5, 8, 3, 0, false, 0, life) {
+		t.Error("seqless shorter update rejected")
+	}
+}
+
+func TestRouteTableInvalidateBumpsSeq(t *testing.T) {
+	rt := newRouteTable()
+	rt.update(5, 2, 3, 10, true, 0, 100*sim.Second)
+	seq, was := rt.invalidate(5, 0)
+	if !was || seq != 11 {
+		t.Fatalf("invalidate = (%d,%v), want (11,true)", seq, was)
+	}
+	if _, ok := rt.get(5, 0); ok {
+		t.Fatal("invalidated route still valid")
+	}
+	// A route with the bumped seq must now be acceptable again.
+	if !rt.update(5, 3, 4, 11, true, 0, 100*sim.Second) {
+		t.Fatal("route with bumped seq rejected after invalidate")
+	}
+}
+
+func TestRouteTableInvalidateVia(t *testing.T) {
+	rt := newRouteTable()
+	const life = 100 * sim.Second
+	rt.update(5, 2, 3, 10, true, 0, life)
+	rt.update(6, 2, 4, 20, true, 0, life)
+	rt.update(7, 3, 1, 30, true, 0, life)
+	lost := rt.invalidateVia(2, 0)
+	if len(lost) != 2 {
+		t.Fatalf("invalidateVia lost %v, want 2 destinations", lost)
+	}
+	if _, ok := rt.get(7, 0); !ok {
+		t.Error("route via different hop was torn down")
+	}
+	for _, u := range lost {
+		if u.Dst != 5 && u.Dst != 6 {
+			t.Errorf("unexpected lost destination %d", u.Dst)
+		}
+	}
+}
+
+func TestRouteTableRefresh(t *testing.T) {
+	rt := newRouteTable()
+	rt.update(5, 2, 3, 10, true, 0, 10*sim.Second)
+	rt.refresh(5, 8*sim.Second, 10*sim.Second)
+	if _, ok := rt.get(5, 15*sim.Second); !ok {
+		t.Fatal("refreshed route expired at original deadline")
+	}
+	// Refreshing an invalid route is a no-op.
+	rt.invalidate(5, 15*sim.Second)
+	rt.refresh(5, 15*sim.Second, 10*sim.Second)
+	if _, ok := rt.get(5, 16*sim.Second); ok {
+		t.Fatal("refresh resurrected an invalid route")
+	}
+}

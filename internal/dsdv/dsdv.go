@@ -1,0 +1,464 @@
+// Package dsdv implements Destination-Sequenced Distance Vector
+// routing (Perkins/Bhagwat), the proactive member of the classic MANET
+// routing trio. Every node periodically advertises its full routing
+// table to its radio neighbors; destination-generated even sequence
+// numbers keep the vectors loop-free, and odd sequence numbers mark
+// broken routes. Unlike the on-demand protocols, DSDV pays a constant
+// background overhead but answers "do I have a route?" instantly —
+// the trade-off the routing sweep quantifies.
+package dsdv
+
+import (
+	"fmt"
+	"sort"
+
+	"manetp2p/internal/netif"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+const (
+	sizeUpdateBase = 8
+	sizePerEntry   = 12
+	sizeDataHdr    = 16
+	sizeBcastHdr   = 16
+	infinityMetric = 1 << 16
+)
+
+// advEntry is one advertised route.
+type advEntry struct {
+	Dst    int
+	Metric int
+	Seq    uint32
+}
+
+// update is a (single-hop) table advertisement.
+type update struct {
+	From    int
+	Entries []advEntry
+}
+
+func (u update) size() int { return sizeUpdateBase + sizePerEntry*len(u.Entries) }
+
+// data is an application packet routed hop-by-hop.
+type data struct {
+	Origin   int
+	Dst      int
+	HopCount int
+	TTL      int
+	Size     int
+	Payload  any
+}
+
+// bcast is the shared controlled broadcast.
+type bcast struct {
+	Origin   int
+	ID       uint32
+	HopCount int
+	TTL      int
+	Size     int
+	Payload  any
+}
+
+// route is one table row.
+type route struct {
+	nextHop int
+	metric  int
+	seq     uint32
+	heard   sim.Time // last time this route was confirmed
+}
+
+// Config tunes the DSDV layer.
+type Config struct {
+	UpdatePeriod sim.Time // full-dump advertisement interval
+	RouteTimeout sim.Time // routes unconfirmed for this long break
+	SettlingTime sim.Time // how long data waits for a route to appear
+	DataTTL      int
+	BufferCap    int
+}
+
+// DefaultConfig mirrors the published DSDV parameters scaled to the
+// paper's mobility (updates every 15 s, routes stale after 45 s).
+func DefaultConfig() Config {
+	return Config{
+		UpdatePeriod: 15 * sim.Second,
+		RouteTimeout: 45 * sim.Second,
+		SettlingTime: 20 * sim.Second,
+		DataTTL:      30,
+		BufferCap:    16,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.UpdatePeriod <= 0 {
+		c.UpdatePeriod = d.UpdatePeriod
+	}
+	if c.RouteTimeout <= 0 {
+		c.RouteTimeout = d.RouteTimeout
+	}
+	if c.SettlingTime <= 0 {
+		c.SettlingTime = d.SettlingTime
+	}
+	if c.DataTTL <= 0 {
+		c.DataTTL = d.DataTTL
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = d.BufferCap
+	}
+	return c
+}
+
+// Stats counts DSDV activity.
+type Stats struct {
+	UpdatesSent  uint64
+	UpdatesRecv  uint64
+	DataSent     uint64
+	DataRelayed  uint64
+	DataDropped  uint64
+	BcastRelayed uint64
+}
+
+type seenKey struct {
+	origin int
+	id     uint32
+}
+
+// waiting is a packet parked until a route settles.
+type waiting struct {
+	pkt     data
+	expires sim.Time
+}
+
+// Router is the per-node DSDV instance; it satisfies netif.Protocol.
+type Router struct {
+	id  int
+	sim *sim.Sim
+	med *radio.Medium
+	cfg Config
+
+	table     map[int]*route
+	seq       uint32 // own destination sequence number (even)
+	bcastID   uint32
+	seenBcast map[seenKey]sim.Time
+	parked    map[int][]waiting
+	stats     Stats
+	ticker    *sim.Ticker
+
+	onBroadcast  func(netif.Delivery)
+	onUnicast    func(netif.Delivery)
+	onSendFailed func(dst int, payload any)
+}
+
+var _ netif.Protocol = (*Router)(nil)
+
+// NewRouter creates the DSDV layer for node id and starts its periodic
+// advertisements.
+func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	r := &Router{
+		id:        id,
+		sim:       s,
+		med:       med,
+		cfg:       cfg.withDefaults(),
+		table:     make(map[int]*route),
+		seenBcast: make(map[seenKey]sim.Time),
+		parked:    make(map[int][]waiting),
+	}
+	// Stagger first advertisements by node id so a freshly built network
+	// does not emit all dumps in the same microsecond.
+	first := r.cfg.UpdatePeriod/64*sim.Time(id%64) + sim.Millisecond
+	s.Schedule(first, func() {
+		r.advertise()
+		r.ticker = sim.NewTicker(s, r.cfg.UpdatePeriod, r.advertise)
+	})
+	return r
+}
+
+// ID returns the node this router belongs to.
+func (r *Router) ID() int { return r.id }
+
+// Stats returns activity counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// OnBroadcast installs the flood delivery hook.
+func (r *Router) OnBroadcast(fn func(netif.Delivery)) { r.onBroadcast = fn }
+
+// OnUnicast installs the data delivery hook.
+func (r *Router) OnUnicast(fn func(netif.Delivery)) { r.onUnicast = fn }
+
+// OnSendFailed installs the undeliverable hook.
+func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
+
+// HopsTo reports the table's metric for dst.
+func (r *Router) HopsTo(dst int) (int, bool) {
+	rt, ok := r.valid(dst)
+	if !ok {
+		return 0, false
+	}
+	return rt.metric, true
+}
+
+func (r *Router) valid(dst int) (*route, bool) {
+	rt, ok := r.table[dst]
+	if !ok || rt.metric >= infinityMetric || r.sim.Now()-rt.heard > r.cfg.RouteTimeout {
+		return rt, false
+	}
+	return rt, true
+}
+
+// advertise broadcasts the full table to radio neighbors (single hop).
+func (r *Router) advertise() {
+	if !r.med.Up(r.id) {
+		return
+	}
+	r.expireStale()
+	r.seq += 2
+	entries := []advEntry{{Dst: r.id, Metric: 0, Seq: r.seq}}
+	dsts := make([]int, 0, len(r.table))
+	for dst := range r.table {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		rt := r.table[dst]
+		entries = append(entries, advEntry{Dst: dst, Metric: rt.metric, Seq: rt.seq})
+	}
+	u := update{From: r.id, Entries: entries}
+	r.stats.UpdatesSent++
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: u.size(), Payload: u})
+}
+
+// expireStale marks routes unheard within the timeout as broken (odd
+// sequence number, infinite metric), DSDV's substitute for link-layer
+// feedback.
+func (r *Router) expireStale() {
+	now := r.sim.Now()
+	for _, rt := range r.table {
+		if rt.metric < infinityMetric && now-rt.heard > r.cfg.RouteTimeout {
+			rt.metric = infinityMetric
+			rt.seq++ // odd: destination did not generate this
+		}
+	}
+}
+
+// handleUpdate merges a neighbor's advertisement.
+func (r *Router) handleUpdate(u update) {
+	r.stats.UpdatesRecv++
+	now := r.sim.Now()
+	for _, e := range u.Entries {
+		if e.Dst == r.id {
+			continue
+		}
+		metric := e.Metric + 1
+		if e.Metric >= infinityMetric {
+			metric = infinityMetric
+		}
+		rt, ok := r.table[e.Dst]
+		if !ok {
+			if metric < infinityMetric {
+				r.table[e.Dst] = &route{nextHop: u.From, metric: metric, seq: e.Seq, heard: now}
+				r.unpark(e.Dst)
+			}
+			continue
+		}
+		newer := seqGreater(e.Seq, rt.seq)
+		better := e.Seq == rt.seq && metric < rt.metric
+		sameRoute := rt.nextHop == u.From
+		switch {
+		case newer, better:
+			rt.nextHop = u.From
+			rt.metric = metric
+			rt.seq = e.Seq
+			rt.heard = now
+			if metric < infinityMetric {
+				r.unpark(e.Dst)
+			}
+		case sameRoute && e.Seq == rt.seq:
+			rt.heard = now // our current route reconfirmed
+		}
+	}
+}
+
+// seqGreater compares sequence numbers with wraparound.
+func seqGreater(a, b uint32) bool { return int32(a-b) > 0 }
+
+// Broadcast floods payload within ttl hops (controlled broadcast).
+func (r *Router) Broadcast(ttl, size int, payload any) {
+	if ttl <= 0 {
+		panic("dsdv: Broadcast with non-positive TTL")
+	}
+	if !r.med.Up(r.id) {
+		return
+	}
+	r.bcastID++
+	pkt := bcast{Origin: r.id, ID: r.bcastID, TTL: ttl, Size: size, Payload: payload}
+	r.markSeen(seenKey{r.id, pkt.ID})
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: size + sizeBcastHdr, Payload: pkt})
+}
+
+// Send routes payload to dst; with no route it parks the packet for the
+// settling time (proactive protocols have no discovery to kick).
+func (r *Router) Send(dst, size int, payload any) {
+	if dst == r.id {
+		r.sim.Schedule(0, func() {
+			if r.onUnicast != nil {
+				r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: payload})
+			}
+		})
+		return
+	}
+	if !r.med.Up(r.id) {
+		return
+	}
+	r.stats.DataSent++
+	pkt := data{Origin: r.id, Dst: dst, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
+	if _, ok := r.valid(dst); ok {
+		r.forward(pkt)
+		return
+	}
+	r.park(pkt)
+}
+
+// park holds a packet hoping an advertisement brings a route.
+func (r *Router) park(pkt data) {
+	q := r.parked[pkt.Dst]
+	if len(q) >= r.cfg.BufferCap {
+		r.stats.DataDropped++
+		if r.onSendFailed != nil {
+			r.onSendFailed(pkt.Dst, pkt.Payload)
+		}
+		return
+	}
+	w := waiting{pkt: pkt, expires: r.sim.Now() + r.cfg.SettlingTime}
+	r.parked[pkt.Dst] = append(q, w)
+	dst := pkt.Dst
+	r.sim.Schedule(r.cfg.SettlingTime+sim.Millisecond, func() { r.expireParked(dst) })
+}
+
+// expireParked fails packets whose settling window lapsed routeless.
+func (r *Router) expireParked(dst int) {
+	q := r.parked[dst]
+	if len(q) == 0 {
+		return
+	}
+	now := r.sim.Now()
+	keep := q[:0]
+	for _, w := range q {
+		if w.expires <= now {
+			r.stats.DataDropped++
+			if r.onSendFailed != nil {
+				r.onSendFailed(dst, w.pkt.Payload)
+			}
+			continue
+		}
+		keep = append(keep, w)
+	}
+	if len(keep) == 0 {
+		delete(r.parked, dst)
+	} else {
+		r.parked[dst] = keep
+	}
+}
+
+// unpark flushes parked packets once a route to dst appears.
+func (r *Router) unpark(dst int) {
+	q := r.parked[dst]
+	if len(q) == 0 {
+		return
+	}
+	delete(r.parked, dst)
+	for _, w := range q {
+		r.forward(w.pkt)
+	}
+}
+
+// forward moves a packet one hop along the table.
+func (r *Router) forward(pkt data) {
+	rt, ok := r.valid(pkt.Dst)
+	if !ok {
+		if pkt.Origin == r.id {
+			r.park(pkt)
+		} else {
+			r.stats.DataDropped++
+		}
+		return
+	}
+	if !r.med.InRange(r.id, rt.nextHop) {
+		// Link gone: break the route now rather than at the next timeout.
+		rt.metric = infinityMetric
+		rt.seq++
+		if pkt.Origin == r.id {
+			r.park(pkt)
+		} else {
+			r.stats.DataDropped++
+		}
+		return
+	}
+	if pkt.Origin != r.id {
+		r.stats.DataRelayed++
+	}
+	r.med.Send(radio.Frame{Src: r.id, Dst: rt.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
+}
+
+// HandleFrame dispatches radio arrivals.
+func (r *Router) HandleFrame(f radio.Frame) {
+	switch pkt := f.Payload.(type) {
+	case update:
+		r.handleUpdate(pkt)
+	case data:
+		r.handleData(pkt)
+	case bcast:
+		r.handleBcast(pkt)
+	default:
+		panic(fmt.Sprintf("dsdv: unknown payload type %T", f.Payload))
+	}
+}
+
+func (r *Router) handleData(pkt data) {
+	pkt.HopCount++
+	if pkt.Dst == r.id {
+		if r.onUnicast != nil {
+			r.onUnicast(netif.Delivery{From: pkt.Origin, Hops: pkt.HopCount, Payload: pkt.Payload})
+		}
+		return
+	}
+	if pkt.TTL <= 1 {
+		r.stats.DataDropped++
+		return
+	}
+	pkt.TTL--
+	r.forward(pkt)
+}
+
+func (r *Router) handleBcast(b bcast) {
+	if b.Origin == r.id || r.haveSeen(seenKey{b.Origin, b.ID}) {
+		return
+	}
+	r.markSeen(seenKey{b.Origin, b.ID})
+	b.HopCount++
+	if r.onBroadcast != nil {
+		r.onBroadcast(netif.Delivery{From: b.Origin, Hops: b.HopCount, Payload: b.Payload})
+	}
+	if b.TTL > 1 {
+		b.TTL--
+		r.stats.BcastRelayed++
+		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: b.Size + sizeBcastHdr, Payload: b})
+	}
+}
+
+func (r *Router) haveSeen(k seenKey) bool {
+	t, ok := r.seenBcast[k]
+	return ok && r.sim.Now()-t < 30*sim.Second
+}
+
+func (r *Router) markSeen(k seenKey) {
+	if len(r.seenBcast) > 4096 {
+		cutoff := r.sim.Now() - 30*sim.Second
+		for key, t := range r.seenBcast {
+			if t < cutoff {
+				delete(r.seenBcast, key)
+			}
+		}
+	}
+	r.seenBcast[k] = r.sim.Now()
+}

@@ -1,0 +1,588 @@
+// Package dsr implements Dynamic Source Routing, the second on-demand
+// protocol from the routing comparison the paper bases its AODV choice
+// on ([13] in the paper; Johnson/Maltz's DSR). Routes are discovered by
+// flooding route requests that accumulate the traversed path; data
+// packets carry their complete source route, so relays keep no routing
+// state but headers grow with path length — the classic DSR trade-off
+// this reproduction's routing sweep exposes.
+package dsr
+
+import (
+	"fmt"
+	"sort"
+
+	"manetp2p/internal/netif"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+// Nominal packet sizes: fixed part + per-hop address bytes for anything
+// carrying a source route.
+const (
+	sizeRREQBase  = 16
+	sizeRREPBase  = 12
+	sizeRERR      = 16
+	sizeDataBase  = 12
+	sizeBcastBase = 16
+	sizePerHop    = 4
+)
+
+// rreq floods outward accumulating the path traveled.
+type rreq struct {
+	Origin int
+	ID     uint32
+	Dst    int
+	TTL    int
+	Path   []int // nodes traversed so far, excluding the origin
+}
+
+// rrep returns the discovered path to the origin.
+type rrep struct {
+	Origin int
+	Dst    int
+	Path   []int // full path origin -> ... -> dst, excluding both ends
+	Pos    int   // index of the current hop on the reversed way back
+}
+
+// rerr tells the origin a link on its source route broke.
+type rerr struct {
+	Origin int
+	BadA   int   // upstream end of the broken link
+	BadB   int   // downstream end
+	Path   []int // reversed prefix back to the origin
+	Pos    int
+}
+
+// data carries its complete source route.
+type data struct {
+	Origin  int
+	Dst     int
+	Path    []int // intermediate hops origin -> dst
+	Pos     int   // next hop index into Path; len(Path) means deliver to Dst
+	Size    int
+	Payload any
+}
+
+// bcast is the same controlled broadcast as the AODV substrate, but DSR
+// piggybacks the traversed path so receivers learn a source route back
+// to the origin for free.
+type bcast struct {
+	Origin  int
+	ID      uint32
+	TTL     int
+	Size    int
+	Path    []int
+	Payload any
+}
+
+// cachedRoute is one known source route.
+type cachedRoute struct {
+	path    []int // intermediate hops, self -> dst
+	expires sim.Time
+}
+
+// Config tunes the DSR layer. Zero fields take defaults.
+type Config struct {
+	RouteLifetime       sim.Time
+	SeenCacheTimeout    sim.Time
+	MaxDiscoveryRetries int
+	DiscoveryTTL        int
+	HopTraversal        sim.Time
+	BufferCap           int
+}
+
+// DefaultConfig mirrors the AODV defaults so cross-protocol sweeps are
+// apples to apples.
+func DefaultConfig() Config {
+	return Config{
+		// As with AODV, broken links are detected at forward time; the
+		// lifetime only bounds silent staleness.
+		RouteLifetime:       30 * sim.Second,
+		SeenCacheTimeout:    30 * sim.Second,
+		MaxDiscoveryRetries: 2,
+		DiscoveryTTL:        20,
+		HopTraversal:        10 * sim.Millisecond,
+		BufferCap:           16,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.RouteLifetime <= 0 {
+		c.RouteLifetime = d.RouteLifetime
+	}
+	if c.SeenCacheTimeout <= 0 {
+		c.SeenCacheTimeout = d.SeenCacheTimeout
+	}
+	if c.MaxDiscoveryRetries <= 0 {
+		c.MaxDiscoveryRetries = d.MaxDiscoveryRetries
+	}
+	if c.DiscoveryTTL <= 0 {
+		c.DiscoveryTTL = d.DiscoveryTTL
+	}
+	if c.HopTraversal <= 0 {
+		c.HopTraversal = d.HopTraversal
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = d.BufferCap
+	}
+	return c
+}
+
+// Stats counts DSR activity for one node.
+type Stats struct {
+	RREQSent     uint64
+	RREQRelayed  uint64
+	RREPSent     uint64
+	RERRSent     uint64
+	DataSent     uint64
+	DataRelayed  uint64
+	DataDropped  uint64
+	Discoveries  uint64
+	DiscoverFail uint64
+}
+
+type seenKey struct {
+	origin int
+	id     uint32
+}
+
+type discovery struct {
+	retries int
+	timer   *sim.Event
+	queue   []data
+}
+
+// Router is the per-node DSR instance; it satisfies netif.Protocol.
+type Router struct {
+	id  int
+	sim *sim.Sim
+	med *radio.Medium
+	cfg Config
+
+	cache     map[int]cachedRoute
+	rreqID    uint32
+	bcastID   uint32
+	seenRREQ  map[seenKey]sim.Time
+	seenBcast map[seenKey]sim.Time
+	pending   map[int]*discovery
+	stats     Stats
+
+	onBroadcast  func(netif.Delivery)
+	onUnicast    func(netif.Delivery)
+	onSendFailed func(dst int, payload any)
+}
+
+var _ netif.Protocol = (*Router)(nil)
+
+// NewRouter creates the DSR layer for node id; pass HandleFrame as the
+// node's radio receiver.
+func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	return &Router{
+		id:        id,
+		sim:       s,
+		med:       med,
+		cfg:       cfg.withDefaults(),
+		cache:     make(map[int]cachedRoute),
+		seenRREQ:  make(map[seenKey]sim.Time),
+		seenBcast: make(map[seenKey]sim.Time),
+		pending:   make(map[int]*discovery),
+	}
+}
+
+// ID returns the node this router belongs to.
+func (r *Router) ID() int { return r.id }
+
+// Stats returns activity counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// OnBroadcast installs the flood delivery hook.
+func (r *Router) OnBroadcast(fn func(netif.Delivery)) { r.onBroadcast = fn }
+
+// OnUnicast installs the data delivery hook.
+func (r *Router) OnUnicast(fn func(netif.Delivery)) { r.onUnicast = fn }
+
+// OnSendFailed installs the undeliverable hook.
+func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
+
+// HopsTo reports the cached route length to dst.
+func (r *Router) HopsTo(dst int) (int, bool) {
+	cr, ok := r.route(dst)
+	if !ok {
+		return 0, false
+	}
+	return len(cr.path) + 1, true
+}
+
+func (r *Router) route(dst int) (cachedRoute, bool) {
+	cr, ok := r.cache[dst]
+	if !ok || cr.expires < r.sim.Now() {
+		return cachedRoute{}, false
+	}
+	return cr, true
+}
+
+// learnRoute caches a source route self -> dst (intermediates only),
+// preferring shorter paths and refreshing lifetimes.
+func (r *Router) learnRoute(dst int, path []int) {
+	if dst == r.id {
+		return
+	}
+	// Routes through ourselves would loop.
+	for _, h := range path {
+		if h == r.id || h == dst {
+			return
+		}
+	}
+	now := r.sim.Now()
+	if old, ok := r.cache[dst]; ok && old.expires >= now && len(old.path) < len(path) {
+		return
+	}
+	cp := append([]int(nil), path...)
+	r.cache[dst] = cachedRoute{path: cp, expires: now + r.cfg.RouteLifetime}
+	// Prefix routes come for free.
+	for i, h := range cp {
+		if old, ok := r.cache[h]; ok && old.expires >= now && len(old.path) <= i {
+			continue
+		}
+		r.cache[h] = cachedRoute{path: append([]int(nil), cp[:i]...), expires: now + r.cfg.RouteLifetime}
+	}
+}
+
+// dropRoutesVia removes every cached route using the directed link a->b.
+func (r *Router) dropRoutesVia(a, b int) {
+	var doomed []int
+	for dst, cr := range r.cache {
+		full := append(append([]int{r.id}, cr.path...), dst)
+		for i := 0; i+1 < len(full); i++ {
+			if full[i] == a && full[i+1] == b {
+				doomed = append(doomed, dst)
+				break
+			}
+		}
+	}
+	sort.Ints(doomed)
+	for _, dst := range doomed {
+		delete(r.cache, dst)
+	}
+}
+
+// Broadcast floods payload within ttl hops, with duplicate suppression
+// and path accumulation.
+func (r *Router) Broadcast(ttl, size int, payload any) {
+	if ttl <= 0 {
+		panic("dsr: Broadcast with non-positive TTL")
+	}
+	if !r.med.Up(r.id) {
+		return
+	}
+	r.bcastID++
+	pkt := bcast{Origin: r.id, ID: r.bcastID, TTL: ttl, Size: size, Payload: payload}
+	r.markSeen(r.seenBcast, seenKey{r.id, pkt.ID})
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: size + sizeBcastBase, Payload: pkt})
+}
+
+// Send routes payload to dst, discovering a source route on demand.
+func (r *Router) Send(dst, size int, payload any) {
+	if dst == r.id {
+		r.sim.Schedule(0, func() {
+			if r.onUnicast != nil {
+				r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: payload})
+			}
+		})
+		return
+	}
+	if !r.med.Up(r.id) {
+		return
+	}
+	r.stats.DataSent++
+	pkt := data{Origin: r.id, Dst: dst, Size: size, Payload: payload}
+	if cr, ok := r.route(dst); ok {
+		pkt.Path = cr.path
+		r.forward(pkt)
+		return
+	}
+	r.enqueue(pkt)
+}
+
+func (r *Router) enqueue(pkt data) {
+	d, inProgress := r.pending[pkt.Dst]
+	if !inProgress {
+		d = &discovery{}
+		r.pending[pkt.Dst] = d
+		r.sendRREQ(pkt.Dst, d)
+	}
+	if len(d.queue) >= r.cfg.BufferCap {
+		r.stats.DataDropped++
+		r.failSend(pkt.Dst, pkt.Payload)
+		return
+	}
+	d.queue = append(d.queue, pkt)
+}
+
+func (r *Router) failSend(dst int, payload any) {
+	if r.onSendFailed != nil {
+		r.onSendFailed(dst, payload)
+	}
+}
+
+func (r *Router) sendRREQ(dst int, d *discovery) {
+	r.rreqID++
+	q := rreq{Origin: r.id, ID: r.rreqID, Dst: dst, TTL: r.cfg.DiscoveryTTL}
+	r.markSeen(r.seenRREQ, seenKey{r.id, q.ID})
+	r.stats.RREQSent++
+	r.stats.Discoveries++
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQBase, Payload: q})
+	wait := 2 * sim.Time(r.cfg.DiscoveryTTL) * r.cfg.HopTraversal
+	d.timer = r.sim.Schedule(wait, func() { r.discoveryTimeout(dst, d) })
+}
+
+func (r *Router) discoveryTimeout(dst int, d *discovery) {
+	if r.pending[dst] != d {
+		return
+	}
+	if _, ok := r.route(dst); ok {
+		r.completeDiscovery(dst)
+		return
+	}
+	d.retries++
+	if d.retries > r.cfg.MaxDiscoveryRetries {
+		delete(r.pending, dst)
+		r.stats.DiscoverFail++
+		for _, pkt := range d.queue {
+			r.stats.DataDropped++
+			r.failSend(dst, pkt.Payload)
+		}
+		return
+	}
+	r.sendRREQ(dst, d)
+}
+
+func (r *Router) completeDiscovery(dst int) {
+	d, ok := r.pending[dst]
+	if !ok {
+		return
+	}
+	cr, haveRoute := r.route(dst)
+	if !haveRoute {
+		return
+	}
+	delete(r.pending, dst)
+	d.timer.Cancel()
+	for _, pkt := range d.queue {
+		pkt.Path = cr.path
+		pkt.Pos = 0
+		r.forward(pkt)
+	}
+}
+
+// forward transmits pkt to its next source-route hop, raising RERR on a
+// broken link.
+func (r *Router) forward(pkt data) {
+	next := pkt.Dst
+	if pkt.Pos < len(pkt.Path) {
+		next = pkt.Path[pkt.Pos]
+	}
+	if !r.med.InRange(r.id, next) {
+		r.linkBroken(pkt.Origin, r.id, next, pkt.Path, pkt.Pos)
+		if pkt.Origin == r.id {
+			delete(r.cache, pkt.Dst)
+			pkt.Path = nil
+			pkt.Pos = 0
+			r.enqueue(pkt)
+		} else {
+			r.stats.DataDropped++
+		}
+		return
+	}
+	if pkt.Origin != r.id {
+		r.stats.DataRelayed++
+	}
+	size := pkt.Size + sizeDataBase + sizePerHop*len(pkt.Path)
+	r.med.Send(radio.Frame{Src: r.id, Dst: next, Size: size, Payload: pkt})
+}
+
+// linkBroken drops local routes over the dead link and notifies the
+// packet origin along the reversed traversed prefix.
+func (r *Router) linkBroken(origin, a, b int, path []int, pos int) {
+	r.dropRoutesVia(a, b)
+	if origin == r.id {
+		return
+	}
+	// Reversed prefix back to the origin: the hops before us, reversed.
+	prefix := make([]int, 0, pos)
+	for i := pos - 1; i >= 0; i-- {
+		if path[i] != r.id {
+			prefix = append(prefix, path[i])
+		}
+	}
+	e := rerr{Origin: origin, BadA: a, BadB: b, Path: prefix}
+	r.sendRERR(e)
+}
+
+func (r *Router) sendRERR(e rerr) {
+	next := e.Origin
+	if e.Pos < len(e.Path) {
+		next = e.Path[e.Pos]
+	}
+	if !r.med.InRange(r.id, next) {
+		return // best-effort; the origin's own retry will discover
+	}
+	r.stats.RERRSent++
+	r.med.Send(radio.Frame{Src: r.id, Dst: next, Size: sizeRERR + sizePerHop*len(e.Path), Payload: e})
+}
+
+// HandleFrame dispatches radio arrivals.
+func (r *Router) HandleFrame(f radio.Frame) {
+	switch pkt := f.Payload.(type) {
+	case rreq:
+		r.handleRREQ(pkt)
+	case rrep:
+		r.handleRREP(pkt)
+	case rerr:
+		r.handleRERR(pkt)
+	case data:
+		r.handleData(pkt)
+	case bcast:
+		r.handleBcast(pkt)
+	default:
+		panic(fmt.Sprintf("dsr: unknown payload type %T", f.Payload))
+	}
+}
+
+func (r *Router) handleRREQ(q rreq) {
+	if q.Origin == r.id || r.haveSeen(r.seenRREQ, seenKey{q.Origin, q.ID}) {
+		return
+	}
+	r.markSeen(r.seenRREQ, seenKey{q.Origin, q.ID})
+	// Learn the reverse route from the accumulated path.
+	rev := reversed(q.Path)
+	r.learnRoute(q.Origin, rev)
+	if q.Dst == r.id {
+		// Answer along the reversed accumulated path.
+		p := rrep{Origin: q.Origin, Dst: r.id, Path: append([]int(nil), q.Path...)}
+		r.stats.RREPSent++
+		r.sendRREP(p)
+		return
+	}
+	if q.TTL <= 1 {
+		return
+	}
+	q.TTL--
+	q.Path = append(append([]int(nil), q.Path...), r.id)
+	r.stats.RREQRelayed++
+	r.med.Send(radio.Frame{
+		Src: r.id, Dst: radio.BroadcastAddr,
+		Size: sizeRREQBase + sizePerHop*len(q.Path), Payload: q,
+	})
+}
+
+// sendRREP moves a route reply one hop backwards along the discovered
+// path (Path holds intermediates origin->dst; the reply walks it in
+// reverse: Pos counts how many reverse hops were taken).
+func (r *Router) sendRREP(p rrep) {
+	next := p.Origin
+	if idx := len(p.Path) - 1 - p.Pos; idx >= 0 {
+		next = p.Path[idx]
+	}
+	if !r.med.InRange(r.id, next) {
+		return // discovery retry handles it
+	}
+	r.med.Send(radio.Frame{
+		Src: r.id, Dst: next,
+		Size: sizeRREPBase + sizePerHop*len(p.Path), Payload: p,
+	})
+}
+
+func (r *Router) handleRREP(p rrep) {
+	// Everyone on the way back learns the route to the reply's subject.
+	idx := len(p.Path) - 1 - p.Pos // our position in the path
+	if p.Origin == r.id {
+		r.learnRoute(p.Dst, p.Path)
+		r.completeDiscovery(p.Dst)
+		return
+	}
+	if idx < 0 || idx >= len(p.Path) || p.Path[idx] != r.id {
+		return // stale or misrouted reply
+	}
+	r.learnRoute(p.Dst, p.Path[idx+1:])
+	p.Pos++
+	r.stats.RREPSent++
+	r.sendRREP(p)
+}
+
+func (r *Router) handleRERR(e rerr) {
+	r.dropRoutesVia(e.BadA, e.BadB)
+	if e.Origin == r.id {
+		return
+	}
+	if e.Pos < len(e.Path) && e.Path[e.Pos] == r.id {
+		e.Pos++
+		r.sendRERR(e)
+	}
+}
+
+func (r *Router) handleData(pkt data) {
+	if pkt.Dst == r.id {
+		// Learn the reverse route from the traversed prefix.
+		rev := make([]int, 0, len(pkt.Path))
+		for i := len(pkt.Path) - 1; i >= 0; i-- {
+			rev = append(rev, pkt.Path[i])
+		}
+		r.learnRoute(pkt.Origin, rev)
+		if r.onUnicast != nil {
+			r.onUnicast(netif.Delivery{From: pkt.Origin, Hops: len(pkt.Path) + 1, Payload: pkt.Payload})
+		}
+		return
+	}
+	if pkt.Pos >= len(pkt.Path) || pkt.Path[pkt.Pos] != r.id {
+		r.stats.DataDropped++
+		return // not ours; stale source route
+	}
+	pkt.Pos++
+	r.forward(pkt)
+}
+
+func (r *Router) handleBcast(b bcast) {
+	if b.Origin == r.id || r.haveSeen(r.seenBcast, seenKey{b.Origin, b.ID}) {
+		return
+	}
+	r.markSeen(r.seenBcast, seenKey{b.Origin, b.ID})
+	r.learnRoute(b.Origin, reversed(b.Path))
+	if r.onBroadcast != nil {
+		r.onBroadcast(netif.Delivery{From: b.Origin, Hops: len(b.Path) + 1, Payload: b.Payload})
+	}
+	if b.TTL > 1 {
+		b.TTL--
+		b.Path = append(append([]int(nil), b.Path...), r.id)
+		r.med.Send(radio.Frame{
+			Src: r.id, Dst: radio.BroadcastAddr,
+			Size: b.Size + sizeBcastBase + sizePerHop*len(b.Path), Payload: b,
+		})
+	}
+}
+
+func reversed(path []int) []int {
+	out := make([]int, 0, len(path))
+	for i := len(path) - 1; i >= 0; i-- {
+		out = append(out, path[i])
+	}
+	return out
+}
+
+func (r *Router) haveSeen(cache map[seenKey]sim.Time, k seenKey) bool {
+	t, ok := cache[k]
+	return ok && r.sim.Now()-t < r.cfg.SeenCacheTimeout
+}
+
+func (r *Router) markSeen(cache map[seenKey]sim.Time, k seenKey) {
+	if len(cache) > 4096 {
+		cutoff := r.sim.Now() - r.cfg.SeenCacheTimeout
+		for key, t := range cache {
+			if t < cutoff {
+				delete(cache, key)
+			}
+		}
+	}
+	cache[k] = r.sim.Now()
+}

@@ -1,0 +1,209 @@
+// Package flood implements the strawman network layer: every unicast is
+// a TTL-bounded duplicate-suppressed flood that only the destination
+// delivers. It is the "no routing protocol" baseline for the routing
+// sweep — maximal robustness, maximal cost — and doubles as a reference
+// implementation against which the on-demand protocols' savings are
+// measured.
+package flood
+
+import (
+	"fmt"
+
+	"manetp2p/internal/netif"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+const (
+	sizeHdr = 12
+)
+
+// packet is both the unicast and broadcast carrier: Dst < 0 means
+// deliver everywhere.
+type packet struct {
+	Origin  int
+	ID      uint32
+	Dst     int // -1 = broadcast
+	TTL     int
+	Hops    int
+	Size    int
+	Payload any
+}
+
+// Config tunes the flooding layer.
+type Config struct {
+	UnicastTTL       int      // hop budget for unicast floods
+	SeenCacheTimeout sim.Time // duplicate suppression window
+}
+
+// DefaultConfig matches the other substrates' reach.
+func DefaultConfig() Config {
+	return Config{UnicastTTL: 20, SeenCacheTimeout: 30 * sim.Second}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.UnicastTTL <= 0 {
+		c.UnicastTTL = d.UnicastTTL
+	}
+	if c.SeenCacheTimeout <= 0 {
+		c.SeenCacheTimeout = d.SeenCacheTimeout
+	}
+	return c
+}
+
+// Stats counts flooding activity.
+type Stats struct {
+	Sent    uint64
+	Relayed uint64
+	Dup     uint64
+}
+
+type seenKey struct {
+	origin int
+	id     uint32
+}
+
+// Router is the per-node flooding instance; it satisfies netif.Protocol.
+type Router struct {
+	id   int
+	sim  *sim.Sim
+	med  *radio.Medium
+	cfg  Config
+	next uint32
+	seen map[seenKey]sim.Time
+	// lastHops remembers the hop distance of the last packet received
+	// from each origin — the only distance estimate flooding has.
+	lastHops map[int]int
+	stats    Stats
+
+	onBroadcast  func(netif.Delivery)
+	onUnicast    func(netif.Delivery)
+	onSendFailed func(dst int, payload any)
+}
+
+var _ netif.Protocol = (*Router)(nil)
+
+// NewRouter creates the flooding layer for node id.
+func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	return &Router{
+		id:       id,
+		sim:      s,
+		med:      med,
+		cfg:      cfg.withDefaults(),
+		seen:     make(map[seenKey]sim.Time),
+		lastHops: make(map[int]int),
+	}
+}
+
+// ID returns the node this router belongs to.
+func (r *Router) ID() int { return r.id }
+
+// Stats returns activity counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// OnBroadcast installs the flood delivery hook.
+func (r *Router) OnBroadcast(fn func(netif.Delivery)) { r.onBroadcast = fn }
+
+// OnUnicast installs the data delivery hook.
+func (r *Router) OnUnicast(fn func(netif.Delivery)) { r.onUnicast = fn }
+
+// OnSendFailed installs the undeliverable hook. Flooding gets no
+// feedback, so it only fires for sends from a down node — silence is
+// the usual failure mode.
+func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
+
+// HopsTo reports the hop distance of the most recent packet received
+// from dst, flooding's only distance estimate.
+func (r *Router) HopsTo(dst int) (int, bool) {
+	h, ok := r.lastHops[dst]
+	return h, ok
+}
+
+// Broadcast floods payload within ttl hops.
+func (r *Router) Broadcast(ttl, size int, payload any) {
+	if ttl <= 0 {
+		panic("flood: Broadcast with non-positive TTL")
+	}
+	r.emit(packet{Dst: -1, TTL: ttl, Size: size, Payload: payload})
+}
+
+// Send floods payload with the unicast TTL; only dst delivers it.
+func (r *Router) Send(dst, size int, payload any) {
+	if dst == r.id {
+		r.sim.Schedule(0, func() {
+			if r.onUnicast != nil {
+				r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: payload})
+			}
+		})
+		return
+	}
+	r.emit(packet{Dst: dst, TTL: r.cfg.UnicastTTL, Size: size, Payload: payload})
+}
+
+func (r *Router) emit(pkt packet) {
+	if !r.med.Up(r.id) {
+		if pkt.Dst >= 0 && r.onSendFailed != nil {
+			r.onSendFailed(pkt.Dst, pkt.Payload)
+		}
+		return
+	}
+	r.next++
+	pkt.Origin = r.id
+	pkt.ID = r.next
+	r.markSeen(seenKey{r.id, pkt.ID})
+	r.stats.Sent++
+	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
+}
+
+// HandleFrame is the radio receive callback.
+func (r *Router) HandleFrame(f radio.Frame) {
+	pkt, ok := f.Payload.(packet)
+	if !ok {
+		panic(fmt.Sprintf("flood: unknown payload type %T", f.Payload))
+	}
+	if pkt.Origin == r.id {
+		return
+	}
+	k := seenKey{pkt.Origin, pkt.ID}
+	if r.haveSeen(k) {
+		r.stats.Dup++
+		return
+	}
+	r.markSeen(k)
+	pkt.Hops++
+	r.lastHops[pkt.Origin] = pkt.Hops
+	switch {
+	case pkt.Dst < 0:
+		if r.onBroadcast != nil {
+			r.onBroadcast(netif.Delivery{From: pkt.Origin, Hops: pkt.Hops, Payload: pkt.Payload})
+		}
+	case pkt.Dst == r.id:
+		if r.onUnicast != nil {
+			r.onUnicast(netif.Delivery{From: pkt.Origin, Hops: pkt.Hops, Payload: pkt.Payload})
+		}
+		return // the destination need not keep relaying
+	}
+	if pkt.TTL > 1 {
+		pkt.TTL--
+		r.stats.Relayed++
+		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
+	}
+}
+
+func (r *Router) haveSeen(k seenKey) bool {
+	t, ok := r.seen[k]
+	return ok && r.sim.Now()-t < r.cfg.SeenCacheTimeout
+}
+
+func (r *Router) markSeen(k seenKey) {
+	if len(r.seen) > 8192 {
+		cutoff := r.sim.Now() - r.cfg.SeenCacheTimeout
+		for key, t := range r.seen {
+			if t < cutoff {
+				delete(r.seen, key)
+			}
+		}
+	}
+	r.seen[k] = r.sim.Now()
+}

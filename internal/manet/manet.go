@@ -1,0 +1,515 @@
+// Package manet assembles one complete simulated world: a mobile ad-hoc
+// network (mobility + radio + AODV) with a peer-to-peer overlay running
+// one of the paper's four (re)configuration algorithms on a subset of
+// the nodes. One Network is one replication; the paper's experiments run
+// 33 of them (see the stats package and the root manetp2p package).
+package manet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"manetp2p/internal/aodv"
+	"manetp2p/internal/dsdv"
+	"manetp2p/internal/dsr"
+	"manetp2p/internal/flood"
+	"manetp2p/internal/geom"
+	"manetp2p/internal/metrics"
+	"manetp2p/internal/mobility"
+	"manetp2p/internal/netif"
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+	"manetp2p/internal/trace"
+)
+
+// RoutingKind selects the network-layer protocol under the overlay.
+type RoutingKind int
+
+const (
+	// RoutingAODV is the paper's choice (§4).
+	RoutingAODV RoutingKind = iota
+	// RoutingDSR is Dynamic Source Routing, the classic on-demand
+	// comparator from the study the paper bases its choice on.
+	RoutingDSR
+	// RoutingFlood is the no-routing baseline: every unicast floods.
+	RoutingFlood
+	// RoutingDSDV is the proactive distance-vector protocol, the third
+	// member of the classic MANET routing comparison.
+	RoutingDSDV
+)
+
+// String names the routing protocol.
+func (k RoutingKind) String() string {
+	switch k {
+	case RoutingAODV:
+		return "AODV"
+	case RoutingDSR:
+		return "DSR"
+	case RoutingFlood:
+		return "Flood"
+	case RoutingDSDV:
+		return "DSDV"
+	default:
+		return fmt.Sprintf("routing(%d)", int(k))
+	}
+}
+
+// NodeRouter is a routing instance bound to one node: the overlay-facing
+// protocol plus the radio receive hook.
+type NodeRouter interface {
+	netif.Protocol
+	HandleFrame(radio.Frame)
+}
+
+// MobilityKind selects the movement model.
+type MobilityKind int
+
+const (
+	// MobilityWaypoint is the paper's Random Waypoint model.
+	MobilityWaypoint MobilityKind = iota
+	// MobilityStationary freezes all nodes (static-topology studies).
+	MobilityStationary
+	// MobilityWalk is a reflecting random walk (mobility sweeps).
+	MobilityWalk
+	// MobilityDirection is the Random Direction model (wall-to-wall
+	// legs; avoids the waypoint center-density bias).
+	MobilityDirection
+	// MobilityGaussMarkov is the temporally correlated Gauss-Markov
+	// model (smooth trajectories).
+	MobilityGaussMarkov
+)
+
+// MobilityConfig parameterizes node movement. The paper's values:
+// max speed 1.0 m/s, max pause 100 s.
+type MobilityConfig struct {
+	Kind     MobilityKind
+	MinSpeed float64  // m/s; must be > 0 for moving models
+	MaxSpeed float64  // m/s
+	MaxPause sim.Time // waypoint only
+	Tick     sim.Time // position-update period
+}
+
+// DefaultMobility returns the paper's mobility settings.
+func DefaultMobility() MobilityConfig {
+	return MobilityConfig{
+		Kind:     MobilityWaypoint,
+		MinSpeed: 0.1,
+		MaxSpeed: 1.0,
+		MaxPause: 100 * sim.Second,
+		Tick:     500 * sim.Millisecond,
+	}
+}
+
+// QualifierKind selects how hybrid qualifiers are assigned.
+type QualifierKind int
+
+const (
+	// QualUniform draws each node's qualifier uniformly from [0,1) —
+	// a heterogeneous population with a total order.
+	QualUniform QualifierKind = iota
+	// QualClasses draws from weighted device classes (e.g. phone, PDA,
+	// notebook), the scenario §6.2 motivates.
+	QualClasses
+)
+
+// QualClass is one device class for QualClasses.
+type QualClass struct {
+	Value  float64 // qualifier assigned to nodes of this class
+	Weight float64 // relative frequency
+}
+
+// QualifierConfig parameterizes qualifier assignment.
+type QualifierConfig struct {
+	Kind    QualifierKind
+	Classes []QualClass // used by QualClasses
+}
+
+// DefaultQualifiers returns uniform qualifiers.
+func DefaultQualifiers() QualifierConfig { return QualifierConfig{Kind: QualUniform} }
+
+// DeviceClasses returns the paper-motivated heterogeneous population:
+// cellular phones, PDAs and notebooks (§1, §6.2).
+func DeviceClasses() QualifierConfig {
+	return QualifierConfig{Kind: QualClasses, Classes: []QualClass{
+		{Value: 0.2, Weight: 0.5}, // phone
+		{Value: 0.5, Weight: 0.3}, // PDA
+		{Value: 0.9, Weight: 0.2}, // notebook
+	}}
+}
+
+// ChurnConfig drives the death/birth process from the paper's future
+// work: while enabled, every member alternates between up periods of
+// mean MeanUptime and down periods of mean MeanDowntime (both
+// exponential). Zero MeanUptime disables churn.
+type ChurnConfig struct {
+	MeanUptime   sim.Time
+	MeanDowntime sim.Time
+}
+
+// Config describes one replication.
+type Config struct {
+	Seed           int64
+	NumNodes       int
+	MemberFraction float64 // fraction of nodes in the p2p overlay (0.75)
+	Arena          geom.Rect
+	Range          float64 // radio range, metres
+
+	Algorithm p2p.Algorithm
+	Params    p2p.Params
+	Files     p2p.FileConfig
+	NoQueries bool
+
+	Mobility   MobilityConfig
+	Qualifiers QualifierConfig
+	Churn      ChurnConfig
+
+	// Radio details.
+	Latency  sim.Time
+	Jitter   sim.Time
+	LossProb float64
+	Energy   radio.EnergyConfig
+
+	// Routing.
+	Routing RoutingKind
+	AODV    aodv.Config
+	DSR     dsr.Config
+	Flood   flood.Config
+	DSDV    dsdv.Config
+
+	// TraceCapacity > 0 enables structured event tracing with the given
+	// buffer size; the tracer is exposed as Network.Tracer.
+	TraceCapacity int
+
+	// TrafficBucket > 0 enables time-bucketed message-rate series in the
+	// collector (Collector.Series), e.g. 60 s buckets.
+	TrafficBucket sim.Time
+}
+
+// DefaultConfig returns the paper's Table 2 scenario with n nodes.
+func DefaultConfig(n int, alg p2p.Algorithm) Config {
+	return Config{
+		Seed:           1,
+		NumNodes:       n,
+		MemberFraction: 0.75,
+		Arena:          geom.Rect{W: 100, H: 100},
+		Range:          10,
+		Algorithm:      alg,
+		Params:         p2p.DefaultParams(),
+		Files:          p2p.DefaultFileConfig(),
+		Mobility:       DefaultMobility(),
+		Qualifiers:     DefaultQualifiers(),
+		Latency:        2 * sim.Millisecond,
+		Jitter:         sim.Millisecond,
+	}
+}
+
+// Validate reports a descriptive error for inconsistent configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.NumNodes < 1:
+		return fmt.Errorf("manet: NumNodes %d < 1", c.NumNodes)
+	case c.MemberFraction <= 0 || c.MemberFraction > 1:
+		return fmt.Errorf("manet: MemberFraction %v outside (0,1]", c.MemberFraction)
+	case c.Arena.W <= 0 || c.Arena.H <= 0:
+		return fmt.Errorf("manet: empty arena")
+	case c.Range <= 0:
+		return fmt.Errorf("manet: Range %v not positive", c.Range)
+	case c.Mobility.Tick <= 0:
+		return fmt.Errorf("manet: mobility tick %v not positive", c.Mobility.Tick)
+	case c.Churn.MeanUptime < 0 || c.Churn.MeanDowntime < 0:
+		return fmt.Errorf("manet: negative churn periods")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	return c.Files.Validate()
+}
+
+// Network is one fully wired replication.
+type Network struct {
+	Cfg       Config
+	Sim       *sim.Sim
+	Medium    *radio.Medium
+	Routers   []NodeRouter
+	Servents  []*p2p.Servent // nil for nodes outside the overlay
+	Collector *metrics.Collector
+	Tracer    *trace.Tracer // nil unless Config.TraceCapacity > 0
+
+	models    []mobility.Model
+	member    []bool
+	dead      []bool // battery-exhausted, never comes back
+	churnRNG  *rand.Rand
+	posTicker *sim.Ticker
+}
+
+// Build constructs and wires a Network; nodes are placed uniformly at
+// random, members join at t=0 (with the servents' own small stagger).
+func Build(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg.Seed)
+	med, err := radio.NewMedium(s, radio.Config{
+		Arena:    cfg.Arena,
+		Range:    cfg.Range,
+		NumNodes: cfg.NumNodes,
+		Latency:  cfg.Latency,
+		Jitter:   cfg.Jitter,
+		LossProb: cfg.LossProb,
+		Energy:   cfg.Energy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Cfg:       cfg,
+		Sim:       s,
+		Medium:    med,
+		Routers:   make([]NodeRouter, cfg.NumNodes),
+		Servents:  make([]*p2p.Servent, cfg.NumNodes),
+		Collector: metrics.NewCollector(cfg.NumNodes),
+		models:    make([]mobility.Model, cfg.NumNodes),
+		member:    make([]bool, cfg.NumNodes),
+		dead:      make([]bool, cfg.NumNodes),
+		churnRNG:  s.NewRand(),
+	}
+	if cfg.TraceCapacity > 0 {
+		n.Tracer = trace.New(s, cfg.TraceCapacity)
+	}
+	if cfg.TrafficBucket > 0 {
+		n.Collector.SetClock(s.Now, cfg.TrafficBucket)
+	}
+
+	// Membership: a random MemberFraction of the nodes join the overlay.
+	setupRNG := s.NewRand()
+	perm := setupRNG.Perm(cfg.NumNodes)
+	numMembers := int(float64(cfg.NumNodes)*cfg.MemberFraction + 0.5)
+	if numMembers < 1 {
+		numMembers = 1
+	}
+	for _, i := range perm[:numMembers] {
+		n.member[i] = true
+	}
+
+	// File placement over members only (ranks map member order).
+	var held [][]bool
+	if !cfg.NoQueries {
+		held = cfg.Files.PlaceFiles(numMembers, setupRNG)
+	}
+
+	// Qualifiers.
+	quals := assignQualifiers(cfg.Qualifiers, cfg.NumNodes, setupRNG)
+
+	memberIdx := 0
+	for i := 0; i < cfg.NumNodes; i++ {
+		start := cfg.Arena.RandomPoint(setupRNG)
+		n.models[i] = newModel(cfg.Mobility, cfg.Arena, start, s.NewRand())
+		var rt NodeRouter
+		switch cfg.Routing {
+		case RoutingDSR:
+			rt = dsr.NewRouter(i, s, med, cfg.DSR)
+		case RoutingFlood:
+			rt = flood.NewRouter(i, s, med, cfg.Flood)
+		case RoutingDSDV:
+			rt = dsdv.NewRouter(i, s, med, cfg.DSDV)
+		default:
+			rt = aodv.NewRouter(i, s, med, cfg.AODV)
+		}
+		n.Routers[i] = rt
+		med.Join(i, start, rt.HandleFrame)
+		if !n.member[i] {
+			continue
+		}
+		opt := p2p.Options{
+			Qualifier: quals[i],
+			Collector: n.Collector,
+			RNG:       s.NewRand(),
+			NoQueries: cfg.NoQueries,
+			Tracer:    n.Tracer,
+		}
+		if held != nil {
+			opt.Files = held[memberIdx]
+		}
+		memberIdx++
+		sv := p2p.NewServent(i, s, rt, cfg.Params, cfg.Algorithm, opt)
+		rt.OnUnicast(sv.HandleUnicast)
+		rt.OnBroadcast(sv.HandleBroadcast)
+		n.Servents[i] = sv
+	}
+
+	// Battery deaths are permanent.
+	med.OnDeath(func(id int) {
+		n.dead[id] = true
+		n.Tracer.Emit(trace.KindNode, id, -1, "battery death")
+		if sv := n.Servents[id]; sv != nil {
+			sv.Leave(false)
+		}
+	})
+
+	// Mobility tick.
+	n.posTicker = sim.NewTicker(s, cfg.Mobility.Tick, n.tickPositions)
+
+	// Overlay join + churn processes.
+	for i := 0; i < cfg.NumNodes; i++ {
+		if sv := n.Servents[i]; sv != nil {
+			sv.Join()
+			if cfg.Churn.MeanUptime > 0 {
+				n.scheduleChurnDown(i)
+			}
+		}
+	}
+	return n, nil
+}
+
+func newModel(cfg MobilityConfig, arena geom.Rect, start geom.Point, rng *rand.Rand) mobility.Model {
+	switch cfg.Kind {
+	case MobilityStationary:
+		return mobility.Stationary{P: start}
+	case MobilityWalk:
+		return mobility.NewWalk(arena, start, cfg.MinSpeed, cfg.MaxSpeed, 20*sim.Second, rng)
+	case MobilityDirection:
+		return mobility.NewDirection(arena, start, cfg.MinSpeed, cfg.MaxSpeed, cfg.MaxPause, rng)
+	case MobilityGaussMarkov:
+		return mobility.NewGaussMarkov(arena, start, (cfg.MinSpeed+cfg.MaxSpeed)/2, 0.75, sim.Second, rng)
+	default:
+		return mobility.NewWaypoint(arena, start, cfg.MinSpeed, cfg.MaxSpeed, cfg.MaxPause, rng)
+	}
+}
+
+func assignQualifiers(cfg QualifierConfig, n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	switch cfg.Kind {
+	case QualClasses:
+		total := 0.0
+		for _, c := range cfg.Classes {
+			total += c.Weight
+		}
+		for i := range out {
+			r := rng.Float64() * total
+			for _, c := range cfg.Classes {
+				if r < c.Weight {
+					out[i] = c.Value
+					break
+				}
+				r -= c.Weight
+			}
+		}
+	default:
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+	}
+	return out
+}
+
+// tickPositions advances every live node's position.
+func (n *Network) tickPositions() {
+	now := n.Sim.Now()
+	for i, m := range n.models {
+		if n.Medium.Up(i) {
+			n.Medium.SetPos(i, m.Pos(now))
+		}
+	}
+}
+
+// scheduleChurnDown arms the next departure for member i.
+func (n *Network) scheduleChurnDown(i int) {
+	d := expDuration(n.churnRNG, n.Cfg.Churn.MeanUptime)
+	n.Sim.Schedule(d, func() {
+		if n.dead[i] || !n.Medium.Up(i) {
+			return
+		}
+		n.Tracer.Emit(trace.KindNode, i, -1, "churn down")
+		if sv := n.Servents[i]; sv != nil {
+			sv.Leave(false)
+		}
+		n.Medium.Leave(i)
+		n.scheduleChurnUp(i)
+	})
+}
+
+// scheduleChurnUp arms the next return for member i.
+func (n *Network) scheduleChurnUp(i int) {
+	d := expDuration(n.churnRNG, n.Cfg.Churn.MeanDowntime)
+	n.Sim.Schedule(d, func() {
+		if n.dead[i] || n.Medium.Up(i) {
+			return
+		}
+		n.Tracer.Emit(trace.KindNode, i, -1, "churn up")
+		n.Medium.Join(i, n.models[i].Pos(n.Sim.Now()), n.Routers[i].HandleFrame)
+		if sv := n.Servents[i]; sv != nil {
+			sv.Join()
+		}
+		n.scheduleChurnDown(i)
+	})
+}
+
+// expDuration draws an exponential duration with the given mean,
+// clamped to at least one second so churn cannot livelock the sim.
+func expDuration(rng *rand.Rand, mean sim.Time) sim.Time {
+	d := sim.FromSeconds(rng.ExpFloat64() * mean.Seconds())
+	if d < sim.Second {
+		d = sim.Second
+	}
+	return d
+}
+
+// Run advances the replication by d simulated time.
+func (n *Network) Run(d sim.Time) {
+	n.Sim.Run(n.Sim.Now() + d)
+}
+
+// Members returns the ids of overlay members, in id order.
+func (n *Network) Members() []int {
+	var out []int
+	for i, m := range n.member {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsMember reports whether node i belongs to the overlay.
+func (n *Network) IsMember(i int) bool { return n.member[i] }
+
+// OverlayAdjacency returns the current overlay graph restricted to
+// members, as adjacency lists keyed by node id (entries for non-members
+// are nil). Only links acknowledged by both endpoints are included.
+func (n *Network) OverlayAdjacency() [][]int {
+	adj := make([][]int, n.Cfg.NumNodes)
+	for i, sv := range n.Servents {
+		if sv == nil || !sv.Joined() {
+			continue
+		}
+		for _, p := range sv.Peers() {
+			other := n.Servents[p]
+			if other == nil || !other.Joined() {
+				continue
+			}
+			mutual := false
+			for _, q := range other.Peers() {
+				if q == i {
+					mutual = true
+					break
+				}
+			}
+			if mutual || n.Cfg.Algorithm == p2p.Basic {
+				adj[i] = append(adj[i], p)
+			}
+		}
+	}
+	return adj
+}
+
+// AliveMembers counts members currently joined.
+func (n *Network) AliveMembers() int {
+	c := 0
+	for _, sv := range n.Servents {
+		if sv != nil && sv.Joined() {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,351 @@
+package manet
+
+import (
+	"testing"
+
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+func smallConfig(alg p2p.Algorithm, seed int64) Config {
+	cfg := DefaultConfig(30, alg)
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(50, p2p.Regular).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.NumNodes = 0 },
+		func(c *Config) { c.MemberFraction = 0 },
+		func(c *Config) { c.MemberFraction = 1.5 },
+		func(c *Config) { c.Arena.W = 0 },
+		func(c *Config) { c.Range = 0 },
+		func(c *Config) { c.Mobility.Tick = 0 },
+		func(c *Config) { c.Params.MaxNConn = 0 },
+		func(c *Config) { c.Files.NumFiles = 0 },
+	}
+	for i, mutate := range bads {
+		c := DefaultConfig(50, p2p.Regular)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBuildMembership(t *testing.T) {
+	cfg := smallConfig(p2p.Regular, 1)
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := n.Members()
+	want := int(float64(cfg.NumNodes)*cfg.MemberFraction + 0.5)
+	if len(members) != want {
+		t.Errorf("members = %d, want %d", len(members), want)
+	}
+	for i, sv := range n.Servents {
+		if (sv != nil) != n.IsMember(i) {
+			t.Errorf("node %d: servent presence inconsistent with membership", i)
+		}
+	}
+}
+
+func TestIntegrationRegularFormsOverlayAndAnswersQueries(t *testing.T) {
+	cfg := smallConfig(p2p.Regular, 2)
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * sim.Minute)
+	// Overlay formed.
+	connected := 0
+	for _, sv := range n.Servents {
+		if sv != nil && sv.ConnCount() > 0 {
+			connected++
+		}
+	}
+	if connected < len(n.Members())/2 {
+		t.Errorf("only %d/%d members connected", connected, len(n.Members()))
+	}
+	// Queries ran and some found answers.
+	reqs := n.Collector.Requests()
+	if len(reqs) < 20 {
+		t.Fatalf("only %d requests in 10 min", len(reqs))
+	}
+	found := 0
+	for _, r := range reqs {
+		if r.Found {
+			found++
+			if r.MinP2P < 1 {
+				t.Errorf("found request with MinP2P %d < 1", r.MinP2P)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("no request found its file")
+	}
+}
+
+func TestIntegrationAllAlgorithmsRun(t *testing.T) {
+	for _, alg := range p2p.Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(alg, 3)
+			if alg == p2p.Hybrid {
+				cfg.Qualifiers = DeviceClasses()
+			}
+			n, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Run(10 * sim.Minute)
+			// Someone received connect traffic.
+			total := uint64(0)
+			for _, id := range n.Members() {
+				total += n.Collector.Received(id, 0)
+			}
+			if total == 0 {
+				t.Error("no connect messages recorded")
+			}
+		})
+	}
+}
+
+func TestRoutingSubstrates(t *testing.T) {
+	// The overlay must form and answer queries over every routing
+	// substrate, not just AODV.
+	for _, kind := range []RoutingKind{RoutingAODV, RoutingDSR, RoutingFlood, RoutingDSDV} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(p2p.Regular, 10)
+			cfg.Routing = kind
+			n, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Run(10 * sim.Minute)
+			connected := 0
+			for _, sv := range n.Servents {
+				if sv != nil && sv.ConnCount() > 0 {
+					connected++
+				}
+			}
+			if connected == 0 {
+				t.Errorf("no overlay connections formed over %v", kind)
+			}
+			found := false
+			for _, r := range n.Collector.Requests() {
+				if r.Found {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no query answered over %v", kind)
+			}
+		})
+	}
+}
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	cfg := smallConfig(p2p.Regular, 12)
+	cfg.TraceCapacity = 1 << 14
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5 * sim.Minute)
+	if n.Tracer == nil {
+		t.Fatal("tracer not created")
+	}
+	kinds := map[string]bool{}
+	for _, e := range n.Tracer.Events() {
+		kinds[e.Kind.String()] = true
+	}
+	if !kinds["conn"] || !kinds["query"] {
+		t.Errorf("trace kinds seen = %v, want conn and query at least", kinds)
+	}
+}
+
+func TestDeterministicReplication(t *testing.T) {
+	run := func() (uint64, int) {
+		cfg := smallConfig(p2p.Random, 7)
+		n, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(5 * sim.Minute)
+		var msgs uint64
+		for i := 0; i < cfg.NumNodes; i++ {
+			msgs += n.Medium.Stats(i).RxFrames
+		}
+		return msgs, len(n.Collector.Requests())
+	}
+	m1, r1 := run()
+	m2, r2 := run()
+	if m1 != m2 || r1 != r2 {
+		t.Errorf("same seed diverged: frames %d vs %d, requests %d vs %d", m1, m2, r1, r2)
+	}
+}
+
+func TestChurnNodesLeaveAndReturn(t *testing.T) {
+	cfg := smallConfig(p2p.Regular, 4)
+	cfg.Churn = ChurnConfig{MeanUptime: 2 * sim.Minute, MeanDowntime: 30 * sim.Second}
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDown := false
+	for i := 0; i < 30; i++ {
+		n.Run(time30())
+		if n.AliveMembers() < len(n.Members()) {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Error("churn never took a member down")
+	}
+	// The overlay must keep functioning: connections exist at the end.
+	connected := 0
+	for _, sv := range n.Servents {
+		if sv != nil && sv.Joined() && sv.ConnCount() > 0 {
+			connected++
+		}
+	}
+	if connected == 0 {
+		t.Error("overlay collapsed under churn")
+	}
+}
+
+func time30() sim.Time { return 30 * sim.Second }
+
+func TestEnergyDepletionKillsPermanently(t *testing.T) {
+	cfg := smallConfig(p2p.Basic, 5) // Basic floods hardest
+	cfg.Energy = radio.EnergyConfig{Capacity: 0.05, TxPerFrame: 1e-4, RxPerFrame: 1e-4, TxPerByte: 1e-6, RxPerByte: 1e-6}
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(30 * sim.Minute)
+	deaths := 0
+	for i := 0; i < cfg.NumNodes; i++ {
+		if n.dead[i] {
+			deaths++
+			if n.Medium.Up(i) {
+				t.Errorf("dead node %d still on air", i)
+			}
+			if sv := n.Servents[i]; sv != nil && sv.Joined() {
+				t.Errorf("dead node %d still joined", i)
+			}
+		}
+	}
+	if deaths == 0 {
+		t.Error("no battery death under tiny budget with Basic flooding")
+	}
+}
+
+func TestStationaryMobilityHoldsPositions(t *testing.T) {
+	cfg := smallConfig(p2p.Regular, 6)
+	cfg.Mobility.Kind = MobilityStationary
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, cfg.NumNodes)
+	for i := range before {
+		before[i] = n.Medium.Pos(i).X
+	}
+	n.Run(5 * sim.Minute)
+	for i := range before {
+		if n.Medium.Pos(i).X != before[i] {
+			t.Fatalf("stationary node %d moved", i)
+		}
+	}
+}
+
+func TestOverlayAdjacencyMutual(t *testing.T) {
+	cfg := smallConfig(p2p.Regular, 8)
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5 * sim.Minute)
+	adj := n.OverlayAdjacency()
+	for i, nbrs := range adj {
+		for _, j := range nbrs {
+			mutual := false
+			for _, k := range adj[j] {
+				if k == i {
+					mutual = true
+					break
+				}
+			}
+			if !mutual {
+				t.Errorf("adjacency not mutual: %d->%d", i, j)
+			}
+		}
+	}
+}
+
+func TestExpDurationClampsAndVaries(t *testing.T) {
+	n, err := Build(smallConfig(p2p.Regular, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := n.Sim.NewRand()
+	distinct := map[sim.Time]bool{}
+	for i := 0; i < 200; i++ {
+		d := expDuration(rng, 10*sim.Second)
+		if d < sim.Second {
+			t.Fatalf("expDuration below the 1s clamp: %v", d)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("only %d distinct draws; not exponential", len(distinct))
+	}
+	// Tiny means always clamp.
+	if d := expDuration(rng, sim.Microsecond); d != sim.Second {
+		t.Errorf("clamped draw = %v, want 1s", d)
+	}
+}
+
+func TestRoutingKindStrings(t *testing.T) {
+	want := map[RoutingKind]string{
+		RoutingAODV: "AODV", RoutingDSR: "DSR", RoutingFlood: "Flood", RoutingDSDV: "DSDV",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("String() = %q, want %q", k.String(), name)
+		}
+	}
+}
+
+func TestQualifierClasses(t *testing.T) {
+	cfg := smallConfig(p2p.Hybrid, 9)
+	cfg.NumNodes = 200
+	cfg.Qualifiers = DeviceClasses()
+	n, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for _, sv := range n.Servents {
+		if sv != nil {
+			counts[sv.Qualifier()]++
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("distinct qualifiers = %d, want 3 classes", len(counts))
+	}
+	if counts[0.2] <= counts[0.9] {
+		t.Errorf("phone class (%d) should outnumber notebook class (%d)", counts[0.2], counts[0.9])
+	}
+}

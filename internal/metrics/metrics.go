@@ -1,0 +1,163 @@
+// Package metrics collects the paper's measurement quantities: per-node
+// received-message counts by class (connect, ping, query — Figures 7–12)
+// and per-request outcomes (minimum distance to the file and number of
+// answers — Figures 5–6), plus optional time-bucketed traffic series.
+package metrics
+
+import (
+	"fmt"
+
+	"manetp2p/internal/sim"
+)
+
+// Class partitions p2p-layer messages the way the paper's figures do.
+type Class int
+
+const (
+	// Connect covers every message of the establishment phase: discovery
+	// broadcasts (discover/solicit/capture) and handshake unicasts
+	// (offer/accept/confirm/reject, enslave handshake, replies).
+	Connect Class = iota
+	// Ping is a keepalive probe.
+	Ping
+	// Pong is a keepalive answer.
+	Pong
+	// Query is a file search message.
+	Query
+	// QueryHit is an answer to a query.
+	QueryHit
+	// Bye is a best-effort connection teardown notice.
+	Bye
+	// Transfer covers the optional download extension's fetch/chunk
+	// messages (not part of the paper's counted classes).
+	Transfer
+	numClasses
+)
+
+// String returns the class name used in reports.
+func (c Class) String() string {
+	switch c {
+	case Connect:
+		return "connect"
+	case Ping:
+		return "ping"
+	case Pong:
+		return "pong"
+	case Query:
+		return "query"
+	case QueryHit:
+		return "queryhit"
+	case Bye:
+		return "bye"
+	case Transfer:
+		return "transfer"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// NumClasses is the number of message classes tracked.
+const NumClasses = int(numClasses)
+
+// Request records the outcome of one file search: how many answers
+// arrived within the paper's 30 s collection window and the minimum
+// distance (in p2p overlay hops and in ad-hoc hops) among them.
+type Request struct {
+	Node     int  // requesting servent
+	File     int  // file rank, 0 = most popular
+	Answers  int  // query hits received in the window
+	MinP2P   int  // min p2p hops among answers; 0 if none
+	MinAdhoc int  // min ad-hoc hops among answers; 0 if none
+	Found    bool // at least one answer arrived
+}
+
+// Collector accumulates one replication's measurements. It is not safe
+// for concurrent use: one Collector per Sim.
+type Collector struct {
+	recv     [][]uint64 // [node][class]
+	requests []Request
+
+	// Optional time bucketing.
+	clock   func() sim.Time
+	bucketW sim.Time
+	buckets [][]uint64 // [class][bucket]
+
+	lifetimes []float64 // overlay connection lifetimes, seconds
+}
+
+// NewCollector sizes the collector for n nodes.
+func NewCollector(n int) *Collector {
+	recv := make([][]uint64, n)
+	for i := range recv {
+		recv[i] = make([]uint64, NumClasses)
+	}
+	return &Collector{recv: recv}
+}
+
+// SetClock enables time-bucketed totals: every Recv is also counted
+// into a bucket of the given width according to the clock. Call before
+// the simulation starts.
+func (c *Collector) SetClock(clock func() sim.Time, bucket sim.Time) {
+	if clock == nil || bucket <= 0 {
+		panic("metrics: SetClock requires a clock and a positive bucket width")
+	}
+	c.clock = clock
+	c.bucketW = bucket
+	c.buckets = make([][]uint64, NumClasses)
+}
+
+// Recv counts one received message of the given class at node.
+func (c *Collector) Recv(node int, class Class) {
+	c.recv[node][class]++
+	if c.clock != nil {
+		b := int(c.clock() / c.bucketW)
+		row := c.buckets[class]
+		for len(row) <= b {
+			row = append(row, 0)
+		}
+		row[b]++
+		c.buckets[class] = row
+	}
+}
+
+// Series returns the bucketed totals for a class (nil when bucketing is
+// off): element i counts messages received network-wide during
+// [i·bucket, (i+1)·bucket).
+func (c *Collector) Series(class Class) []uint64 {
+	if c.buckets == nil {
+		return nil
+	}
+	return c.buckets[class]
+}
+
+// Received returns the per-class count for one node.
+func (c *Collector) Received(node int, class Class) uint64 {
+	return c.recv[node][class]
+}
+
+// ReceivedAll returns the count of class messages for every node.
+func (c *Collector) ReceivedAll(class Class) []uint64 {
+	out := make([]uint64, len(c.recv))
+	for i := range c.recv {
+		out[i] = c.recv[i][class]
+	}
+	return out
+}
+
+// RecordLifetime stores one closed connection's lifetime in seconds —
+// the churn the (re)configuration algorithms exist to manage.
+func (c *Collector) RecordLifetime(seconds float64) {
+	c.lifetimes = append(c.lifetimes, seconds)
+}
+
+// Lifetimes returns all recorded connection lifetimes (seconds).
+func (c *Collector) Lifetimes() []float64 { return c.lifetimes }
+
+// Record stores a completed request outcome.
+func (c *Collector) Record(r Request) { c.requests = append(c.requests, r) }
+
+// Requests returns all recorded request outcomes.
+func (c *Collector) Requests() []Request { return c.requests }
+
+// NumNodes reports the node capacity of the collector.
+func (c *Collector) NumNodes() int { return len(c.recv) }

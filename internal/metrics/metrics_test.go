@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+func TestRecvCounts(t *testing.T) {
+	c := NewCollector(3)
+	c.Recv(0, Connect)
+	c.Recv(0, Connect)
+	c.Recv(1, Ping)
+	c.Recv(2, Query)
+	if got := c.Received(0, Connect); got != 2 {
+		t.Errorf("Received(0, Connect) = %d, want 2", got)
+	}
+	if got := c.Received(0, Ping); got != 0 {
+		t.Errorf("Received(0, Ping) = %d, want 0", got)
+	}
+	all := c.ReceivedAll(Connect)
+	if len(all) != 3 || all[0] != 2 || all[1] != 0 {
+		t.Errorf("ReceivedAll = %v", all)
+	}
+	if c.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestRequestsRecorded(t *testing.T) {
+	c := NewCollector(1)
+	c.Record(Request{Node: 0, File: 3, Answers: 2, MinP2P: 1, MinAdhoc: 4, Found: true})
+	c.Record(Request{Node: 0, File: 7})
+	reqs := c.Requests()
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %d, want 2", len(reqs))
+	}
+	if reqs[0].File != 3 || !reqs[0].Found || reqs[1].Found {
+		t.Errorf("requests = %+v", reqs)
+	}
+}
+
+func TestTimeBucketedSeries(t *testing.T) {
+	c := NewCollector(2)
+	var now sim.Time
+	c.SetClock(func() sim.Time { return now }, 10*sim.Second)
+	c.Recv(0, Connect)
+	now = 5 * sim.Second
+	c.Recv(1, Connect)
+	now = 25 * sim.Second
+	c.Recv(0, Connect)
+	c.Recv(0, Ping)
+	got := c.Series(Connect)
+	want := []uint64{2, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Series = %v, want %v", got, want)
+		}
+	}
+	if p := c.Series(Ping); len(p) != 3 || p[2] != 1 {
+		t.Errorf("ping series = %v", p)
+	}
+	// Totals unaffected by bucketing.
+	if c.Received(0, Connect) != 2 {
+		t.Error("totals broken under bucketing")
+	}
+}
+
+func TestSeriesNilWithoutClock(t *testing.T) {
+	c := NewCollector(1)
+	c.Recv(0, Connect)
+	if c.Series(Connect) != nil {
+		t.Error("Series non-nil without SetClock")
+	}
+}
+
+func TestSetClockValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetClock(nil) did not panic")
+		}
+	}()
+	NewCollector(1).SetClock(nil, sim.Second)
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		Connect: "connect", Ping: "ping", Pong: "pong",
+		Query: "query", QueryHit: "queryhit", Bye: "bye", Transfer: "transfer",
+	}
+	for class, name := range want {
+		if class.String() != name {
+			t.Errorf("String(%d) = %q, want %q", int(class), class.String(), name)
+		}
+	}
+	if NumClasses != len(want) {
+		t.Errorf("NumClasses = %d, want %d", NumClasses, len(want))
+	}
+}

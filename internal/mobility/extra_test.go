@@ -1,0 +1,153 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"manetp2p/internal/geom"
+	"manetp2p/internal/sim"
+)
+
+func TestDirectionStaysInArenaAndReachesWalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDirection(arena, geom.Point{X: 50, Y: 50}, 0.5, 1.0, 10*sim.Second, rng)
+	nearWall := 0
+	for ts := sim.Time(0); ts < sim.Hour; ts += sim.Second {
+		p := d.Pos(ts)
+		if !arena.Contains(p) {
+			t.Fatalf("position %v outside arena at %v", p, ts)
+		}
+		if p.X < 1 || p.X > 99 || p.Y < 1 || p.Y > 99 {
+			nearWall++
+		}
+	}
+	// Random Direction travels wall to wall; it must visit the border
+	// repeatedly over an hour.
+	if nearWall < 5 {
+		t.Errorf("only %d near-wall samples; walker never reaches boundaries", nearWall)
+	}
+}
+
+func TestDirectionSpeedBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDirection(arena, geom.Point{X: 50, Y: 50}, 0.5, 2.0, 5*sim.Second, rng)
+	const dt = 100 * sim.Millisecond
+	prev := d.Pos(0)
+	for ts := dt; ts < 10*sim.Minute; ts += dt {
+		p := d.Pos(ts)
+		if speed := p.Dist(prev) / dt.Seconds(); speed > 2.0+1e-6 {
+			t.Fatalf("speed %.3f exceeds max", speed)
+		}
+		prev = p
+	}
+}
+
+func TestDirectionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inside := geom.Point{X: 1, Y: 1}
+	for name, bad := range map[string]func(){
+		"zero speed":    func() { NewDirection(arena, inside, 0, 1, 0, rng) },
+		"neg pause":     func() { NewDirection(arena, inside, 0.1, 1, -1, rng) },
+		"start outside": func() { NewDirection(arena, geom.Point{X: -1, Y: 0}, 0.1, 1, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestGaussMarkovStaysInArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGaussMarkov(arena, geom.Point{X: 50, Y: 50}, 1.0, 0.75, sim.Second, rng)
+	for ts := sim.Time(0); ts < sim.Hour; ts += 500 * sim.Millisecond {
+		if p := g.Pos(ts); !arena.Contains(p) {
+			t.Fatalf("position %v outside arena at %v", p, ts)
+		}
+	}
+}
+
+func TestGaussMarkovMovesSmoothly(t *testing.T) {
+	// With high alpha the heading is correlated: successive displacement
+	// vectors should mostly point the same way (positive dot product).
+	rng := rand.New(rand.NewSource(4))
+	g := NewGaussMarkov(arena, geom.Point{X: 50, Y: 50}, 1.0, 0.9, sim.Second, rng)
+	positive, total := 0, 0
+	prev := g.Pos(0)
+	var pdx, pdy float64
+	for ts := sim.Second; ts < 20*sim.Minute; ts += sim.Second {
+		p := g.Pos(ts)
+		dx, dy := p.X-prev.X, p.Y-prev.Y
+		if pdx != 0 || pdy != 0 {
+			total++
+			if dx*pdx+dy*pdy > 0 {
+				positive++
+			}
+		}
+		pdx, pdy = dx, dy
+		prev = p
+	}
+	if total == 0 || float64(positive)/float64(total) < 0.7 {
+		t.Errorf("only %d/%d correlated steps; trajectory not smooth", positive, total)
+	}
+}
+
+func TestGaussMarkovAlphaZeroStillValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGaussMarkov(arena, geom.Point{X: 50, Y: 50}, 1.0, 0, sim.Second, rng)
+	for ts := sim.Time(0); ts < 10*sim.Minute; ts += sim.Second {
+		if p := g.Pos(ts); !arena.Contains(p) {
+			t.Fatalf("alpha=0 position %v outside arena", p)
+		}
+	}
+}
+
+func TestGaussMarkovValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inside := geom.Point{X: 1, Y: 1}
+	for name, bad := range map[string]func(){
+		"zero speed": func() { NewGaussMarkov(arena, inside, 0, 0.5, sim.Second, rng) },
+		"bad alpha":  func() { NewGaussMarkov(arena, inside, 1, 1.5, sim.Second, rng) },
+		"zero step":  func() { NewGaussMarkov(arena, inside, 1, 0.5, 0, rng) },
+		"outside":    func() { NewGaussMarkov(arena, geom.Point{X: -1, Y: 0}, 1, 0.5, sim.Second, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// Property: all models remain in the arena at random query times.
+func TestQuickExtraModelsInArena(t *testing.T) {
+	f := func(seed int64, which bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		start := arena.RandomPoint(rng)
+		var m Model
+		if which {
+			m = NewDirection(arena, start, 0.1, 1.5, 20*sim.Second, rng)
+		} else {
+			m = NewGaussMarkov(arena, start, 1.0, 0.6, sim.Second, rng)
+		}
+		ts := sim.Time(0)
+		for i := 0; i < 150; i++ {
+			ts += sim.UniformDuration(rng, 0, 20*sim.Second)
+			if !arena.Contains(m.Pos(ts)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

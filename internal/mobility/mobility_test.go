@@ -1,0 +1,217 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"manetp2p/internal/geom"
+	"manetp2p/internal/sim"
+)
+
+var arena = geom.Rect{W: 100, H: 100}
+
+func TestStationaryNeverMoves(t *testing.T) {
+	m := Stationary{P: geom.Point{X: 3, Y: 4}}
+	for _, tt := range []sim.Time{0, sim.Second, sim.Hour} {
+		if got := m.Pos(tt); got != m.P {
+			t.Errorf("Pos(%v) = %v, want %v", tt, got, m.P)
+		}
+	}
+}
+
+func TestWaypointStartsAtStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	start := geom.Point{X: 50, Y: 50}
+	w := NewWaypoint(arena, start, 0.1, 1.0, 100*sim.Second, rng)
+	if got := w.Pos(0); got != start {
+		t.Errorf("Pos(0) = %v, want %v", got, start)
+	}
+}
+
+func TestWaypointStaysInArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := NewWaypoint(arena, arena.RandomPoint(rng), 0.1, 1.0, 100*sim.Second, rng)
+	for ts := sim.Time(0); ts < sim.Hour; ts += 500 * sim.Millisecond {
+		p := w.Pos(ts)
+		if !arena.Contains(p) {
+			t.Fatalf("position %v outside arena at %v", p, ts)
+		}
+	}
+}
+
+func TestWaypointSpeedBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewWaypoint(arena, arena.RandomPoint(rng), 0.1, 1.0, 10*sim.Second, rng)
+	const dt = 100 * sim.Millisecond
+	prev := w.Pos(0)
+	for ts := dt; ts < 20*sim.Minute; ts += dt {
+		p := w.Pos(ts)
+		speed := p.Dist(prev) / dt.Seconds()
+		if speed > 1.0+1e-6 {
+			t.Fatalf("instantaneous speed %.3f m/s exceeds max 1.0 at %v", speed, ts)
+		}
+		prev = p
+	}
+}
+
+func TestWaypointActuallyMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	start := geom.Point{X: 50, Y: 50}
+	w := NewWaypoint(arena, start, 0.5, 1.0, sim.Second, rng)
+	moved := false
+	for ts := sim.Time(0); ts < 10*sim.Minute; ts += sim.Second {
+		if w.Pos(ts).Dist(start) > 5 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("waypoint walker never strayed from start")
+	}
+}
+
+func TestWaypointPausesObserved(t *testing.T) {
+	// With a long max pause relative to arena crossing time, there must be
+	// intervals where consecutive samples coincide (the node is paused).
+	rng := rand.New(rand.NewSource(5))
+	w := NewWaypoint(arena, arena.RandomPoint(rng), 0.9, 1.0, 100*sim.Second, rng)
+	pausedSamples := 0
+	prev := w.Pos(0)
+	for ts := sim.Second; ts < 30*sim.Minute; ts += sim.Second {
+		p := w.Pos(ts)
+		if p == prev {
+			pausedSamples++
+		}
+		prev = p
+	}
+	if pausedSamples < 10 {
+		t.Errorf("only %d paused samples in 30 min; pauses not happening", pausedSamples)
+	}
+}
+
+func TestWaypointDeterministicPerSeed(t *testing.T) {
+	sample := func(seed int64) []geom.Point {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWaypoint(arena, geom.Point{X: 10, Y: 10}, 0.1, 1.0, 10*sim.Second, rng)
+		var out []geom.Point
+		for ts := sim.Time(0); ts < 5*sim.Minute; ts += 7 * sim.Second {
+			out = append(out, w.Pos(ts))
+		}
+		return out
+	}
+	a, b := sample(9), sample(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWaypointValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inside := geom.Point{X: 1, Y: 1}
+	for name, bad := range map[string]func(){
+		"zero minSpeed":  func() { NewWaypoint(arena, inside, 0, 1, 0, rng) },
+		"max < min":      func() { NewWaypoint(arena, inside, 1, 0.5, 0, rng) },
+		"negative pause": func() { NewWaypoint(arena, inside, 0.1, 1, -1, rng) },
+		"start outside":  func() { NewWaypoint(arena, geom.Point{X: -1, Y: 0}, 0.1, 1, 0, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestWalkStaysInArenaAndMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	start := geom.Point{X: 5, Y: 95} // near a corner to exercise reflection
+	w := NewWalk(arena, start, 0.5, 1.0, 20*sim.Second, rng)
+	moved := false
+	for ts := sim.Time(0); ts < sim.Hour; ts += 250 * sim.Millisecond {
+		p := w.Pos(ts)
+		if !arena.Contains(p) {
+			t.Fatalf("walk position %v outside arena at %v", p, ts)
+		}
+		if p.Dist(start) > 10 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("random walker never moved far from start")
+	}
+}
+
+func TestWalkSpeedBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWalk(arena, geom.Point{X: 50, Y: 50}, 0.5, 2.0, 10*sim.Second, rng)
+	const dt = 100 * sim.Millisecond
+	prev := w.Pos(0)
+	for ts := dt; ts < 10*sim.Minute; ts += dt {
+		p := w.Pos(ts)
+		if speed := p.Dist(prev) / dt.Seconds(); speed > 2.0+1e-6 {
+			t.Fatalf("walk speed %.3f m/s exceeds max 2.0", speed)
+		}
+		prev = p
+	}
+}
+
+func TestBounceFolding(t *testing.T) {
+	cases := []struct {
+		v, limit float64
+		want     float64
+		flip     bool
+	}{
+		{5, 10, 5, false},
+		{12, 10, 8, true},
+		{-3, 10, 3, false}, // -3 mod 20 = 17 -> 20-17=3, flipped? 17>10 so flip
+		{20, 10, 0, false},
+		{0, 10, 0, false},
+		{10, 10, 10, false},
+	}
+	for _, c := range cases {
+		got, _ := bounce(c.v, c.limit)
+		if got != c.want {
+			t.Errorf("bounce(%v,%v) = %v, want %v", c.v, c.limit, got, c.want)
+		}
+	}
+}
+
+// Property: bounce always lands in [0, limit].
+func TestQuickBounceInRange(t *testing.T) {
+	f := func(v float64) bool {
+		if v != v { // NaN
+			return true
+		}
+		got, _ := bounce(v, 100)
+		return got >= 0 && got <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any seed, a waypoint walker sampled at random increasing
+// times never leaves the arena.
+func TestQuickWaypointInArena(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWaypoint(arena, arena.RandomPoint(rng), 0.1, 1.5, 50*sim.Second, rng)
+		ts := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			ts += sim.UniformDuration(rng, 0, 30*sim.Second)
+			if !arena.Contains(w.Pos(ts)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+// Package netif defines the network-layer interface between the p2p
+// overlay and the routing protocols beneath it. The paper runs its
+// overlay over AODV, chosen after a companion routing-protocol study
+// (Oliveira/Siqueira/Loureiro, cited as [13]); this interface lets the
+// reproduction swap routing substrates — AODV, DSR, or plain flooding —
+// and repeat that comparison under the same overlay workload.
+package netif
+
+// Delivery is an upper-layer arrival: who originated the message, how
+// many ad-hoc hops it traveled, and the payload.
+type Delivery struct {
+	From    int
+	Hops    int
+	Payload any
+}
+
+// Protocol is the per-node network layer the overlay talks to.
+type Protocol interface {
+	// ID returns the node this protocol instance belongs to.
+	ID() int
+	// Send routes an application payload of the given nominal size to
+	// dst, discovering a route on demand if the protocol needs one.
+	Send(dst, size int, payload any)
+	// Broadcast floods the payload to every node within ttl ad-hoc hops.
+	Broadcast(ttl, size int, payload any)
+	// HopsTo reports the protocol's current distance estimate to dst in
+	// ad-hoc hops, if it has one. It must not trigger discovery.
+	HopsTo(dst int) (int, bool)
+	// OnUnicast installs the hook for data addressed to this node.
+	OnUnicast(fn func(Delivery))
+	// OnBroadcast installs the hook for flood deliveries.
+	OnBroadcast(fn func(Delivery))
+	// OnSendFailed installs the hook invoked when a payload is
+	// abandoned undeliverable.
+	OnSendFailed(fn func(dst int, payload any))
+}

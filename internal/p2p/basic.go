@@ -1,0 +1,33 @@
+package p2p
+
+// This file implements the Basic algorithm (§6.1.1): fixed-radius
+// discovery broadcasts every TIMER, asymmetric references created the
+// moment a reply arrives, no handshake, no distance rule.
+
+// basicStep broadcasts one discovery round and reschedules itself.
+func (sv *Servent) basicStep() {
+	sv.broadcast(sv.par.NHopsBasic, msgDiscover{})
+	sv.scheduleCycle(sv.par.TimerBasic)
+}
+
+// onDiscover answers a Basic discovery broadcast. "Every node that
+// listens to this message answers it" — capacity is not checked, which
+// is part of why Basic floods the network (fig. 7/8 of the paper).
+func (sv *Servent) onDiscover(from int) {
+	if sv.alg != Basic {
+		return
+	}
+	sv.send(from, msgReply{})
+}
+
+// onReply turns a discovery answer into an asymmetric reference: only
+// the discoverer holds state; the replier is not even told.
+func (sv *Servent) onReply(from int) {
+	if sv.alg != Basic || len(sv.conns) >= sv.par.MaxNConn {
+		return
+	}
+	if _, dup := sv.conns[from]; dup {
+		return
+	}
+	sv.installConn(&conn{peer: from, initiator: true})
+}

@@ -1,0 +1,181 @@
+// Package p2p implements the paper's contribution: four algorithms that
+// configure, maintain and reorganize a peer-to-peer overlay on top of a
+// mobile ad-hoc network — Basic, Regular, Random and Hybrid (§6 of the
+// paper) — together with the Gnutella-style query system used to evaluate
+// them (§7.2).
+//
+// "Connections" here are references, as the paper stresses: a node keeps
+// the addresses of peers it believes reachable; symmetrical connections
+// are reference pairs maintained by one-sided pings.
+package p2p
+
+import (
+	"fmt"
+
+	"manetp2p/internal/sim"
+)
+
+// Algorithm selects one of the paper's four (re)configuration algorithms.
+type Algorithm int
+
+const (
+	// Basic is the fixed-radius, asymmetric-reference baseline (§6.1.1).
+	Basic Algorithm = iota
+	// Regular is the expanding-ring, symmetric-connection algorithm (§6.1.3).
+	Regular
+	// Random is Regular plus one long-range "random" connection meant to
+	// induce small-world structure (§6.1.4).
+	Random
+	// Hybrid is the master/slave clustering algorithm for heterogeneous
+	// networks (§6.2).
+	Hybrid
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Basic:
+		return "Basic"
+	case Regular:
+		return "Regular"
+	case Random:
+		return "Random"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists all four in the paper's presentation order.
+func Algorithms() []Algorithm { return []Algorithm{Basic, Regular, Random, Hybrid} }
+
+// QueryMode selects how searches propagate over the overlay.
+type QueryMode int
+
+const (
+	// QueryFlood is the paper's Gnutella-style TTL-limited flood (§7.2).
+	QueryFlood QueryMode = iota
+	// QueryRandomWalk replaces the flood with k parallel random walkers
+	// — the classic bandwidth-vs-latency alternative from the
+	// Gnutella-scalability debate the paper reviews in §5.
+	QueryRandomWalk
+)
+
+// String names the query mode.
+func (m QueryMode) String() string {
+	switch m {
+	case QueryFlood:
+		return "flood"
+	case QueryRandomWalk:
+		return "randomwalk"
+	default:
+		return fmt.Sprintf("querymode(%d)", int(m))
+	}
+}
+
+// Params collects every protocol constant from Table 2 of the paper plus
+// the timing constants the paper uses but does not tabulate (marked).
+type Params struct {
+	// Table 2 values.
+	MaxNConn     int // MAXNCONN: max connections per node (3)
+	NHopsInitial int // NHOPS_INITIAL: first discovery radius, ad-hoc hops (2)
+	MaxNHops     int // MAXNHOPS: largest discovery radius (6)
+	NHopsBasic   int // NHOPS: Basic algorithm's fixed radius (6)
+	MaxDist      int // MAXDIST: max ad-hoc distance between connected peers (6)
+	MaxNSlaves   int // MAXNSLAVES: slaves per master (3)
+	QueryTTL     int // TTL for queries, p2p hops (6)
+
+	// Query-propagation extension (§5 discussion; default = the paper's
+	// flooding).
+	QueryMode QueryMode
+	Walkers   int // random-walk mode: parallel walkers per request
+	WalkTTL   int // random-walk mode: hop budget per walker
+
+	// Download extension: fetch found files and replicate them locally
+	// (off by default — the paper's simulations stop at query hits).
+	Download DownloadConfig
+
+	// PeerCache extension: try unicast reconnects to remembered peers
+	// before broadcasting (off by default — the paper always floods).
+	PeerCache PeerCacheConfig
+
+	// Timing constants (not tabulated in the paper; see DESIGN.md).
+	TimerBasic     sim.Time // Basic's fixed retry interval
+	TimerInitial   sim.Time // TIMER_INITIAL: first retry interval
+	MaxTimer       sim.Time // MAXTIMER: retry-interval ceiling
+	PingInterval   sim.Time // keepalive period
+	PongTimeout    sim.Time // wait for pong before closing
+	HandshakeWait  sim.Time // wait for accept/confirm before abandoning
+	OfferWindow    sim.Time // Random: how long to collect offers before picking the farthest
+	MasterIdle     sim.Time // MAXTIMERMASTER: slaveless master reverts to initial
+	QueryCollect   sim.Time // answer collection window per request (30 s, §7.2)
+	QueryGapMin    sim.Time // min extra wait before the next query (15 s)
+	QueryGapMax    sim.Time // max extra wait before the next query (45 s)
+	JoinStaggerMax sim.Time // random start offset to avoid lockstep
+}
+
+// DefaultParams returns Table 2 of the paper plus this reproduction's
+// timing defaults.
+func DefaultParams() Params {
+	return Params{
+		MaxNConn:     3,
+		NHopsInitial: 2,
+		MaxNHops:     6,
+		NHopsBasic:   6,
+		MaxDist:      6,
+		MaxNSlaves:   3,
+		QueryTTL:     6,
+		QueryMode:    QueryFlood,
+		Walkers:      2,
+		WalkTTL:      16,
+
+		// Chosen so the per-node-per-hour message magnitudes land in the
+		// range the paper's Figures 7-12 report (see EXPERIMENTS.md):
+		// sparse 50-node networks rarely saturate MAXNCONN, so nodes
+		// keep retrying for the whole run and the retry/keepalive
+		// periods dominate the counts.
+		// TIMER (Basic) equals TIMER_INITIAL: the paper presents the
+		// Regular algorithm's doubling timer as an improvement over
+		// Basic's fixed one, so both start from the same interval.
+		TimerBasic:     30 * sim.Second,
+		TimerInitial:   30 * sim.Second,
+		MaxTimer:       240 * sim.Second,
+		PingInterval:   60 * sim.Second,
+		PongTimeout:    15 * sim.Second,
+		HandshakeWait:  10 * sim.Second,
+		OfferWindow:    5 * sim.Second,
+		MasterIdle:     120 * sim.Second,
+		QueryCollect:   30 * sim.Second,
+		QueryGapMin:    15 * sim.Second,
+		QueryGapMax:    45 * sim.Second,
+		JoinStaggerMax: 5 * sim.Second,
+	}
+}
+
+// Validate reports a descriptive error for inconsistent parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.MaxNConn < 1:
+		return fmt.Errorf("p2p: MaxNConn %d < 1", p.MaxNConn)
+	case p.NHopsInitial < 1 || p.NHopsInitial > p.MaxNHops:
+		return fmt.Errorf("p2p: NHopsInitial %d outside [1, MaxNHops=%d]", p.NHopsInitial, p.MaxNHops)
+	case p.NHopsBasic < 1:
+		return fmt.Errorf("p2p: NHopsBasic %d < 1", p.NHopsBasic)
+	case p.MaxDist < 1:
+		return fmt.Errorf("p2p: MaxDist %d < 1", p.MaxDist)
+	case p.MaxNSlaves < 1:
+		return fmt.Errorf("p2p: MaxNSlaves %d < 1", p.MaxNSlaves)
+	case p.QueryTTL < 1:
+		return fmt.Errorf("p2p: QueryTTL %d < 1", p.QueryTTL)
+	case p.TimerBasic <= 0 || p.TimerInitial <= 0 || p.MaxTimer < p.TimerInitial:
+		return fmt.Errorf("p2p: timer configuration invalid")
+	case p.PingInterval <= 0 || p.PongTimeout <= 0:
+		return fmt.Errorf("p2p: keepalive configuration invalid")
+	case p.QueryCollect <= 0 || p.QueryGapMin < 0 || p.QueryGapMax < p.QueryGapMin:
+		return fmt.Errorf("p2p: query timing invalid")
+	case p.QueryMode == QueryRandomWalk && (p.Walkers < 1 || p.WalkTTL < 1):
+		return fmt.Errorf("p2p: random-walk query configuration invalid")
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package p2p
+
+// This file implements the three-way handshake that establishes the
+// symmetric connections of the Regular, Random and Hybrid algorithms:
+//
+//	solicitor --(solicit, broadcast)--> responders
+//	responder --(offer)--> solicitor     [willing to connect]
+//	solicitor --(accept)--> responder    [slot committed, reserved]
+//	responder --(confirm | reject)--> solicitor
+//
+// plus the Random algorithm's farthest-responder offer collection.
+
+// onSolicit decides whether to offer a connection to the solicitor.
+func (sv *Servent) onSolicit(from int, m msgSolicit, bcastHops int) {
+	if !sv.willingToConnect(from, m.Rand, m.MasterOnly) {
+		return
+	}
+	sv.send(from, msgOffer{Rand: m.Rand, MasterOnly: m.MasterOnly, BcastHops: bcastHops})
+}
+
+// willingToConnect applies the responder-side capacity rules.
+func (sv *Servent) willingToConnect(from int, random, masterOnly bool) bool {
+	if from == sv.id {
+		return false
+	}
+	if _, dup := sv.conns[from]; dup {
+		return false
+	}
+	if _, pend := sv.pending[from]; pend {
+		return false
+	}
+	switch sv.alg {
+	case Regular:
+		if masterOnly {
+			return false
+		}
+		return len(sv.conns)+sv.reservedSlots() < sv.par.MaxNConn
+	case Random:
+		if masterOnly {
+			return false
+		}
+		if random {
+			// A random link fills our own random slot.
+			return sv.lacksRandomLink() &&
+				len(sv.conns)+sv.reservedSlots() < sv.par.MaxNConn
+		}
+		return sv.needRegularSlot()
+	case Hybrid:
+		// Only masters answer mesh solicitations; slaves talk to no one
+		// but their master (§6.2).
+		return masterOnly && sv.state == StateMaster && sv.needMasterLink()
+	default: // Basic uses discover/reply, never solicit.
+		return false
+	}
+}
+
+// onOffer is the solicitor receiving a willing responder.
+func (sv *Servent) onOffer(from int, m msgOffer) {
+	if m.Rand {
+		// Random-link offers are collected, not accepted eagerly.
+		if sv.collecting {
+			sv.offers = append(sv.offers, offerInfo{peer: from, bcastHops: m.BcastHops})
+		}
+		return
+	}
+	if m.MasterOnly {
+		if sv.alg != Hybrid || sv.state != StateMaster || !sv.needMasterLink() {
+			return
+		}
+	} else if !sv.needRegularSlot() {
+		return
+	}
+	if _, dup := sv.conns[from]; dup {
+		return
+	}
+	if _, pend := sv.pending[from]; pend {
+		return
+	}
+	sv.acceptOffer(from, false, m.MasterOnly)
+}
+
+// acceptOffer commits a slot and sends the accept (second handshake step).
+func (sv *Servent) acceptOffer(peer int, random, master bool) {
+	h := &handshake{peer: peer, random: random, master: master}
+	h.timeout = sv.s.Schedule(sv.par.HandshakeWait, func() {
+		if sv.pending[peer] == h {
+			delete(sv.pending, peer)
+			sv.ensureCycle()
+		}
+	})
+	sv.pending[peer] = h
+	sv.send(peer, msgAccept{Rand: random, Master: master})
+}
+
+// onAccept is the responder committing its half of the connection.
+func (sv *Servent) onAccept(from int, m msgAccept) {
+	if h, cross := sv.pending[from]; cross {
+		// Crossing handshake: both ends solicited each other and both
+		// sent accepts. Without a tie-break the two accepts reject each
+		// other forever. The higher id keeps its solicitor role; the
+		// lower id yields and answers as responder.
+		if from < sv.id {
+			sv.send(from, msgReject{})
+			return
+		}
+		delete(sv.pending, from)
+		h.timeout.Cancel()
+	}
+	if !sv.willingToConnect(from, m.Rand, m.Master) {
+		sv.send(from, msgReject{})
+		return
+	}
+	sv.installConn(&conn{peer: from, random: m.Rand, master: m.Master, initiator: false})
+	sv.send(from, msgConfirm{Rand: m.Rand, Master: m.Master})
+}
+
+// onConfirm finalizes the solicitor's half.
+func (sv *Servent) onConfirm(from int, m msgConfirm) {
+	h, ok := sv.pending[from]
+	if !ok {
+		// Our reservation timed out (or we left and rejoined); the
+		// responder installed state we will never maintain — tear it
+		// down explicitly rather than leaving it to keepalive timeouts.
+		sv.send(from, msgBye{})
+		return
+	}
+	delete(sv.pending, from)
+	h.timeout.Cancel()
+	sv.installConn(&conn{peer: from, random: h.random, master: h.master, initiator: true})
+}
+
+// onReject releases the solicitor's reserved slot.
+func (sv *Servent) onReject(from int) {
+	h, ok := sv.pending[from]
+	if !ok {
+		return
+	}
+	delete(sv.pending, from)
+	h.timeout.Cancel()
+	sv.ensureCycle()
+}
+
+// startRandomSolicit begins the Random algorithm's long-link search
+// (fig. 3): broadcast with randhops ∈ [nhops, 2·MAXNHOPS], collect the
+// offers for a window, then continue the handshake with the farthest
+// responder only.
+func (sv *Servent) startRandomSolicit() {
+	lo, hi := sv.nhops, 2*sv.par.MaxNHops
+	if lo < 1 {
+		lo = 1
+	}
+	randhops := lo + sv.opt.RNG.Intn(hi-lo+1)
+	sv.collecting = true
+	sv.offers = sv.offers[:0]
+	sv.broadcast(randhops, msgSolicit{Rand: true})
+	sv.s.Schedule(sv.par.OfferWindow, sv.endRandomCollect)
+}
+
+// endRandomCollect picks the farthest responder and accepts it.
+func (sv *Servent) endRandomCollect() {
+	if !sv.collecting {
+		return
+	}
+	sv.collecting = false
+	if !sv.joined || !sv.lacksRandomLink() {
+		return
+	}
+	best := -1
+	for i, o := range sv.offers {
+		if _, dup := sv.conns[o.peer]; dup {
+			continue
+		}
+		if _, pend := sv.pending[o.peer]; pend {
+			continue
+		}
+		if best < 0 || o.bcastHops > sv.offers[best].bcastHops {
+			best = i
+		}
+	}
+	if best < 0 {
+		return // no takers this round; the cycle will try again
+	}
+	sv.acceptOffer(sv.offers[best].peer, true, false)
+}

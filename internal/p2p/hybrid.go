@@ -1,0 +1,214 @@
+package p2p
+
+import (
+	"manetp2p/internal/sim"
+	"manetp2p/internal/trace"
+)
+
+// This file implements the Hybrid algorithm (§6.2): peers carry a
+// qualifier (energy level, processor power, ...); higher-qualified peers
+// become masters of small subnets, lower-qualified peers their slaves.
+// Masters interconnect with the Regular algorithm. The network
+// reorganizes itself when a master stays slaveless too long or a slave
+// strays too far from its master.
+
+// hybridStep is one establishment-cycle iteration; its behavior depends
+// on the peer's state.
+func (sv *Servent) hybridStep() {
+	switch sv.state {
+	case StateInitial:
+		if sv.nhops != 0 {
+			sv.broadcast(sv.nhops, msgCapture{Qualifier: sv.opt.Qualifier})
+			wait := sv.timer
+			sv.advanceNHops()
+			sv.scheduleCycle(wait)
+			return
+		}
+		// Swept every radius without finding anyone to serve or obey:
+		// entitle ourselves master (§6.2).
+		sv.becomeMaster()
+		sv.scheduleCycle(0)
+	case StateMaster:
+		// "use the regular algorithm to contact other masters".
+		if sv.nhops != 0 {
+			if sv.needMasterLink() {
+				sv.broadcast(sv.nhops, msgSolicit{MasterOnly: true})
+			}
+			wait := sv.timer
+			sv.advanceNHops()
+			sv.scheduleCycle(wait)
+			return
+		}
+		sv.doubleTimer()
+		sv.advanceNHops()
+		sv.scheduleCycle(0)
+	default:
+		// Slaves and reserved peers do not solicit.
+		sv.cycleRunning = false
+	}
+}
+
+// becomeMaster promotes the peer and arms the slaveless-reversion timer.
+func (sv *Servent) becomeMaster() {
+	sv.opt.Tracer.Emit(trace.KindState, sv.id, -1, "%v->master", sv.state)
+	sv.state = StateMaster
+	sv.nhops = sv.par.NHopsInitial
+	sv.timer = sv.par.TimerInitial
+	sv.armNoSlaveTimer()
+}
+
+// armNoSlaveTimer starts the MAXTIMERMASTER countdown: a master that
+// owns no slave for that long "could, potentially, be another peer's
+// slave" and reverts to initial.
+func (sv *Servent) armNoSlaveTimer() {
+	if sv.noSlave == nil {
+		sv.noSlave = sim.NewTimer(sv.s, sv.noSlaveExpired)
+	}
+	sv.noSlave.Reset(sv.par.MasterIdle)
+}
+
+func (sv *Servent) noSlaveExpired() {
+	if !sv.joined || sv.state != StateMaster || sv.slaveCount() > 0 {
+		return
+	}
+	sv.revertToInitial()
+}
+
+// revertToInitial demotes a master: all mesh links are dropped and the
+// capture cycle restarts.
+func (sv *Servent) revertToInitial() {
+	sv.opt.Tracer.Emit(trace.KindState, sv.id, -1, "master->initial (slaveless)")
+	sv.state = StateInitial
+	for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
+		if c := sv.conns[peer]; c != nil && (c.master || c.toSlave) {
+			sv.closeConn(peer, true)
+		}
+	}
+	sv.nhops = sv.par.NHopsInitial
+	sv.timer = sv.par.TimerInitial
+	sv.ensureCycle()
+}
+
+// outranks reports whether this peer's (qualifier, id) exceeds the
+// other's — ids break qualifier ties so two equal devices still order.
+func (sv *Servent) outranks(peerQual float64, peerID int) bool {
+	if sv.opt.Qualifier != peerQual {
+		return sv.opt.Qualifier > peerQual
+	}
+	return sv.id > peerID
+}
+
+// onCapture handles the hybrid discovery broadcast: lower-qualified
+// initial peers try to enslave themselves to the sender; higher-
+// qualified initial peers and masters advertise back.
+func (sv *Servent) onCapture(from int, m msgCapture) {
+	if sv.alg != Hybrid {
+		return
+	}
+	switch {
+	case sv.state == StateInitial && !sv.outranks(m.Qualifier, from):
+		sv.tryEnslaveTo(from)
+	case (sv.state == StateInitial || sv.state == StateMaster) && sv.outranks(m.Qualifier, from):
+		sv.send(from, msgCapture{Qualifier: sv.opt.Qualifier, Reply: true})
+	}
+}
+
+// onCaptureReply handles a higher-qualified peer's advertisement.
+func (sv *Servent) onCaptureReply(from int, m msgCapture) {
+	if sv.alg != Hybrid || !m.Reply {
+		return
+	}
+	if sv.state == StateInitial && !sv.outranks(m.Qualifier, from) {
+		sv.tryEnslaveTo(from)
+	}
+}
+
+// tryEnslaveTo starts the enslavement handshake toward a prospective
+// master, moving through the transitional reserved state.
+func (sv *Servent) tryEnslaveTo(master int) {
+	if sv.state != StateInitial {
+		return
+	}
+	sv.state = StateReserved
+	sv.reservedWith = master
+	sv.send(master, msgEnslaveReq{Qualifier: sv.opt.Qualifier})
+	sv.reservedEv.Cancel()
+	sv.reservedEv = sv.s.Schedule(sv.par.HandshakeWait, func() {
+		if sv.joined && sv.state == StateReserved && sv.reservedWith == master {
+			sv.state = StateInitial
+			sv.ensureCycle()
+		}
+	})
+}
+
+// onEnslaveReq is the master side of the enslavement handshake. An
+// initial peer that receives one becomes a master on the spot.
+func (sv *Servent) onEnslaveReq(from int, _ msgEnslaveReq) {
+	if sv.alg != Hybrid {
+		return
+	}
+	acceptable := (sv.state == StateInitial || sv.state == StateMaster) &&
+		sv.slaveCount() < sv.par.MaxNSlaves
+	if _, dup := sv.conns[from]; dup {
+		acceptable = false
+	}
+	if !acceptable {
+		sv.send(from, msgEnslaveReject{})
+		return
+	}
+	if sv.state == StateInitial {
+		sv.becomeMaster()
+		sv.ensureCycle() // start the master-mesh cycle
+	}
+	sv.send(from, msgEnslaveAccept{})
+}
+
+// onEnslaveAccept is the slave finalizing: install the master link and
+// confirm.
+func (sv *Servent) onEnslaveAccept(from int) {
+	if sv.alg != Hybrid || sv.state != StateReserved || sv.reservedWith != from {
+		return
+	}
+	sv.reservedEv.Cancel()
+	sv.reservedEv = nil
+	sv.opt.Tracer.Emit(trace.KindState, sv.id, from, "reserved->slave")
+	sv.state = StateSlave
+	sv.installConn(&conn{peer: from, toMaster: true, initiator: true})
+	sv.send(from, msgEnslaveConfirm{})
+	// A slave abandons any half-done mesh business.
+	sv.cycleEv.Cancel()
+	sv.cycleEv = nil
+	sv.cycleRunning = false
+}
+
+// onEnslaveConfirm is the master finalizing a new slave.
+func (sv *Servent) onEnslaveConfirm(from int) {
+	if sv.alg != Hybrid || sv.state != StateMaster {
+		// We are no longer able to serve; let the slave's keepalive
+		// discover it quickly.
+		sv.send(from, msgBye{})
+		return
+	}
+	if _, dup := sv.conns[from]; dup {
+		return
+	}
+	if sv.slaveCount() >= sv.par.MaxNSlaves {
+		sv.send(from, msgBye{})
+		return
+	}
+	sv.installConn(&conn{peer: from, toSlave: true, initiator: false})
+	if sv.noSlave != nil {
+		sv.noSlave.Stop()
+	}
+}
+
+// onEnslaveReject returns a spurned slave candidate to initial.
+func (sv *Servent) onEnslaveReject(from int) {
+	if sv.alg != Hybrid || sv.state != StateReserved || sv.reservedWith != from {
+		return
+	}
+	sv.reservedEv.Cancel()
+	sv.reservedEv = nil
+	sv.state = StateInitial
+	sv.ensureCycle()
+}

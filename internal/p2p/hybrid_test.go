@@ -1,0 +1,343 @@
+package p2p
+
+import (
+	"manetp2p/internal/metrics"
+	"testing"
+
+	"manetp2p/internal/geom"
+)
+
+// hybridWorld builds a clique of n hybrid servents with the given
+// qualifiers.
+func hybridWorld(t *testing.T, seed int64, quals []float64) *world {
+	t.Helper()
+	return newWorld(t, worldSpec{
+		seed:  seed,
+		pts:   cliquePts(len(quals)),
+		alg:   Hybrid,
+		quals: quals,
+	})
+}
+
+// checkHybridInvariants verifies the master/slave structural rules.
+func checkHybridInvariants(t *testing.T, w *world) {
+	t.Helper()
+	for _, sv := range w.svs {
+		if sv == nil || !sv.Joined() {
+			continue
+		}
+		switch sv.State() {
+		case StateSlave:
+			m := sv.Master()
+			if m < 0 {
+				t.Errorf("slave %d has no master link", sv.id)
+				continue
+			}
+			master := w.svs[m]
+			if master.State() != StateMaster {
+				t.Errorf("slave %d's master %d is in state %v", sv.id, m, master.State())
+			}
+			found := false
+			for _, s := range master.Slaves() {
+				if s == sv.id {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("master %d does not list slave %d", m, sv.id)
+			}
+			// "The slaves can only communicate to their master."
+			if sv.ConnCount() != 1 {
+				t.Errorf("slave %d has %d conns, want exactly 1 (its master)", sv.id, sv.ConnCount())
+			}
+		case StateMaster:
+			if n := sv.slaveCount(); n > DefaultParams().MaxNSlaves {
+				t.Errorf("master %d has %d slaves > MAXNSLAVES", sv.id, n)
+			}
+			for _, s := range sv.Slaves() {
+				if w.svs[s].State() != StateSlave {
+					t.Errorf("master %d lists %d (state %v) as slave", sv.id, s, w.svs[s].State())
+				}
+			}
+		}
+	}
+}
+
+func TestHybridMastersOutrankTheirSlaves(t *testing.T) {
+	// Enslavement is first-come ("try to become a slave of the sender"),
+	// so the global best master is not guaranteed — but every slave's
+	// master must outrank it, and the lowest-qualified node must end up
+	// a slave in a clique.
+	quals := []float64{0.1, 0.5, 0.9}
+	w := hybridWorld(t, 20, quals)
+	w.joinAll()
+	w.run(time(300))
+	checkHybridInvariants(t, w)
+	if got := w.svs[0].State(); got != StateSlave {
+		t.Errorf("lowest-qualifier node state = %v, want slave", got)
+	}
+	for i, sv := range w.svs {
+		if sv.State() != StateSlave {
+			continue
+		}
+		m := sv.Master()
+		if quals[m] < quals[i] {
+			t.Errorf("slave %d (q=%.2f) serves master %d (q=%.2f): master must outrank",
+				i, quals[i], m, quals[m])
+		}
+	}
+	masters := 0
+	for _, sv := range w.svs {
+		if sv.State() == StateMaster {
+			masters++
+		}
+	}
+	if masters == 0 {
+		t.Error("no master emerged")
+	}
+}
+
+func TestHybridMaxNSlavesRespected(t *testing.T) {
+	// Six low-qualified nodes cannot all enslave to the single star node:
+	// MAXNSLAVES=3 forces a second subnet to emerge.
+	quals := []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.99}
+	w := hybridWorld(t, 21, quals)
+	w.joinAll()
+	w.run(time(600))
+	checkHybridInvariants(t, w)
+	masters, slaves := 0, 0
+	for _, sv := range w.svs {
+		switch sv.State() {
+		case StateMaster:
+			masters++
+		case StateSlave:
+			slaves++
+		}
+	}
+	if masters < 2 {
+		t.Errorf("masters = %d, want >= 2 (MAXNSLAVES must force a second subnet)", masters)
+	}
+	if masters+slaves != len(quals) {
+		t.Errorf("masters+slaves = %d, want %d (no one left initial/reserved)", masters+slaves, len(quals))
+	}
+}
+
+func TestHybridLoneNodeBecomesMaster(t *testing.T) {
+	w := hybridWorld(t, 22, []float64{0.5})
+	w.joinAll()
+	w.run(time(120))
+	if got := w.svs[0].State(); got != StateMaster {
+		t.Errorf("lone node state = %v, want master (self-entitled after sweep)", got)
+	}
+}
+
+func TestHybridMastersInterconnect(t *testing.T) {
+	// Two clusters far apart, joined by relays: their masters must link
+	// up via the regular algorithm over the mesh solicitations.
+	pts := []geom.Point{
+		// Cluster A around (100,150).
+		{X: 100, Y: 150}, {X: 102, Y: 150}, {X: 104, Y: 150},
+		// Relays every 8 m.
+		{X: 112, Y: 150}, {X: 120, Y: 150},
+		// Cluster B around (128,150).
+		{X: 128, Y: 150}, {X: 130, Y: 150}, {X: 132, Y: 150},
+	}
+	member := []bool{true, true, true, false, false, true, true, true}
+	quals := []float64{0.9, 0.2, 0.3, 0, 0, 0.8, 0.1, 0.4}
+	w := newWorld(t, worldSpec{seed: 23, pts: pts, member: member, alg: Hybrid, quals: quals})
+	w.joinAll()
+	w.run(time(600))
+	checkHybridInvariants(t, w)
+	ma, mb := w.svs[0], w.svs[5]
+	if ma.State() != StateMaster || mb.State() != StateMaster {
+		t.Fatalf("cluster heads states = %v,%v want master,master", ma.State(), mb.State())
+	}
+	if ma.masterLinkCount() == 0 || mb.masterLinkCount() == 0 {
+		t.Error("masters did not interconnect over the mesh")
+	}
+}
+
+func TestHybridSlavelessMasterReverts(t *testing.T) {
+	// A master whose slaves all die must revert to initial after
+	// MAXTIMERMASTER and try to become someone's slave.
+	w := hybridWorld(t, 24, []float64{0.2, 0.9, 0.95})
+	w.joinAll()
+	w.run(time(180))
+	// Expect: node 2 master; 0 and 1 slaves of 2 (1 despite high qual,
+	// since 2 outranks it), or 1 became master of 0. Find a master and
+	// kill its slaves.
+	var master *Servent
+	for _, sv := range w.svs {
+		if sv.State() == StateMaster && sv.slaveCount() > 0 {
+			master = sv
+			break
+		}
+	}
+	if master == nil {
+		t.Fatal("no master with slaves formed")
+	}
+	for _, s := range master.Slaves() {
+		w.med.Leave(s)
+		w.svs[s].Leave(false)
+	}
+	// The master must pass through initial at some point (a lone node
+	// lawfully re-entitles itself master afterwards, so poll).
+	reverted := false
+	deadline := DefaultParams().MasterIdle + time(200)
+	for elapsed := time(0); elapsed < deadline; elapsed += time(5) {
+		w.run(time(5))
+		if st := master.State(); st == StateInitial || st == StateReserved || st == StateSlave {
+			reverted = true
+			break
+		}
+	}
+	if !reverted {
+		t.Error("slaveless master never left master state after MAXTIMERMASTER")
+	}
+}
+
+func TestHybridStrayedSlaveRejoins(t *testing.T) {
+	// A slave dragged beyond MAXDIST from its master must drop the link
+	// and find a new master in its neighborhood.
+	pts := linePts(12)
+	member := make([]bool, 12)
+	quals := make([]float64, 12)
+	// Members: 0 (master-grade) and 1 (slave-grade) adjacent; 11 is
+	// another master-grade node at the far end.
+	member[0], member[1], member[11] = true, true, true
+	quals[0], quals[1], quals[11] = 0.9, 0.1, 0.95
+	w := newWorld(t, worldSpec{seed: 25, pts: pts, member: member, alg: Hybrid, quals: quals})
+	w.joinAll()
+	w.run(time(200))
+	if w.svs[1].State() != StateSlave || w.svs[1].Master() != 0 {
+		t.Fatalf("precondition: node 1 state=%v master=%d, want slave of 0",
+			w.svs[1].State(), w.svs[1].Master())
+	}
+	// Drag the slave to the far end: 8+ hops from master 0, adjacent to 11.
+	w.med.SetPos(1, geom.Point{X: pts[11].X - 4, Y: pts[11].Y})
+	w.run(time(600))
+	if got := w.svs[1].Master(); got != 11 {
+		t.Errorf("strayed slave's master = %d, want 11 (re-enslaved nearby)", got)
+	}
+	checkHybridInvariants(t, w)
+}
+
+func TestHybridCaptureReplyPath(t *testing.T) {
+	// A low-qualifier node's capture is answered by a higher-qualifier
+	// node's capture *reply*, which must trigger enslavement toward the
+	// replier — the "new peers always get some feedback" guarantee.
+	w := hybridWorld(t, 28, []float64{0.1, 0.9})
+	// Only the low node broadcasts (the high node's cycle is disabled),
+	// so the enslavement can only happen via the reply path.
+	w.svs[1].opt.NoEstablish = true
+	w.joinAll()
+	w.run(time(120))
+	if got := w.svs[0].State(); got != StateSlave {
+		t.Fatalf("low node state = %v, want slave via capture reply", got)
+	}
+	if got := w.svs[0].Master(); got != 1 {
+		t.Errorf("master = %d, want 1", got)
+	}
+	if got := w.svs[1].State(); got != StateMaster {
+		t.Errorf("replier state = %v, want master", got)
+	}
+}
+
+func TestHybridEnslaveRejectWhenFull(t *testing.T) {
+	w := hybridWorld(t, 29, []float64{0.9, 0.1})
+	w.joinAll()
+	w.run(time(60))
+	master := w.svs[0]
+	if master.State() != StateMaster {
+		t.Skip("node 0 did not become master in this topology")
+	}
+	// Saturate the master with placeholder slaves.
+	for p := 10; p < 10+DefaultParams().MaxNSlaves; p++ {
+		master.conns[p] = &conn{peer: p, toSlave: true}
+	}
+	// A fresh candidate must be rejected and return to initial.
+	before := master.slaveCount()
+	master.onEnslaveReq(5, msgEnslaveReq{Qualifier: 0.05})
+	w.run(time(5))
+	if master.slaveCount() != before {
+		t.Error("full master accepted another slave")
+	}
+}
+
+func TestHybridQualifierTieBreaksById(t *testing.T) {
+	w := hybridWorld(t, 26, []float64{0.5, 0.5})
+	w.joinAll()
+	w.run(time(300))
+	s0, s1 := w.svs[0].State(), w.svs[1].State()
+	if !(s0 == StateSlave && s1 == StateMaster) {
+		t.Errorf("states = %v,%v; want id tie-break making 1 master, 0 slave", s0, s1)
+	}
+}
+
+func TestHybridQueriesFlowThroughMaster(t *testing.T) {
+	// Star: master 0 with slaves 1 and 2. Slave 1 holds the file; a
+	// query from slave 2 can only reach it through the master.
+	par := DefaultParams()
+	w := newWorld(t, worldSpec{
+		seed:  90,
+		pts:   cliquePts(3),
+		alg:   Hybrid,
+		par:   par,
+		quals: []float64{0.9, 0.1, 0.2},
+		files: fileSets(3, 2, map[int][]int{0: {1}, 1: {2}}),
+		opts: func(i int, o *Options) {
+			o.NoEstablish = true
+			o.NoQueries = true
+		},
+	})
+	w.joinAll()
+	master, s1, s2 := w.svs[0], w.svs[1], w.svs[2]
+	master.state = StateMaster
+	s1.state = StateSlave
+	s2.state = StateSlave
+	master.installConn(&conn{peer: 1, toSlave: true, initiator: false})
+	s1.installConn(&conn{peer: 0, toMaster: true, initiator: true})
+	master.installConn(&conn{peer: 2, toSlave: true, initiator: false})
+	s2.installConn(&conn{peer: 0, toMaster: true, initiator: true})
+
+	s2.runQuery() // can only pick file 0 (holds file 1)
+	w.run(par.QueryCollect + time(5))
+	reqs := w.col.Requests()
+	if len(reqs) != 1 || !reqs[0].Found {
+		t.Fatalf("requests = %+v, want found via master relay", reqs)
+	}
+	if reqs[0].MinP2P != 2 {
+		t.Errorf("MinP2P = %d, want 2 (slave -> master -> slave)", reqs[0].MinP2P)
+	}
+	// The master relayed exactly one query copy to slave 1.
+	if got := w.col.Received(0, metrics.Query); got != 1 {
+		t.Errorf("master received %d queries, want 1", got)
+	}
+	if got := w.col.Received(1, metrics.Query); got != 1 {
+		t.Errorf("holder slave received %d queries, want 1", got)
+	}
+}
+
+func TestHybridInvariantsOnScatteredTopology(t *testing.T) {
+	rng := newWorld(t, worldSpec{seed: 1, pts: cliquePts(1), alg: Hybrid, quals: []float64{0}}).s.NewRand()
+	pts := make([]geom.Point, 30)
+	quals := make([]float64, 30)
+	for i := range pts {
+		pts[i] = geom.Point{X: 120 + rng.Float64()*60, Y: 120 + rng.Float64()*60}
+		quals[i] = rng.Float64()
+	}
+	w := newWorld(t, worldSpec{seed: 27, pts: pts, alg: Hybrid, quals: quals})
+	w.joinAll()
+	w.run(time(900))
+	checkHybridInvariants(t, w)
+	w.checkCapacity(t, DefaultParams())
+	settled := 0
+	for _, sv := range w.svs {
+		if st := sv.State(); st == StateMaster || st == StateSlave {
+			settled++
+		}
+	}
+	if settled < len(pts)*3/4 {
+		t.Errorf("only %d/%d nodes settled into master/slave roles", settled, len(pts))
+	}
+}

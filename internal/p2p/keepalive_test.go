@@ -1,0 +1,224 @@
+package p2p
+
+import (
+	"testing"
+
+	"manetp2p/internal/metrics"
+)
+
+// pairWorld builds two adjacent Regular servents with a pre-installed
+// symmetric connection (node 0 initiator).
+func pairWorld(t *testing.T, seed int64) *world {
+	t.Helper()
+	w := newWorld(t, worldSpec{
+		seed: seed,
+		pts:  cliquePts(2),
+		alg:  Regular,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	forceLink(w.svs[0], w.svs[1], false)
+	return w
+}
+
+func TestKeepaliveRoundTrips(t *testing.T) {
+	w := pairWorld(t, 50)
+	par := DefaultParams()
+	w.run(3*par.PingInterval + time(5))
+	// Only the initiator pings; the responder answers.
+	if got := w.col.Received(1, metrics.Ping); got < 2 {
+		t.Errorf("responder received %d pings, want >= 2", got)
+	}
+	if got := w.col.Received(0, metrics.Ping); got != 0 {
+		t.Errorf("initiator received %d pings, want 0 (one-sided probing)", got)
+	}
+	if got := w.col.Received(0, metrics.Pong); got < 2 {
+		t.Errorf("initiator received %d pongs, want >= 2", got)
+	}
+	// The connection is still alive.
+	if w.svs[0].ConnCount() != 1 || w.svs[1].ConnCount() != 1 {
+		t.Error("healthy connection torn down")
+	}
+}
+
+func TestStalePongSeqIgnored(t *testing.T) {
+	w := pairWorld(t, 51)
+	sv := w.svs[0]
+	c := sv.conns[1]
+	// Fabricate an awaited probe, then deliver a pong with a stale seq.
+	c.awaitPong = true
+	c.awaitingSeq = 7
+	sv.onPong(1, msgPong{Seq: 3}, 1)
+	if !c.awaitPong {
+		t.Error("stale pong cleared the awaiting flag")
+	}
+	sv.onPong(1, msgPong{Seq: 7}, 1)
+	if c.awaitPong {
+		t.Error("matching pong not accepted")
+	}
+}
+
+func TestPongFromStrangerIgnored(t *testing.T) {
+	w := pairWorld(t, 52)
+	sv := w.svs[0]
+	before := sv.ConnCount()
+	sv.onPong(9, msgPong{Seq: 1}, 1) // no such connection
+	if sv.ConnCount() != before {
+		t.Error("stranger pong mutated connections")
+	}
+}
+
+func TestPingFromStrangerGetsBye(t *testing.T) {
+	// A symmetric-algorithm node receiving a ping for a connection it
+	// does not have must answer with a bye so the peer drops its stale
+	// half. Simulate: node 1 keeps a conn to 0, but 0 has no state.
+	w := newWorld(t, worldSpec{
+		seed: 53,
+		pts:  cliquePts(2),
+		alg:  Regular,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	// Fill node 0 with placeholder connections so it cannot re-offer a
+	// legitimate connection after the bye (the protocol otherwise heals
+	// the pair immediately, which is correct but not what this test
+	// isolates).
+	for p := 10; p < 13; p++ {
+		w.svs[0].conns[p] = &conn{peer: p}
+	}
+	// Install only node 1's half (initiator so it pings).
+	w.svs[1].installConn(&conn{peer: 0, initiator: true})
+	par := DefaultParams()
+	w.run(par.PingInterval + time(5))
+	if got := w.svs[1].ConnCount(); got != 0 {
+		t.Errorf("stale half-connection survived: %d conns", got)
+	}
+	if got := w.col.Received(1, metrics.Bye); got == 0 {
+		t.Error("no bye received by the stale side")
+	}
+}
+
+func TestBasicPingStateless(t *testing.T) {
+	// In Basic, the pinged node holds no connection state yet answers.
+	w := newWorld(t, worldSpec{
+		seed: 54,
+		pts:  cliquePts(2),
+		alg:  Basic,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	// Asymmetric reference: only node 0 knows node 1.
+	w.svs[0].installConn(&conn{peer: 1, initiator: true})
+	par := DefaultParams()
+	w.run(2*par.PingInterval + time(5))
+	if w.svs[0].ConnCount() != 1 {
+		t.Error("basic reference dropped despite responsive peer")
+	}
+	if got := w.col.Received(0, metrics.Pong); got == 0 {
+		t.Error("stateless peer did not pong")
+	}
+}
+
+func TestHandshakeTimeoutReleasesSlot(t *testing.T) {
+	// Node 0 sends an accept into the void (peer leaves right away);
+	// after HandshakeWait the pending slot must be reusable.
+	w := newWorld(t, worldSpec{
+		seed: 55,
+		pts:  cliquePts(3),
+		alg:  Regular,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	sv := w.svs[0]
+	w.med.Leave(1) // peer 1 is unreachable
+	sv.acceptOffer(1, false, false)
+	if len(sv.pending) != 1 {
+		t.Fatal("no pending handshake")
+	}
+	w.run(DefaultParams().HandshakeWait + time(20))
+	if len(sv.pending) != 0 {
+		t.Error("pending handshake not released after timeout")
+	}
+}
+
+func TestRejectReleasesSlot(t *testing.T) {
+	w := newWorld(t, worldSpec{
+		seed: 56,
+		pts:  cliquePts(2),
+		alg:  Regular,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	sv := w.svs[0]
+	// Fill node 1 so it rejects.
+	for p := 10; p < 13; p++ {
+		w.svs[1].conns[p] = &conn{peer: p}
+	}
+	sv.acceptOffer(1, false, false)
+	w.run(time(2))
+	if len(sv.pending) != 0 {
+		t.Error("reject did not release the pending slot")
+	}
+	if sv.ConnCount() != 0 {
+		t.Error("connection formed despite reject")
+	}
+}
+
+func TestStrayConfirmGetsBye(t *testing.T) {
+	// A confirm for a handshake we no longer track must trigger a bye
+	// so the responder tears down its half.
+	w := newWorld(t, worldSpec{
+		seed: 57,
+		pts:  cliquePts(2),
+		alg:  Regular,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	// Block node 0 from re-offering after the bye (see
+	// TestPingFromStrangerGetsBye).
+	for p := 10; p < 13; p++ {
+		w.svs[0].conns[p] = &conn{peer: p}
+	}
+	// Node 1 has installed its half (as if it accepted long ago) and
+	// sends the final handshake step; node 0 no longer tracks it.
+	w.svs[1].installConn(&conn{peer: 0, initiator: false})
+	w.svs[1].send(0, msgConfirm{})
+	w.run(time(2))
+	if w.svs[1].ConnCount() != 0 {
+		t.Error("responder's half not torn down after stray confirm")
+	}
+}
+
+func TestMessageClassification(t *testing.T) {
+	cases := map[metrics.Class][]any{
+		metrics.Connect: {
+			msgDiscover{}, msgReply{}, msgSolicit{}, msgOffer{}, msgAccept{},
+			msgConfirm{}, msgReject{}, msgCapture{}, msgEnslaveReq{},
+			msgEnslaveAccept{}, msgEnslaveConfirm{}, msgEnslaveReject{},
+		},
+		metrics.Ping:     {msgPing{}},
+		metrics.Pong:     {msgPong{}},
+		metrics.Query:    {msgQuery{}},
+		metrics.QueryHit: {msgQueryHit{}},
+		metrics.Bye:      {msgBye{}},
+	}
+	for class, msgs := range cases {
+		for _, m := range msgs {
+			if got := classOf(m); got != class {
+				t.Errorf("classOf(%T) = %v, want %v", m, got, class)
+			}
+			if sizeOf(m) <= 0 {
+				t.Errorf("sizeOf(%T) not positive", m)
+			}
+		}
+	}
+}
+
+func TestClassOfUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("classOf(unknown) did not panic")
+		}
+	}()
+	classOf(42)
+}

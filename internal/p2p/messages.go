@@ -1,0 +1,184 @@
+package p2p
+
+import "manetp2p/internal/metrics"
+
+// Nominal p2p message sizes in bytes for traffic/energy accounting.
+const (
+	sizeDiscover = 16
+	sizeReply    = 12
+	sizeSolicit  = 16
+	sizeOffer    = 16
+	sizeAccept   = 12
+	sizeConfirm  = 12
+	sizeReject   = 12
+	sizeCapture  = 16
+	sizeEnslave  = 12
+	sizePing     = 8
+	sizePong     = 8
+	sizeBye      = 8
+	sizeQuery    = 24
+	sizeQueryHit = 20
+)
+
+// msgDiscover is the Basic algorithm's discovery broadcast.
+type msgDiscover struct{}
+
+// msgReply is the Basic algorithm's answer to a discover: "every node
+// that listens to this message answers it" (§6.1.1). Receipt immediately
+// creates an asymmetric reference at the discoverer.
+type msgReply struct{}
+
+// msgSolicit is the Regular/Random establishment broadcast ("looking for
+// establishing connections", §6.1.3). For the Hybrid algorithm, masters
+// solicit other masters with MasterOnly set.
+type msgSolicit struct {
+	Rand       bool // this solicitation seeks the Random algorithm's long link
+	MasterOnly bool // only masters may respond (Hybrid master mesh)
+}
+
+// msgOffer opens the three-way handshake: the responder is willing to
+// form a symmetric connection. BcastHops echoes how many ad-hoc hops the
+// solicitation traveled, which the Random algorithm uses to pick the
+// farthest responder.
+type msgOffer struct {
+	Rand       bool
+	MasterOnly bool
+	BcastHops  int
+}
+
+// msgAccept is the solicitor's second handshake step, committing a slot.
+type msgAccept struct {
+	Rand   bool
+	Master bool
+}
+
+// msgConfirm is the responder's final handshake step; on receipt both
+// ends consider the symmetric connection established.
+type msgConfirm struct {
+	Rand   bool
+	Master bool
+}
+
+// msgReject aborts a handshake whose responder ran out of capacity.
+type msgReject struct{}
+
+// msgCapture is the Hybrid algorithm's discovery message carrying the
+// sender's qualifier (§6.2). Reply=false for the initial broadcast;
+// a higher-qualified receiver answers with Reply=true.
+type msgCapture struct {
+	Qualifier float64
+	Reply     bool
+}
+
+// msgEnslaveReq asks the receiver to become the sender's master.
+type msgEnslaveReq struct {
+	Qualifier float64
+}
+
+// msgEnslaveAccept grants a slave slot (master side of the handshake).
+type msgEnslaveAccept struct{}
+
+// msgEnslaveConfirm finalizes enslavement (slave side).
+type msgEnslaveConfirm struct{}
+
+// msgEnslaveReject denies a slave slot.
+type msgEnslaveReject struct{}
+
+// msgPing is the keepalive probe. Seq matches pongs to pings.
+type msgPing struct {
+	Seq uint32
+}
+
+// msgPong answers a ping.
+type msgPong struct {
+	Seq uint32
+}
+
+// msgBye is a best-effort teardown notice so the remote side need not
+// wait for a keepalive timeout. The paper relies on timeouts alone; Bye
+// is an optimization that does not affect the counted message classes.
+type msgBye struct{}
+
+// msgQuery is a Gnutella-style file search flooded over overlay links
+// (§7.2): TTL-limited, forwarded at most once per node, never back to
+// the sender or to the original requirer.
+type msgQuery struct {
+	Origin  int    // the requirer
+	QID     uint32 // per-origin query id for duplicate suppression
+	File    int    // requested file rank
+	TTL     int    // remaining p2p hops
+	P2PHops int    // overlay hops traveled so far
+	Walk    bool   // random-walk propagation instead of flooding
+}
+
+// msgQueryHit is sent directly (ad-hoc unicast) to the requirer by a
+// node holding the file.
+type msgQueryHit struct {
+	QID     uint32
+	File    int
+	Holder  int
+	P2PHops int // overlay hops the query traveled to reach the holder
+}
+
+// classOf maps a message to the paper's counting classes.
+func classOf(m any) metrics.Class {
+	switch m.(type) {
+	case msgDiscover, msgReply, msgSolicit, msgOffer, msgAccept, msgConfirm, msgReject,
+		msgCapture, msgEnslaveReq, msgEnslaveAccept, msgEnslaveConfirm, msgEnslaveReject:
+		return metrics.Connect
+	case msgPing:
+		return metrics.Ping
+	case msgPong:
+		return metrics.Pong
+	case msgQuery:
+		return metrics.Query
+	case msgQueryHit:
+		return metrics.QueryHit
+	case msgBye:
+		return metrics.Bye
+	case msgFetchReq, msgChunk:
+		return metrics.Transfer
+	default:
+		panic("p2p: unclassified message")
+	}
+}
+
+// sizeOf returns the nominal wire size of a message.
+func sizeOf(m any) int {
+	switch m.(type) {
+	case msgDiscover:
+		return sizeDiscover
+	case msgReply:
+		return sizeReply
+	case msgSolicit:
+		return sizeSolicit
+	case msgOffer:
+		return sizeOffer
+	case msgAccept:
+		return sizeAccept
+	case msgConfirm:
+		return sizeConfirm
+	case msgReject:
+		return sizeReject
+	case msgCapture:
+		return sizeCapture
+	case msgEnslaveReq, msgEnslaveAccept, msgEnslaveConfirm, msgEnslaveReject:
+		return sizeEnslave
+	case msgPing:
+		return sizePing
+	case msgPong:
+		return sizePong
+	case msgBye:
+		return sizeBye
+	case msgQuery:
+		return sizeQuery
+	case msgQueryHit:
+		return sizeQueryHit
+	case msgFetchReq:
+		return sizeFetchReq
+	case msgChunk:
+		return sizeChunk
+	default:
+		panic("p2p: unsized message")
+	}
+}

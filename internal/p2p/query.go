@@ -1,0 +1,199 @@
+package p2p
+
+import (
+	"manetp2p/internal/metrics"
+	"manetp2p/internal/sim"
+	"manetp2p/internal/trace"
+)
+
+// This file implements the Gnutella-based query system of §7.2. A
+// servent sends a query to all its overlay neighbors, waits 30 s for
+// answers, then waits a random 15–45 s before the next query. Forwarding
+// rules: each node forwards or responds to a query at most once, never
+// back to the neighbor it came from, and never to the original requirer.
+// A node holding the file answers the requirer directly (ad-hoc unicast)
+// and still forwards the query.
+
+// queryGap draws the paper's 15–45 s inter-query pause.
+func (sv *Servent) queryGap() sim.Time {
+	return sim.UniformDuration(sv.opt.RNG, sv.par.QueryGapMin, sv.par.QueryGapMax)
+}
+
+// pickFile chooses a file to request, uniformly among files this node
+// does not hold (a peer does not search for content it already has).
+// Returns -1 if there is nothing to request.
+func (sv *Servent) pickFile() int {
+	n := len(sv.opt.Files)
+	if n == 0 {
+		return -1
+	}
+	// Count misses first so the draw is exact, not rejection-sampled.
+	missing := 0
+	for _, held := range sv.opt.Files {
+		if !held {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return -1
+	}
+	k := sv.opt.RNG.Intn(missing)
+	for f, held := range sv.opt.Files {
+		if held {
+			continue
+		}
+		if k == 0 {
+			return f
+		}
+		k--
+	}
+	return -1
+}
+
+// runQuery issues one file search.
+func (sv *Servent) runQuery() {
+	sv.queryEv = nil
+	if !sv.joined {
+		return
+	}
+	file := sv.pickFile()
+	if file < 0 || len(sv.conns) == 0 {
+		// Nothing to ask or no one to ask: try again later.
+		sv.queryEv = sv.s.Schedule(sv.queryGap(), sv.runQuery)
+		return
+	}
+	sv.nextQID++
+	sv.opt.Tracer.Emit(trace.KindQuery, sv.id, -1, "query qid=%d file=%d", sv.nextQID, file)
+	sv.curReq = &request{qid: sv.nextQID, file: file}
+	sv.seen[queryKey{sv.id, sv.nextQID}] = struct{}{}
+	switch sv.par.QueryMode {
+	case QueryRandomWalk:
+		// Launch k walkers on random neighbors (distinct when possible).
+		q := msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.WalkTTL, Walk: true}
+		peers := sv.Peers()
+		sv.opt.RNG.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+		for w := 0; w < sv.par.Walkers; w++ {
+			sv.send(peers[w%len(peers)], q)
+		}
+	default:
+		q := msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.QueryTTL, P2PHops: 0}
+		for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
+			sv.send(peer, q)
+		}
+	}
+	sv.queryEv = sv.s.Schedule(sv.par.QueryCollect, sv.finishQuery)
+}
+
+// finishQuery closes the 30 s collection window, records the outcome and
+// schedules the next query.
+func (sv *Servent) finishQuery() {
+	sv.queryEv = nil
+	if r := sv.curReq; r != nil {
+		sv.opt.Tracer.Emit(trace.KindQuery, sv.id, -1,
+			"done qid=%d file=%d answers=%d minP2P=%d", r.qid, r.file, r.answers, r.minP2P)
+	}
+	if r := sv.curReq; r != nil && sv.opt.Collector != nil {
+		sv.opt.Collector.Record(metrics.Request{
+			Node:     sv.id,
+			File:     r.file,
+			Answers:  r.answers,
+			MinP2P:   r.minP2P,
+			MinAdhoc: r.minAdhoc,
+			Found:    r.answers > 0,
+		})
+	}
+	r := sv.curReq
+	sv.curReq = nil
+	if !sv.joined {
+		return
+	}
+	if r != nil && r.answers > 0 {
+		sv.maybeStartDownload(r.file, r.holder)
+	}
+	sv.queryEv = sv.s.Schedule(sv.queryGap(), sv.runQuery)
+}
+
+// onQuery applies the paper's three forwarding rules and answers if this
+// node holds the file. Random-walk queries relax rule 1: a walker may
+// revisit a node (it keeps walking), but the node answers at most once.
+func (sv *Servent) onQuery(prev int, q msgQuery) {
+	if q.Origin == sv.id {
+		return
+	}
+	if q.Walk {
+		sv.onWalkQuery(prev, q)
+		return
+	}
+	k := queryKey{q.Origin, q.QID}
+	if _, dup := sv.seen[k]; dup {
+		return // rule 1: forward or respond at most once
+	}
+	sv.seen[k] = struct{}{}
+	myDist := q.P2PHops + 1
+	if sv.HasFile(q.File) {
+		// "it sends a response directly to the requirer."
+		sv.send(q.Origin, msgQueryHit{QID: q.QID, File: q.File, Holder: sv.id, P2PHops: myDist})
+	}
+	if q.TTL <= 1 {
+		return
+	}
+	fwd := msgQuery{Origin: q.Origin, QID: q.QID, File: q.File, TTL: q.TTL - 1, P2PHops: myDist}
+	for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
+		if peer == prev || peer == q.Origin {
+			continue // rules 2 and 3
+		}
+		sv.send(peer, fwd)
+	}
+}
+
+// onWalkQuery advances one random walker: answer once if we hold the
+// file, then hand the walker to a random neighbor (avoiding an
+// immediate bounce when any alternative exists).
+func (sv *Servent) onWalkQuery(prev int, q msgQuery) {
+	myDist := q.P2PHops + 1
+	k := queryKey{q.Origin, q.QID}
+	if _, answered := sv.seen[k]; !answered {
+		sv.seen[k] = struct{}{}
+		if sv.HasFile(q.File) {
+			sv.send(q.Origin, msgQueryHit{QID: q.QID, File: q.File, Holder: sv.id, P2PHops: myDist})
+		}
+	}
+	if q.TTL <= 1 {
+		return
+	}
+	var candidates []int
+	for _, peer := range sv.Peers() {
+		if peer != prev && peer != q.Origin {
+			candidates = append(candidates, peer)
+		}
+	}
+	if len(candidates) == 0 {
+		if _, back := sv.conns[prev]; back && prev != q.Origin {
+			candidates = append(candidates, prev) // dead end: bounce
+		} else {
+			return
+		}
+	}
+	next := candidates[sv.opt.RNG.Intn(len(candidates))]
+	fwd := q
+	fwd.TTL--
+	fwd.P2PHops = myDist
+	sv.send(next, fwd)
+}
+
+// onQueryHit accumulates an answer into the open request, tracking the
+// minimum p2p and ad-hoc distances to a holder.
+func (sv *Servent) onQueryHit(_ int, h msgQueryHit, adhocHops int) {
+	r := sv.curReq
+	if r == nil || h.QID != r.qid {
+		return // late answer: the window closed
+	}
+	r.answers++
+	if r.minP2P == 0 || h.P2PHops < r.minP2P {
+		r.minP2P = h.P2PHops
+		r.holder = h.Holder
+	}
+	if r.minAdhoc == 0 || adhocHops < r.minAdhoc {
+		r.minAdhoc = adhocHops
+	}
+}

@@ -1,0 +1,477 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"manetp2p/internal/metrics"
+	"manetp2p/internal/netif"
+	"manetp2p/internal/sim"
+	"manetp2p/internal/trace"
+)
+
+// HybridState is a Hybrid-algorithm servent's role (§6.2).
+type HybridState int
+
+const (
+	// StateInitial means the peer is still looking for a master or slaves.
+	StateInitial HybridState = iota
+	// StateMaster means the peer coordinates a subnet of slaves and
+	// participates in the master mesh.
+	StateMaster
+	// StateSlave means the peer communicates only with its master.
+	StateSlave
+	// StateReserved is the transitional state during an enslavement
+	// handshake.
+	StateReserved
+)
+
+// String returns the paper's name for the state.
+func (s HybridState) String() string {
+	switch s {
+	case StateInitial:
+		return "initial"
+	case StateMaster:
+		return "master"
+	case StateSlave:
+		return "slave"
+	case StateReserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// conn is one overlay connection (a reference, possibly half of a
+// symmetric pair).
+type conn struct {
+	peer      int
+	random    bool // the Random algorithm's long-range link
+	initiator bool // we asked for it, so we send the pings
+	toMaster  bool // hybrid: peer is our master
+	toSlave   bool // hybrid: peer is one of our slaves
+	master    bool // hybrid: master-mesh link
+
+	awaitingSeq uint32
+	awaitPong   bool
+	pingTimer   *sim.Timer // initiator: next ping / pong deadline
+	deadline    *sim.Timer // responder: expected-ping deadline
+	since       sim.Time   // established time, for lifetime statistics
+}
+
+// handshake is a solicitor-side in-flight three-way handshake (we sent
+// accept and hold a reserved slot until confirm or timeout).
+type handshake struct {
+	peer    int
+	random  bool
+	master  bool
+	timeout *sim.Event
+}
+
+// offerInfo is a response collected during the Random algorithm's
+// farthest-responder window.
+type offerInfo struct {
+	peer      int
+	bcastHops int
+}
+
+// Options configures a Servent beyond the protocol parameters.
+type Options struct {
+	Qualifier   float64 // hybrid device qualifier (higher = more capable)
+	Files       []bool  // file holdings by rank; may be nil
+	Collector   *metrics.Collector
+	RNG         *rand.Rand    // deterministic per-node stream; required
+	NoQueries   bool          // disable the query workload (protocol-only tests)
+	NoEstablish bool          // disable the establishment cycle (query-only tests)
+	Tracer      *trace.Tracer // optional event tracing; nil = off
+}
+
+// Servent is one peer of the overlay: it runs one of the four
+// (re)configuration algorithms plus the shared maintenance and query
+// machinery.
+type Servent struct {
+	id  int
+	s   *sim.Sim
+	rt  netif.Protocol
+	par Params
+	alg Algorithm
+	opt Options
+
+	joined bool
+	conns  map[int]*conn
+
+	// Establishment state (decentralized algorithms and the hybrid
+	// master mesh / initial capture cycle share this ring machinery).
+	nhops        int
+	timer        sim.Time
+	cycleEv      *sim.Event
+	cycleRunning bool
+	pending      map[int]*handshake
+
+	// Random algorithm offer collection.
+	collecting bool
+	offers     []offerInfo
+
+	// Hybrid state.
+	state        HybridState
+	reservedWith int
+	noSlave      *sim.Timer
+	reservedEv   *sim.Event
+
+	// Query engine.
+	nextQID uint32
+	seen    map[queryKey]struct{}
+	curReq  *request
+	queryEv *sim.Event
+
+	// Download extension.
+	xfer      *xfer
+	downloads uint64
+
+	// Peer-cache extension.
+	peerCache map[int]*cacheEntry
+
+	// Local statistics (per-servent, complementing the Collector).
+	established uint64 // connections successfully formed
+	closed      uint64 // connections torn down
+}
+
+type queryKey struct {
+	origin int
+	qid    uint32
+}
+
+type request struct {
+	qid      uint32
+	file     int
+	answers  int
+	minP2P   int
+	minAdhoc int
+	holder   int // nearest answering holder (download extension)
+}
+
+// NewServent creates a servent for node id running alg. The router's
+// upper-layer hooks must be wired to HandleUnicast/HandleBroadcast by
+// the caller (the manet node does this).
+func NewServent(id int, s *sim.Sim, rt netif.Protocol, par Params, alg Algorithm, opt Options) *Servent {
+	if err := par.Validate(); err != nil {
+		panic(err)
+	}
+	par.Download = par.Download.withDefaults()
+	par.PeerCache = par.PeerCache.withDefaults()
+	if opt.RNG == nil {
+		panic("p2p: Options.RNG is required")
+	}
+	return &Servent{
+		id:      id,
+		s:       s,
+		rt:      rt,
+		par:     par,
+		alg:     alg,
+		opt:     opt,
+		conns:   make(map[int]*conn),
+		pending: make(map[int]*handshake),
+		seen:    make(map[queryKey]struct{}),
+		state:   StateInitial,
+	}
+}
+
+// ID returns the node id.
+func (sv *Servent) ID() int { return sv.id }
+
+// Algorithm returns the configured algorithm.
+func (sv *Servent) Algorithm() Algorithm { return sv.alg }
+
+// Qualifier returns the hybrid device qualifier.
+func (sv *Servent) Qualifier() float64 { return sv.opt.Qualifier }
+
+// Joined reports whether the servent is participating in the overlay.
+func (sv *Servent) Joined() bool { return sv.joined }
+
+// State returns the hybrid role (meaningful only for the Hybrid
+// algorithm; decentralized servents stay in StateInitial).
+func (sv *Servent) State() HybridState { return sv.state }
+
+// Master returns the current master's id for a slave, or -1.
+func (sv *Servent) Master() int {
+	for _, c := range sv.conns {
+		if c.toMaster {
+			return c.peer
+		}
+	}
+	return -1
+}
+
+// Slaves returns the ids of this master's slaves, sorted.
+func (sv *Servent) Slaves() []int {
+	var out []int
+	for _, c := range sv.conns {
+		if c.toSlave {
+			out = append(out, c.peer)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Peers returns the ids of all connected peers, sorted.
+func (sv *Servent) Peers() []int {
+	out := make([]int, 0, len(sv.conns))
+	for p := range sv.conns {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConnCount returns the number of live connections (references).
+func (sv *Servent) ConnCount() int { return len(sv.conns) }
+
+// HasRandomConn reports whether a Random-algorithm long link is live.
+func (sv *Servent) HasRandomConn() bool {
+	for _, c := range sv.conns {
+		if c.random {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnIsRandom reports whether the link to peer is a random connection.
+func (sv *Servent) ConnIsRandom(peer int) bool {
+	c, ok := sv.conns[peer]
+	return ok && c.random
+}
+
+// HasFile reports whether this servent holds file rank r.
+func (sv *Servent) HasFile(r int) bool {
+	return sv.opt.Files != nil && r >= 0 && r < len(sv.opt.Files) && sv.opt.Files[r]
+}
+
+// Established returns how many connections this servent has formed.
+func (sv *Servent) Established() uint64 { return sv.established }
+
+// Closed returns how many connections this servent has torn down.
+func (sv *Servent) Closed() uint64 { return sv.closed }
+
+// Join starts participation: the establishment cycle begins after a
+// small random stagger, and (unless disabled) the query workload starts.
+func (sv *Servent) Join() {
+	if sv.joined {
+		return
+	}
+	sv.joined = true
+	sv.state = StateInitial
+	sv.nhops = sv.par.NHopsInitial
+	sv.timer = sv.par.TimerInitial
+	stagger := sim.UniformDuration(sv.opt.RNG, 0, sv.par.JoinStaggerMax)
+	if !sv.opt.NoEstablish {
+		sv.s.Schedule(stagger, sv.ensureCycle)
+	}
+	if !sv.opt.NoQueries {
+		first := stagger + sv.par.QueryCollect + sv.queryGap()
+		sv.queryEv = sv.s.Schedule(first, sv.runQuery)
+	}
+}
+
+// Leave stops participation. If graceful, best-effort bye messages tell
+// peers immediately; otherwise they discover the loss via keepalives —
+// the death model of the churn experiments.
+func (sv *Servent) Leave(graceful bool) {
+	if !sv.joined {
+		return
+	}
+	sv.joined = false
+	for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
+		sv.closeConn(peer, graceful)
+	}
+	for _, h := range sv.pending {
+		h.timeout.Cancel()
+	}
+	sv.pending = make(map[int]*handshake)
+	sv.cycleEv.Cancel()
+	sv.cycleEv = nil
+	sv.cycleRunning = false
+	sv.queryEv.Cancel()
+	sv.queryEv = nil
+	sv.curReq = nil
+	if sv.xfer != nil {
+		sv.xfer.timeout.Stop()
+		sv.xfer = nil
+	}
+	sv.collecting = false
+	sv.offers = nil
+	sv.reservedEv.Cancel()
+	sv.reservedEv = nil
+	if sv.noSlave != nil {
+		sv.noSlave.Stop()
+	}
+	sv.state = StateInitial
+}
+
+// count records a received message in the collector.
+func (sv *Servent) count(m any) {
+	if sv.opt.Collector != nil {
+		sv.opt.Collector.Recv(sv.id, classOf(m))
+	}
+}
+
+// send unicasts a p2p message to peer through the ad-hoc network.
+func (sv *Servent) send(peer int, m any) {
+	sv.rt.Send(peer, sizeOf(m), m)
+}
+
+// broadcast floods a p2p message within ttl ad-hoc hops.
+func (sv *Servent) broadcast(ttl int, m any) {
+	sv.rt.Broadcast(ttl, sizeOf(m), m)
+}
+
+// HandleBroadcast is the router's controlled-broadcast upper hook.
+func (sv *Servent) HandleBroadcast(d netif.Delivery) {
+	if !sv.joined || d.From == sv.id {
+		return
+	}
+	sv.count(d.Payload)
+	switch m := d.Payload.(type) {
+	case msgDiscover:
+		sv.onDiscover(d.From)
+	case msgSolicit:
+		sv.onSolicit(d.From, m, d.Hops)
+	case msgCapture:
+		sv.onCapture(d.From, m)
+	}
+}
+
+// HandleUnicast is the router's unicast upper hook.
+func (sv *Servent) HandleUnicast(d netif.Delivery) {
+	if !sv.joined {
+		return
+	}
+	sv.count(d.Payload)
+	switch m := d.Payload.(type) {
+	case msgReply:
+		sv.onReply(d.From)
+	case msgSolicit:
+		// Unicast solicitation: the peer-cache extension's direct
+		// reconnect attempt. Same willingness rules as the broadcast.
+		sv.onSolicit(d.From, m, d.Hops)
+	case msgOffer:
+		sv.rememberPeer(d.From)
+		sv.onOffer(d.From, m)
+	case msgAccept:
+		sv.onAccept(d.From, m)
+	case msgConfirm:
+		sv.onConfirm(d.From, m)
+	case msgReject:
+		sv.onReject(d.From)
+	case msgCapture:
+		sv.onCaptureReply(d.From, m)
+	case msgEnslaveReq:
+		sv.onEnslaveReq(d.From, m)
+	case msgEnslaveAccept:
+		sv.onEnslaveAccept(d.From)
+	case msgEnslaveConfirm:
+		sv.onEnslaveConfirm(d.From)
+	case msgEnslaveReject:
+		sv.onEnslaveReject(d.From)
+	case msgPing:
+		sv.onPing(d.From, m)
+	case msgPong:
+		sv.onPong(d.From, m, d.Hops)
+	case msgBye:
+		sv.onBye(d.From)
+	case msgQuery:
+		sv.onQuery(d.From, m)
+	case msgQueryHit:
+		sv.onQueryHit(d.From, m, d.Hops)
+	case msgFetchReq:
+		sv.onFetchReq(d.From, m)
+	case msgChunk:
+		sv.onChunk(d.From, m)
+	default:
+		panic(fmt.Sprintf("p2p: unexpected unicast payload %T", d.Payload))
+	}
+}
+
+// reservedSlots counts slots held by in-flight outgoing handshakes.
+func (sv *Servent) reservedSlots() int { return len(sv.pending) }
+
+// installConn finalizes a connection and starts its keepalive machinery.
+func (sv *Servent) installConn(c *conn) {
+	if _, dup := sv.conns[c.peer]; dup {
+		return
+	}
+	sv.conns[c.peer] = c
+	sv.established++
+	c.since = sv.s.Now()
+	sv.rememberPeer(c.peer)
+	sv.opt.Tracer.Emit(trace.KindConn, sv.id, c.peer,
+		"established random=%v master=%v toMaster=%v toSlave=%v", c.random, c.master, c.toMaster, c.toSlave)
+	// "Whenever a connection is done, the timer is reset to its initial
+	// value" (§6.1.3).
+	sv.timer = sv.par.TimerInitial
+	if c.initiator {
+		sv.startPinging(c)
+	} else {
+		sv.startDeadline(c)
+	}
+}
+
+// closeConn tears down the connection to peer, optionally notifying it.
+func (sv *Servent) closeConn(peer int, notify bool) {
+	c, ok := sv.conns[peer]
+	if !ok {
+		return
+	}
+	delete(sv.conns, peer)
+	sv.closed++
+	if sv.opt.Collector != nil && c.initiator {
+		// Counted at the initiator only, so each symmetric pair
+		// contributes one sample (Basic references are all initiator).
+		sv.opt.Collector.RecordLifetime((sv.s.Now() - c.since).Seconds())
+	}
+	sv.opt.Tracer.Emit(trace.KindConn, sv.id, peer, "closed notify=%v", notify)
+	if c.pingTimer != nil {
+		c.pingTimer.Stop()
+	}
+	if c.deadline != nil {
+		c.deadline.Stop()
+	}
+	if notify && sv.alg != Basic {
+		sv.send(peer, msgBye{})
+	}
+	if !sv.joined {
+		return
+	}
+	sv.onConnClosed(c)
+}
+
+// onConnClosed applies the algorithm-specific reconfiguration reaction.
+func (sv *Servent) onConnClosed(c *conn) {
+	switch sv.alg {
+	case Hybrid:
+		switch {
+		case c.toMaster:
+			// "...and, if it is a slave, the peer resets its state to
+			// initial. It then tries to contact other peers" (§6.2).
+			sv.state = StateInitial
+			sv.nhops = sv.par.NHopsInitial
+			sv.timer = sv.par.TimerInitial
+			sv.ensureCycle()
+		case c.toSlave:
+			if sv.state == StateMaster && len(sv.Slaves()) == 0 {
+				sv.armNoSlaveTimer()
+			}
+		default: // master-mesh link
+			sv.ensureCycle()
+		}
+	default:
+		sv.ensureCycle()
+	}
+}
+
+// onBye handles a peer's teardown notice.
+func (sv *Servent) onBye(peer int) {
+	sv.closeConn(peer, false)
+}

@@ -1,0 +1,58 @@
+package p2p
+
+// This file reproduces Table 1 of the paper: the qualitative comparison
+// of p2p topology families (derived from Minar's "Distributed Systems
+// Topologies"). It is data, not measurement — exposed so cmd/repro can
+// print the table alongside the simulated results.
+
+// Topology is a p2p organization family from §2.
+type Topology int
+
+// The three families compared by Table 1.
+const (
+	Centralized Topology = iota
+	Decentralized
+	HybridTopology
+)
+
+// String returns the paper's column label.
+func (t Topology) String() string {
+	switch t {
+	case Centralized:
+		return "Centralized"
+	case Decentralized:
+		return "Decentralized"
+	case HybridTopology:
+		return "Hybrid"
+	default:
+		return "Unknown"
+	}
+}
+
+// TopologyTrait is one row of Table 1.
+type TopologyTrait struct {
+	Property string
+	Values   [3]string // indexed by Topology
+}
+
+// Table1 returns the paper's Table 1 verbatim.
+func Table1() []TopologyTrait {
+	return []TopologyTrait{
+		{Property: "Manageable", Values: [3]string{"yes", "no", "no"}},
+		{Property: "Extensible", Values: [3]string{"no", "yes", "yes"}},
+		{Property: "Fault-Tolerant", Values: [3]string{"no", "yes", "yes"}},
+		{Property: "Secure", Values: [3]string{"yes", "no", "no"}},
+		{Property: "Lawsuit-proof", Values: [3]string{"no", "yes", "yes"}},
+		{Property: "Scalable", Values: [3]string{"depend", "maybe", "apparently"}},
+	}
+}
+
+// TopologyOf maps each implemented algorithm to its Table 1 family. All
+// four run without a central entity; Hybrid is the paper's
+// centralized+decentralized blend.
+func TopologyOf(a Algorithm) Topology {
+	if a == Hybrid {
+		return HybridTopology
+	}
+	return Decentralized
+}

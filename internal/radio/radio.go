@@ -1,0 +1,263 @@
+// Package radio models the wireless medium as a unit-disc graph: two
+// nodes can exchange link-layer frames iff their distance is at most the
+// transmission range (the paper uses 10 m). Frames are delivered after a
+// small per-hop latency with optional jitter and loss, and every transmit
+// and receive debits the sender's/receiver's battery, which is what makes
+// the paper's message-count metrics proxies for network lifetime.
+//
+// The medium deliberately omits MAC-level contention and capture effects:
+// the paper's metrics are message counts and hop distances, which are
+// insensitive to MAC timing (see EXPERIMENTS.md, substitutions).
+package radio
+
+import (
+	"fmt"
+
+	"manetp2p/internal/geom"
+	"manetp2p/internal/sim"
+)
+
+// BroadcastAddr addresses a frame to every node in range of the sender.
+const BroadcastAddr = -1
+
+// Frame is one link-layer transmission unit.
+type Frame struct {
+	Src     int // transmitting node
+	Dst     int // receiving node or BroadcastAddr
+	Size    int // bytes on air, for energy/traffic accounting
+	Payload any // upper-layer packet; never inspected by the medium
+}
+
+// Receiver is the upper-layer hook invoked on frame arrival.
+type Receiver func(f Frame)
+
+// Config sets the physical parameters of the medium.
+type Config struct {
+	Arena    geom.Rect // simulation area
+	Range    float64   // transmission range, metres
+	NumNodes int       // node IDs are [0, NumNodes)
+	Latency  sim.Time  // fixed per-hop delivery delay
+	Jitter   sim.Time  // extra uniform [0, Jitter] per delivery
+	LossProb float64   // independent per-delivery drop probability
+	Energy   EnergyConfig
+}
+
+// Validate reports a descriptive error for out-of-range parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.Arena.W <= 0 || c.Arena.H <= 0:
+		return fmt.Errorf("radio: arena %vx%v not positive", c.Arena.W, c.Arena.H)
+	case c.Range <= 0:
+		return fmt.Errorf("radio: range %v not positive", c.Range)
+	case c.NumNodes <= 0:
+		return fmt.Errorf("radio: NumNodes %d not positive", c.NumNodes)
+	case c.Latency < 0 || c.Jitter < 0:
+		return fmt.Errorf("radio: negative latency/jitter")
+	case c.LossProb < 0 || c.LossProb >= 1:
+		return fmt.Errorf("radio: loss probability %v outside [0,1)", c.LossProb)
+	}
+	return nil
+}
+
+// Stats aggregates per-node medium usage.
+type Stats struct {
+	TxFrames uint64
+	RxFrames uint64
+	TxBytes  uint64
+	RxBytes  uint64
+	Dropped  uint64 // deliveries lost to LossProb
+}
+
+// Medium is the shared wireless channel. Not safe for concurrent use;
+// one Medium belongs to one Sim.
+type Medium struct {
+	cfg  Config
+	sim  *sim.Sim
+	grid *geom.Grid
+	rng  interface{ Float64() float64 }
+	jrng interface{ Int63n(int64) int64 }
+
+	recv    []Receiver
+	up      []bool
+	stats   []Stats
+	battery []*Battery
+	onDeath func(id int)
+
+	scratch []int
+}
+
+// NewMedium creates the medium; all nodes start down (not placed) until
+// Join is called for them.
+func NewMedium(s *sim.Sim, cfg Config) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Medium{
+		cfg:     cfg,
+		sim:     s,
+		grid:    geom.NewGrid(cfg.Arena, cfg.Range, cfg.NumNodes),
+		rng:     s.NewRand(),
+		jrng:    s.NewRand(),
+		recv:    make([]Receiver, cfg.NumNodes),
+		up:      make([]bool, cfg.NumNodes),
+		stats:   make([]Stats, cfg.NumNodes),
+		battery: make([]*Battery, cfg.NumNodes),
+	}
+	for i := range m.battery {
+		m.battery[i] = NewBattery(cfg.Energy)
+	}
+	return m, nil
+}
+
+// Join places node id at p and installs its receive callback. Joining a
+// node that is already up panics.
+func (m *Medium) Join(id int, p geom.Point, r Receiver) {
+	if m.up[id] {
+		panic(fmt.Sprintf("radio: Join of already-up node %d", id))
+	}
+	if r == nil {
+		panic("radio: Join with nil receiver")
+	}
+	m.up[id] = true
+	m.recv[id] = r
+	m.grid.Insert(id, p)
+}
+
+// Leave removes node id from the air (death, churn). In-flight frames
+// addressed to it are silently lost. Leaving a down node is a no-op.
+func (m *Medium) Leave(id int) {
+	if !m.up[id] {
+		return
+	}
+	m.up[id] = false
+	m.grid.Remove(id)
+}
+
+// Up reports whether node id is currently on the air.
+func (m *Medium) Up(id int) bool { return m.up[id] }
+
+// SetPos moves node id (driven by the mobility tick).
+func (m *Medium) SetPos(id int, p geom.Point) {
+	if m.up[id] {
+		m.grid.Move(id, p)
+	}
+}
+
+// Pos returns the last set position of node id.
+func (m *Medium) Pos(id int) geom.Point { return m.grid.Pos(id) }
+
+// InRange reports whether a and b are both up and within range.
+func (m *Medium) InRange(a, b int) bool {
+	return m.up[a] && m.up[b] && m.grid.Pos(a).Dist2(m.grid.Pos(b)) <= m.cfg.Range*m.cfg.Range
+}
+
+// Neighbors appends to dst the up nodes within range of id and returns
+// the extended slice.
+func (m *Medium) Neighbors(dst []int, id int) []int {
+	if !m.up[id] {
+		return dst
+	}
+	return m.grid.Near(dst, m.grid.Pos(id), m.cfg.Range, id)
+}
+
+// Degree reports the number of current radio neighbors of id.
+func (m *Medium) Degree(id int) int {
+	m.scratch = m.Neighbors(m.scratch[:0], id)
+	return len(m.scratch)
+}
+
+// Stats returns medium usage counters for node id.
+func (m *Medium) Stats(id int) Stats { return m.stats[id] }
+
+// Battery returns node id's battery for inspection.
+func (m *Medium) Battery(id int) *Battery { return m.battery[id] }
+
+// OnDeath installs a callback invoked when a node's battery empties.
+func (m *Medium) OnDeath(fn func(id int)) { m.onDeath = fn }
+
+// Range returns the configured transmission range in metres.
+func (m *Medium) Range() float64 { return m.cfg.Range }
+
+// NumNodes returns the node-ID space size.
+func (m *Medium) NumNodes() int { return m.cfg.NumNodes }
+
+// Send transmits a frame. For unicast the destination must be in range at
+// transmit time or the frame is lost (returns 0). For Dst ==
+// BroadcastAddr the frame is delivered to every in-range node. It returns
+// the number of receivers the frame was queued for (pre-loss). Sending
+// from a down node is a silent no-op returning 0: protocol timers can
+// race with churn, and that race is real in a MANET.
+func (m *Medium) Send(f Frame) int {
+	if f.Src < 0 || f.Src >= m.cfg.NumNodes || !m.up[f.Src] {
+		return 0
+	}
+	if f.Size <= 0 {
+		panic("radio: Send with non-positive frame size")
+	}
+	m.stats[f.Src].TxFrames++
+	m.stats[f.Src].TxBytes += uint64(f.Size)
+	m.spendTx(f.Src, f.Size)
+
+	if f.Dst == BroadcastAddr {
+		m.scratch = m.Neighbors(m.scratch[:0], f.Src)
+		n := 0
+		for _, nb := range m.scratch {
+			m.deliver(f, nb)
+			n++
+		}
+		return n
+	}
+	if f.Dst < 0 || f.Dst >= m.cfg.NumNodes || !m.InRange(f.Src, f.Dst) {
+		return 0
+	}
+	m.deliver(f, f.Dst)
+	return 1
+}
+
+// deliver queues the frame for arrival at node to after latency+jitter,
+// applying the loss probability.
+func (m *Medium) deliver(f Frame, to int) {
+	if m.cfg.LossProb > 0 && m.rng.Float64() < m.cfg.LossProb {
+		m.stats[to].Dropped++
+		return
+	}
+	delay := m.cfg.Latency
+	if m.cfg.Jitter > 0 {
+		delay += sim.Time(m.jrng.Int63n(int64(m.cfg.Jitter) + 1))
+	}
+	m.sim.Schedule(delay, func() {
+		// The receiver may have left or died while the frame was in
+		// flight; radio waves do not chase nodes.
+		if !m.up[to] {
+			return
+		}
+		m.stats[to].RxFrames++
+		m.stats[to].RxBytes += uint64(f.Size)
+		m.spendRx(to, f.Size)
+		if m.up[to] { // spendRx may have killed it
+			m.recv[to](f)
+		}
+	})
+}
+
+func (m *Medium) spendTx(id, size int) {
+	if m.battery[id].SpendTx(size) {
+		m.kill(id)
+	}
+}
+
+func (m *Medium) spendRx(id, size int) {
+	if m.battery[id].SpendRx(size) {
+		m.kill(id)
+	}
+}
+
+func (m *Medium) kill(id int) {
+	if !m.up[id] {
+		return
+	}
+	m.Leave(id)
+	if m.onDeath != nil {
+		m.onDeath(id)
+	}
+}

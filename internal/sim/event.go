@@ -1,0 +1,102 @@
+package sim
+
+// Event is a scheduled callback. The zero Event is not useful; events are
+// created by Sim.Schedule and Sim.At. Holding the returned *Event allows
+// the caller to Cancel it before it fires.
+type Event struct {
+	at        Time
+	seq       uint64 // tie-breaker: FIFO order among same-instant events
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancellation is lazy: the
+// entry stays in the queue and is discarded when popped.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e != nil && e.fired }
+
+// eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than wrapping container/heap to avoid the interface-call overhead
+// on the simulator's hottest path.
+type eventQueue struct {
+	items []*Event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(e *Event) {
+	q.items = append(q.items, e)
+	q.up(len(q.items) - 1)
+}
+
+func (q *eventQueue) pop() *Event {
+	n := len(q.items)
+	top := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// peek returns the earliest event without removing it, or nil if empty.
+func (q *eventQueue) peek() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

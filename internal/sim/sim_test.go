@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Time
+	}{
+		{0, 0},
+		{1, Second},
+		{0.5, 500 * Millisecond},
+		{3600, Hour},
+		{1e-6, Microsecond},
+	}
+	for _, c := range cases {
+		if got := FromSeconds(c.sec); got != c.want {
+			t.Errorf("FromSeconds(%v) = %v, want %v", c.sec, got, c.want)
+		}
+		if got := c.want.Seconds(); got != c.sec {
+			t.Errorf("(%v).Seconds() = %v, want %v", c.want, got, c.sec)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.500000s" {
+		t.Errorf("String() = %q, want 1.500000s", got)
+	}
+	if got := Time(-1500 * Millisecond).String(); got != "-1.500000s" {
+		t.Errorf("String() = %q, want -1.500000s", got)
+	}
+}
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(3*Second, func() { order = append(order, 3) })
+	s.Schedule(1*Second, func() { order = append(order, 1) })
+	s.Schedule(2*Second, func() { order = append(order, 2) })
+	s.Run(MaxTime)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(Second, func() { order = append(order, i) })
+	}
+	s.Run(MaxTime)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Schedule(7*Second, func() { at = s.Now() })
+	s.Run(MaxTime)
+	if at != 7*Second {
+		t.Errorf("Now() inside event = %v, want 7s", at)
+	}
+	if s.Now() != 7*Second {
+		t.Errorf("final Now() = %v, want 7s", s.Now())
+	}
+}
+
+func TestRunHorizonStopsClock(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(10*Second, func() { fired = true })
+	s.Run(5 * Second)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Now() != 5*Second {
+		t.Errorf("Now() = %v, want 5s (the horizon)", s.Now())
+	}
+	// The event must still be deliverable by a later Run.
+	s.Run(MaxTime)
+	if !fired {
+		t.Error("event not fired after extending horizon")
+	}
+}
+
+func TestRunAdvancesClockToFiniteHorizonOnDrain(t *testing.T) {
+	s := New(1)
+	s.Schedule(Second, func() {})
+	s.Run(10 * Second)
+	if s.Now() != 10*Second {
+		t.Errorf("Now() = %v after drain, want the 10s horizon", s.Now())
+	}
+	// An infinite horizon must NOT teleport the clock.
+	s2 := New(1)
+	s2.Schedule(Second, func() {})
+	s2.Run(MaxTime)
+	if s2.Now() != Second {
+		t.Errorf("Now() = %v after Run(MaxTime), want 1s", s2.Now())
+	}
+	// Horizons in the past leave the clock alone.
+	s.Run(5 * Second)
+	if s.Now() != 10*Second {
+		t.Errorf("Now() = %v after stale horizon, want 10s", s.Now())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(Second, func() { fired = true })
+	e.Cancel()
+	s.Run(MaxTime)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	if e.Fired() {
+		t.Error("Fired() = true for cancelled event")
+	}
+}
+
+func TestCancelFromInsideEarlierEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	var e *Event
+	s.Schedule(1*Second, func() { e.Cancel() })
+	e = s.Schedule(2*Second, func() { fired = true })
+	s.Run(MaxTime)
+	if fired {
+		t.Error("event cancelled by earlier event still fired")
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.Schedule(Second, func() {
+		times = append(times, s.Now())
+		s.Schedule(Second, func() { times = append(times, s.Now()) })
+	})
+	s.Run(MaxTime)
+	if len(times) != 2 || times[0] != Second || times[1] != 2*Second {
+		t.Fatalf("times = %v, want [1s 2s]", times)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(-1) did not panic")
+		}
+	}()
+	New(1).Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(5*Second, func() {})
+	s.Run(MaxTime)
+	defer func() {
+		if recover() == nil {
+			t.Error("At(past) did not panic")
+		}
+	}()
+	s.At(Second, func() {})
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Time(i)*Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run(MaxTime)
+	if count != 3 {
+		t.Errorf("count = %d after Stop, want 3", count)
+	}
+	// Run again resumes.
+	s.Run(MaxTime)
+	if count != 10 {
+		t.Errorf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestStepExecutesOneEvent(t *testing.T) {
+	s := New(1)
+	count := 0
+	s.Schedule(Second, func() { count++ })
+	s.Schedule(2*Second, func() { count++ })
+	if !s.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 {
+		t.Fatalf("count = %d after one Step, want 1", count)
+	}
+	if !s.Step() || s.Step() {
+		t.Fatal("Step count mismatch")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		var tick func()
+		tick = func() {
+			out = append(out, int64(s.Now()), s.Rand().Int63n(1000))
+			if len(out) < 40 {
+				s.Schedule(UniformDuration(s.Rand(), Millisecond, Second), tick)
+			}
+		}
+		s.Schedule(0, tick)
+		s.Run(MaxTime)
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestNewRandStreamsIndependent(t *testing.T) {
+	s := New(7)
+	r1, r2 := s.NewRand(), s.NewRand()
+	same := true
+	for i := 0; i < 16; i++ {
+		if r1.Int63() != r2.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("NewRand returned correlated streams")
+	}
+}
+
+// Property: for any batch of delays, events fire in nondecreasing time
+// order and the set of observed times equals the set scheduled.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint32) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 500 {
+			delays = delays[:500]
+		}
+		s := New(1)
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d)
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(MaxTime)
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the heap never yields an element earlier than one already
+// yielded even under interleaved push/pop.
+func TestQuickHeapInterleaved(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		var seq uint64
+		last := Time(-1)
+		for _, op := range ops {
+			if rng.Intn(3) != 0 || q.Len() == 0 {
+				seq++
+				at := last
+				if at < 0 {
+					at = 0
+				}
+				q.push(&Event{at: at + Time(op), seq: seq})
+			} else {
+				e := q.pop()
+				if e.at < last {
+					return false
+				}
+				last = e.at
+			}
+		}
+		for q.Len() > 0 {
+			e := q.pop()
+			if e.at < last {
+				return false
+			}
+			last = e.at
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformDurationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := 15*Second, 45*Second
+	seenLo, seenHi := false, false
+	for i := 0; i < 20000; i++ {
+		v := UniformDuration(rng, lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("UniformDuration out of range: %v", v)
+		}
+		if v < lo+Second {
+			seenLo = true
+		}
+		if v > hi-Second {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Error("UniformDuration does not cover range ends")
+	}
+	if got := UniformDuration(rng, lo, lo); got != lo {
+		t.Errorf("degenerate range: got %v, want %v", got, lo)
+	}
+}
+
+func TestUniformDurationPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on hi < lo")
+		}
+	}()
+	UniformDuration(rand.New(rand.NewSource(1)), Second, 0)
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	tm := NewTimer(s, func() { count++ })
+	if tm.Armed() {
+		t.Error("new timer reports armed")
+	}
+	tm.Reset(2 * Second)
+	if !tm.Armed() {
+		t.Error("timer not armed after Reset")
+	}
+	// Re-arm before firing: only one firing must happen.
+	s.Run(Second)
+	tm.Reset(2 * Second)
+	s.Run(MaxTime)
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (Reset must supersede prior arm)", count)
+	}
+	if s.Now() != 3*Second {
+		t.Errorf("fired at %v, want 3s", s.Now())
+	}
+	tm.Reset(Second)
+	tm.Stop()
+	s.Run(MaxTime)
+	if count != 1 {
+		t.Errorf("count = %d after Stop, want 1", count)
+	}
+	if tm.Armed() {
+		t.Error("stopped timer reports armed")
+	}
+}
+
+func TestTickerRepeatsAndStops(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(s, Second, func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) == 3 {
+			tk.Stop()
+		}
+	})
+	s.Run(10 * Second)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 entries", ticks)
+	}
+	for i, at := range ticks {
+		if at != Time(i+1)*Second {
+			t.Errorf("tick %d at %v, want %v", i, at, Time(i+1)*Second)
+		}
+	}
+}
+
+func TestTickerSetInterval(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	tk := NewTicker(s, Second, func() { ticks = append(ticks, s.Now()) })
+	s.Run(Second)
+	tk.SetInterval(3 * Second)
+	s.Run(8 * Second)
+	tk.Stop()
+	// The tick pending at SetInterval time (2s) is not disturbed; the new
+	// period applies from the tick after it.
+	want := []Time{Second, 2 * Second, 5 * Second, 8 * Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestPendingAndFiredCounters(t *testing.T) {
+	s := New(1)
+	s.Schedule(Second, func() {})
+	s.Schedule(2*Second, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Run(MaxTime)
+	if s.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", s.Pending())
+	}
+}

@@ -1,0 +1,187 @@
+// Package stats aggregates replication results the way the paper's
+// figures do: means with 95% confidence intervals over repetitions, and
+// per-node message-count series sorted in decreasing order (the x-axis
+// of Figures 7–12 is "nodes, decreasingly ordered by # of received
+// messages").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds simple descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics; an empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean, using Student's t quantiles (two-sided, df = N-1). Zero for
+// samples of size < 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return tQuantile975(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.CI95())
+}
+
+// tQuantile975 returns the 0.975 quantile of Student's t distribution
+// with df degrees of freedom (exact table for small df, asymptotic
+// normal beyond).
+func tQuantile975(df int) float64 {
+	table := []float64{
+		0, // df = 0 unused
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+		2.040, 2.037, 2.035, 2.032, 2.030, 2.028, 2.026, 2.024, 2.023, 2.021,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}
+
+// DescendingSeries sorts one replication's per-node counts in decreasing
+// order — the transform the paper applies before plotting Figures 7–12.
+func DescendingSeries(counts []uint64) []float64 {
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// MeanSeries averages several equally-ranked series element-wise: series
+// from different replications are first sorted descending, then rank r
+// of the result is the mean of rank r across replications. Series of
+// unequal length are truncated to the shortest.
+func MeanSeries(series [][]float64) []float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	for _, s := range series {
+		if len(s) < n {
+			n = len(s)
+		}
+	}
+	out := make([]float64, n)
+	for r := 0; r < n; r++ {
+		sum := 0.0
+		for _, s := range series {
+			sum += s[r]
+		}
+		out[r] = sum / float64(len(series))
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// linear interpolation between order statistics. It copies and sorts
+// the input; an empty sample yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts values into k equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram bins xs into k cells; degenerate ranges collapse into a
+// single cell.
+func NewHistogram(xs []float64, k int) Histogram {
+	if k < 1 {
+		k = 1
+	}
+	h := Histogram{Counts: make([]int, k)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	width := (h.Max - h.Min) / float64(k)
+	for _, x := range xs {
+		i := 0
+		if width > 0 {
+			i = int((x - h.Min) / width)
+			if i >= k {
+				i = k - 1
+			}
+		}
+		h.Counts[i]++
+	}
+	return h
+}

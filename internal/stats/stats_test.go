@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary = %+v, want N=8 Mean=5", s)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ~2.138", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=5, sd=1: CI = 2.776 * 1/sqrt(5) = 1.2415.
+	s := Summary{N: 5, StdDev: 1}
+	if got := s.CI95(); math.Abs(got-1.2415) > 0.001 {
+		t.Errorf("CI95 = %v, want 1.2415", got)
+	}
+	// Large n approaches the normal quantile.
+	s = Summary{N: 10000, StdDev: 1}
+	if got := s.CI95(); math.Abs(got-1.96/100) > 0.0005 {
+		t.Errorf("large-n CI95 = %v, want ~0.0196", got)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df < 60; df++ {
+		q := tQuantile975(df)
+		if q > prev {
+			t.Fatalf("t quantile not nonincreasing at df=%d", df)
+		}
+		prev = q
+	}
+	if tQuantile975(33) != 2.035 {
+		t.Errorf("table lookup broken for df=33")
+	}
+}
+
+func TestDescendingSeries(t *testing.T) {
+	got := DescendingSeries([]uint64{3, 9, 1, 7})
+	want := []float64{9, 7, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DescendingSeries = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	got := MeanSeries([][]float64{{10, 6, 2}, {20, 8, 4}})
+	want := []float64{15, 7, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MeanSeries = %v, want %v", got, want)
+		}
+	}
+	// Unequal lengths truncate.
+	got = MeanSeries([][]float64{{1, 2, 3}, {5, 6}})
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("truncated MeanSeries = %v, want [3 4]", got)
+	}
+	if MeanSeries(nil) != nil {
+		t.Error("MeanSeries(nil) != nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {12.5, 1.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	if Percentile([]float64{7}, 90) != 7 {
+		t.Error("single-element percentile")
+	}
+	// Out-of-range p clamps.
+	if Percentile(xs, -5) != 1 || Percentile(xs, 200) != 5 {
+		t.Error("p clamping broken")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return va <= vb+1e-9 && va >= lo-1e-9 && vb <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bin %d = %d, want 2", i, c)
+		}
+	}
+	// Degenerate range.
+	h = NewHistogram([]float64{5, 5, 5}, 4)
+	if h.Counts[0] != 3 {
+		t.Errorf("degenerate histogram = %v", h.Counts)
+	}
+	// Empty.
+	h = NewHistogram(nil, 3)
+	for _, c := range h.Counts {
+		if c != 0 {
+			t.Error("empty histogram has counts")
+		}
+	}
+}
+
+// Property: Summarize is invariant under permutation, and mean lies in
+// [min, max].
+func TestQuickSummarizeInvariants(t *testing.T) {
+	f := func(xs []float64, seed int64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		a := Summarize(clean)
+		shuffled := append([]float64(nil), clean...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		b := Summarize(shuffled)
+		const eps = 1e-6
+		return math.Abs(a.Mean-b.Mean) < eps*(1+math.Abs(a.Mean)) &&
+			a.Mean >= a.Min-eps && a.Mean <= a.Max+eps &&
+			a.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DescendingSeries output is sorted and is a permutation of
+// the input.
+func TestQuickDescendingSeries(t *testing.T) {
+	f := func(xs []uint64) bool {
+		got := DescendingSeries(xs)
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(got))) {
+			return false
+		}
+		if len(got) != len(xs) {
+			return false
+		}
+		want := make([]float64, len(xs))
+		for i, x := range xs {
+			want[i] = float64(x)
+		}
+		sort.Float64s(want)
+		check := append([]float64(nil), got...)
+		sort.Float64s(check)
+		for i := range want {
+			if want[i] != check[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,330 @@
+package manetp2p
+
+import (
+	"runtime"
+	"sync"
+
+	"manetp2p/internal/graphs"
+	"manetp2p/internal/manet"
+	"manetp2p/internal/metrics"
+	"manetp2p/internal/sim"
+	"manetp2p/internal/stats"
+)
+
+// FileCurve is one point of Figures 5–6: per file rank, the average
+// minimum distance to a holder and the average number of answers.
+type FileCurve struct {
+	File      int           // rank, 0 = most popular
+	Requests  int           // requests issued for this file (all reps)
+	FoundRate float64       // fraction of requests answered at all
+	Distance  stats.Summary // min p2p hops to a holder, found requests
+	AdhocDist stats.Summary // min ad-hoc hops to a holder, found requests
+	Answers   stats.Summary // answers per request, all requests
+}
+
+// OverlayStats aggregates overlay-graph snapshots for the small-world
+// analysis (§6.1.2 and the paper's closing discussion).
+type OverlayStats struct {
+	Samples          int
+	Clustering       stats.Summary
+	PathLength       stats.Summary
+	LargestComponent stats.Summary // fraction of members
+	MeanDegree       stats.Summary
+}
+
+// Result aggregates a scenario's replications.
+type Result struct {
+	Scenario Scenario
+
+	// Figures 5–6: indexed by file rank.
+	PerFile []FileCurve
+
+	// Figures 7–12: per-member received-message counts, decreasingly
+	// ordered within each replication, then averaged rank-wise.
+	ConnectSeries []float64
+	PingSeries    []float64
+	PongSeries    []float64
+	QuerySeries   []float64
+	HitSeries     []float64
+
+	// Per-node totals pooled over replications.
+	Totals [metrics.NumClasses]stats.Summary
+
+	// Network-layer effort.
+	RxFrames stats.Summary // radio frames received per node
+	TxFrames stats.Summary // radio frames transmitted per node
+
+	// Extensions.
+	Overlay      OverlayStats
+	Deaths       stats.Summary // battery deaths per replication
+	EnergySpent  stats.Summary // joules per node (tx+rx), finite-energy runs
+	ConnLifetime stats.Summary // seconds a connection survives (closed ones)
+
+	// Time series sampled every SnapshotEvery (empty when snapshots are
+	// off): fraction of members alive, mean overlay degree — the
+	// network-lifetime curves of the churn/energy studies.
+	AliveSeries  []float64
+	DegreeSeries []float64
+
+	// Message-rate series per TrafficBucket (empty when off): messages
+	// received per member per bucket — shows the reconfiguration burst
+	// at network formation and the steady state after it.
+	ConnectTraffic []float64
+	QueryTraffic   []float64
+}
+
+// repResult carries one replication's raw measurements to aggregation.
+type repResult struct {
+	requests  []metrics.Request
+	series    [metrics.NumClasses][]float64
+	totals    [metrics.NumClasses][]float64
+	rxFrames  []float64
+	txFrames  []float64
+	clust     []float64
+	pathLen   []float64
+	largest   []float64
+	meanDeg   []float64
+	alive     []float64 // per snapshot: fraction of members joined
+	degSeries []float64 // per snapshot: mean overlay degree
+	connRate  []float64 // per bucket: connect msgs per member
+	queryRate []float64 // per bucket: query msgs per member
+	deaths    float64
+	energy    []float64
+	lifetimes []float64
+	err       error
+}
+
+// Run executes all replications of the scenario concurrently and
+// aggregates the paper's metrics.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	workers := sc.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > sc.Replications {
+		workers = sc.Replications
+	}
+
+	reps := make([]repResult, sc.Replications)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				reps[r] = runReplication(sc, r)
+			}
+		}()
+	}
+	for r := 0; r < sc.Replications; r++ {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, rr := range reps {
+		if rr.err != nil {
+			return nil, rr.err
+		}
+	}
+	return aggregate(sc, reps), nil
+}
+
+// runReplication builds, instruments and runs one replication.
+func runReplication(sc Scenario, rep int) repResult {
+	var rr repResult
+	net, err := manet.Build(sc.manetConfig(rep))
+	if err != nil {
+		rr.err = err
+		return rr
+	}
+
+	if sc.SnapshotEvery > 0 {
+		sim.NewTicker(net.Sim, sc.SnapshotEvery, func() {
+			g := graphs.New(net.OverlayAdjacency())
+			c := g.ClusteringCoefficient()
+			l, pairs := g.CharacteristicPathLength()
+			rr.clust = append(rr.clust, c)
+			if pairs > 0 {
+				rr.pathLen = append(rr.pathLen, l)
+			}
+			rr.largest = append(rr.largest, g.LargestComponentFraction(net.IsMember))
+			deg, members := 0, 0
+			for _, id := range net.Members() {
+				if sv := net.Servents[id]; sv != nil && sv.Joined() {
+					deg += sv.ConnCount()
+					members++
+				}
+			}
+			if members > 0 {
+				rr.meanDeg = append(rr.meanDeg, float64(deg)/float64(members))
+				rr.degSeries = append(rr.degSeries, float64(deg)/float64(members))
+			} else {
+				rr.degSeries = append(rr.degSeries, 0)
+			}
+			rr.alive = append(rr.alive, float64(net.AliveMembers())/float64(len(net.Members())))
+		})
+	}
+
+	net.Run(sc.Duration)
+
+	rr.requests = net.Collector.Requests()
+	rr.lifetimes = net.Collector.Lifetimes()
+	members := net.Members()
+	for class := 0; class < metrics.NumClasses; class++ {
+		counts := make([]uint64, 0, len(members))
+		for _, id := range members {
+			counts = append(counts, net.Collector.Received(id, metrics.Class(class)))
+		}
+		rr.series[class] = stats.DescendingSeries(counts)
+		totals := make([]float64, len(counts))
+		for i, c := range counts {
+			totals[i] = float64(c)
+		}
+		rr.totals[class] = totals
+	}
+	for i := 0; i < sc.NumNodes; i++ {
+		st := net.Medium.Stats(i)
+		rr.rxFrames = append(rr.rxFrames, float64(st.RxFrames))
+		rr.txFrames = append(rr.txFrames, float64(st.TxFrames))
+		tx, rx := net.Medium.Battery(i).Spent()
+		rr.energy = append(rr.energy, tx+rx)
+	}
+	if sc.Energy.Capacity > 0 {
+		for i := 0; i < sc.NumNodes; i++ {
+			if net.Medium.Battery(i).Empty() {
+				rr.deaths++
+			}
+		}
+	}
+	if sc.TrafficBucket > 0 {
+		perMember := func(series []uint64) []float64 {
+			out := make([]float64, len(series))
+			for i, v := range series {
+				out[i] = float64(v) / float64(len(members))
+			}
+			return out
+		}
+		rr.connRate = perMember(net.Collector.Series(metrics.Connect))
+		rr.queryRate = perMember(net.Collector.Series(metrics.Query))
+	}
+	return rr
+}
+
+// aggregate folds replication results into a Result.
+func aggregate(sc Scenario, reps []repResult) *Result {
+	res := &Result{Scenario: sc}
+
+	// Figures 5–6: group requests by file rank.
+	type fileAcc struct {
+		dist, adhoc, answers []float64
+		requests, found      int
+	}
+	accs := make([]fileAcc, sc.Files.NumFiles)
+	for _, rr := range reps {
+		for _, q := range rr.requests {
+			if q.File < 0 || q.File >= len(accs) {
+				continue
+			}
+			a := &accs[q.File]
+			a.requests++
+			a.answers = append(a.answers, float64(q.Answers))
+			if q.Found {
+				a.found++
+				a.dist = append(a.dist, float64(q.MinP2P))
+				a.adhoc = append(a.adhoc, float64(q.MinAdhoc))
+			}
+		}
+	}
+	for f, a := range accs {
+		fc := FileCurve{
+			File:      f,
+			Requests:  a.requests,
+			Distance:  stats.Summarize(a.dist),
+			AdhocDist: stats.Summarize(a.adhoc),
+			Answers:   stats.Summarize(a.answers),
+		}
+		if a.requests > 0 {
+			fc.FoundRate = float64(a.found) / float64(a.requests)
+		}
+		res.PerFile = append(res.PerFile, fc)
+	}
+
+	// Figures 7–12: rank-wise mean of descending per-node series.
+	collect := func(class metrics.Class) []float64 {
+		series := make([][]float64, 0, len(reps))
+		for _, rr := range reps {
+			series = append(series, rr.series[class])
+		}
+		return stats.MeanSeries(series)
+	}
+	res.ConnectSeries = collect(metrics.Connect)
+	res.PingSeries = collect(metrics.Ping)
+	res.PongSeries = collect(metrics.Pong)
+	res.QuerySeries = collect(metrics.Query)
+	res.HitSeries = collect(metrics.QueryHit)
+
+	for class := 0; class < metrics.NumClasses; class++ {
+		var pooled []float64
+		for _, rr := range reps {
+			pooled = append(pooled, rr.totals[class]...)
+		}
+		res.Totals[class] = stats.Summarize(pooled)
+	}
+
+	var rx, tx, clust, pl, largest, deg, deaths, energy, lifetimes []float64
+	for _, rr := range reps {
+		lifetimes = append(lifetimes, rr.lifetimes...)
+		rx = append(rx, rr.rxFrames...)
+		tx = append(tx, rr.txFrames...)
+		clust = append(clust, rr.clust...)
+		pl = append(pl, rr.pathLen...)
+		largest = append(largest, rr.largest...)
+		deg = append(deg, rr.meanDeg...)
+		deaths = append(deaths, rr.deaths)
+		energy = append(energy, rr.energy...)
+	}
+	res.RxFrames = stats.Summarize(rx)
+	res.TxFrames = stats.Summarize(tx)
+	res.Overlay = OverlayStats{
+		Samples:          len(clust),
+		Clustering:       stats.Summarize(clust),
+		PathLength:       stats.Summarize(pl),
+		LargestComponent: stats.Summarize(largest),
+		MeanDegree:       stats.Summarize(deg),
+	}
+	res.Deaths = stats.Summarize(deaths)
+	res.EnergySpent = stats.Summarize(energy)
+	res.ConnLifetime = stats.Summarize(lifetimes)
+
+	aliveSeries := make([][]float64, 0, len(reps))
+	degSeries := make([][]float64, 0, len(reps))
+	for _, rr := range reps {
+		if len(rr.alive) > 0 {
+			aliveSeries = append(aliveSeries, rr.alive)
+		}
+		if len(rr.degSeries) > 0 {
+			degSeries = append(degSeries, rr.degSeries)
+		}
+	}
+	res.AliveSeries = stats.MeanSeries(aliveSeries)
+	res.DegreeSeries = stats.MeanSeries(degSeries)
+
+	connRates := make([][]float64, 0, len(reps))
+	queryRates := make([][]float64, 0, len(reps))
+	for _, rr := range reps {
+		if len(rr.connRate) > 0 {
+			connRates = append(connRates, rr.connRate)
+		}
+		if len(rr.queryRate) > 0 {
+			queryRates = append(queryRates, rr.queryRate)
+		}
+	}
+	res.ConnectTraffic = stats.MeanSeries(connRates)
+	res.QueryTraffic = stats.MeanSeries(queryRates)
+	return res
+}

@@ -1,0 +1,62 @@
+package manetp2p
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file provides JSON (de)serialization for scenarios so experiment
+// configurations can live in version-controlled files and be replayed
+// exactly:
+//
+//	sc, _ := manetp2p.LoadScenario("experiments/fig7.json")
+//	res, _ := manetp2p.Run(sc)
+//
+// Durations serialize as integer microseconds (the sim.Time unit).
+
+// MarshalJSONScenario renders sc as indented JSON.
+func MarshalJSONScenario(sc Scenario) ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// UnmarshalJSONScenario parses a scenario, filling unset fields from
+// DefaultScenario(50, Regular) so partial files stay usable, and
+// validates the result.
+func UnmarshalJSONScenario(data []byte) (Scenario, error) {
+	sc := DefaultScenario(50, Regular)
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("manetp2p: parsing scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// SaveScenario writes sc to path as JSON.
+func SaveScenario(path string, sc Scenario) error {
+	data, err := MarshalJSONScenario(sc)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadScenario reads a scenario from a JSON file ("-" = stdin).
+func LoadScenario(path string) (Scenario, error) {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return Scenario{}, fmt.Errorf("manetp2p: reading scenario: %w", err)
+	}
+	return UnmarshalJSONScenario(data)
+}

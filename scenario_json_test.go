@@ -1,0 +1,103 @@
+package manetp2p
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := DefaultScenario(150, Hybrid)
+	sc.Seed = 42
+	sc.Quals = DeviceClasses()
+	sc.Routing = RoutingDSR
+	sc.Churn = ChurnConfig{MeanUptime: 600 * sim.Second, MeanDowntime: 60 * sim.Second}
+	data, err := MarshalJSONScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSONScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes != 150 || got.Algorithm != Hybrid || got.Seed != 42 {
+		t.Errorf("round trip lost scalars: %+v", got)
+	}
+	if got.Routing != RoutingDSR {
+		t.Errorf("Routing = %v, want DSR", got.Routing)
+	}
+	if got.Churn.MeanUptime != 600*sim.Second {
+		t.Errorf("Churn lost: %+v", got.Churn)
+	}
+	if len(got.Quals.Classes) != 3 {
+		t.Errorf("qualifier classes lost: %+v", got.Quals)
+	}
+}
+
+func TestScenarioJSONPartialFillsDefaults(t *testing.T) {
+	got, err := UnmarshalJSONScenario([]byte(`{"NumNodes": 80, "Replications": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes != 80 || got.Replications != 7 {
+		t.Errorf("explicit fields lost: %+v", got)
+	}
+	if got.Range != 10 || got.Params.MaxNConn != 3 {
+		t.Errorf("defaults not filled: Range=%v MaxNConn=%d", got.Range, got.Params.MaxNConn)
+	}
+}
+
+func TestScenarioJSONRejectsInvalid(t *testing.T) {
+	if _, err := UnmarshalJSONScenario([]byte(`{"NumNodes": -3}`)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, err := UnmarshalJSONScenario([]byte(`{not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestSaveAndLoadScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	sc := DefaultScenario(30, Random)
+	sc.Seed = 9
+	if err := SaveScenario(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"Seed\": 9") {
+		t.Errorf("file content unexpected:\n%s", data)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes != 30 || got.Algorithm != Random || got.Seed != 9 {
+		t.Errorf("loaded scenario = %+v", got)
+	}
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadedScenarioRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	sc := quickScenario(Regular, 12)
+	sc.Duration = 120 * sim.Second
+	sc.Replications = 1
+	if err := SaveScenario(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(loaded); err != nil {
+		t.Fatal(err)
+	}
+}
