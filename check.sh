@@ -23,6 +23,9 @@ echo ok
 echo "== go test =="
 go test ./...
 
+echo "== go test -race (sim core, fault injection, root) =="
+go test -race ./internal/sim ./internal/fault .
+
 echo "== bench smoke (micro benches only) =="
 go test -run xxx -bench 'Table1|GridNear|SimEventQueue|AODVDiscovery' -benchtime 10x .
 

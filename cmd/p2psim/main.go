@@ -42,6 +42,8 @@ func main() {
 		traceOut = flag.String("trace", "", "run a single replication and write a JSON-lines event trace to this file ('-' = stdout)")
 		routing  = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
 		traffic  = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
+		faults   = flag.String("faults", "", "load a fault-injection plan from this JSON file ('-' = stdin) and print recovery metrics")
+		health   = flag.Float64("health", 0, "resilience-telemetry sampling period in seconds (default 10 when -faults is set)")
 		config   = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
 		saveCfg  = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
 	)
@@ -91,6 +93,17 @@ func main() {
 			sc.TrafficBucket = manetp2p.Seconds(*traffic)
 		}
 	}
+	if *faults != "" {
+		plan, err := manetp2p.LoadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.Faults = plan
+	}
+	if *health > 0 {
+		sc.HealthEvery = manetp2p.Seconds(*health)
+	}
 	if *saveCfg != "" {
 		if err := manetp2p.SaveScenario(*saveCfg, sc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -110,6 +123,13 @@ func main() {
 	}
 	manetp2p.WriteSummary(os.Stdout, res)
 
+	if res.Resilience != nil {
+		fmt.Println()
+		if err := manetp2p.WriteResilience(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *curves {
 		fmt.Println()
 		if err := manetp2p.WriteFileCurves(os.Stdout, []*manetp2p.Result{res}, 10); err != nil {

@@ -1,20 +1,24 @@
 // Command sweep runs the parameter studies from the paper's future-work
 // list (§8): node density, wireless coverage (radio range), mobility
-// speed, death/birth churn and energy budget. Each sweep prints one TSV
-// row per parameter point with the headline metrics for the selected
-// algorithms.
+// speed, death/birth churn, energy budget and scripted fault regimes.
+// Each sweep prints one TSV row per parameter point with the headline
+// metrics for the selected algorithms; the faults axis adds
+// time-to-reheal and residual-disconnect columns.
 //
 // Usage:
 //
 //	sweep -axis density
 //	sweep -axis range -algs basic,regular
 //	sweep -axis energy -reps 10
+//	sweep -axis faults -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"manetp2p"
@@ -77,23 +81,79 @@ func axes() map[string][]point {
 			{"flood", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingFlood }},
 			{"dsdv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSDV }},
 		},
+		// Fault regimes: scripted failures relative to the run length,
+		// executed by internal/fault. Telemetry (10 s sampling) switches
+		// on automatically with a non-empty plan.
+		"faults": {
+			{"none", func(sc *manetp2p.Scenario) {}},
+			{"partition", func(sc *manetp2p.Scenario) {
+				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+					manetp2p.PartitionFault(sc.Duration/3, manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
+				}}
+			}},
+			{"jam", func(sc *manetp2p.Scenario) {
+				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+					manetp2p.JamFault(sc.Duration/3, manetp2p.Seconds(180),
+						sc.AreaSide/2, sc.AreaSide/2, sc.AreaSide/4, 0.9),
+				}}
+			}},
+			{"crash", func(sc *manetp2p.Scenario) {
+				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+					manetp2p.CrashFractionFault(sc.Duration/3, manetp2p.Seconds(180), 0.25),
+				}}
+			}},
+			{"combined", func(sc *manetp2p.Scenario) {
+				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+					manetp2p.PartitionFault(sc.Duration/4, manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
+					manetp2p.CrashFractionFault(sc.Duration/2, manetp2p.Seconds(180), 0.25),
+					manetp2p.LossBurstFault(3*sc.Duration/4, manetp2p.Seconds(60), 0.5),
+				}}
+			}},
+		},
 	}
+}
+
+// resilienceCells renders the faults-axis extra columns: mean
+// time-to-reheal and residual disconnect over the regime's events, "-"
+// when the regime injected nothing.
+func resilienceCells(res *manetp2p.Result) (reheal, residual string) {
+	r := res.Resilience
+	if r == nil || len(r.Events) == 0 {
+		return "-", "-"
+	}
+	rehealSum, residualSum, n := 0.0, 0.0, 0
+	for _, ev := range r.Events {
+		rehealSum += ev.RehealSeconds.Mean
+		residualSum += ev.ResidualDisconnect.Mean
+		n++
+	}
+	if n == 0 || math.IsNaN(rehealSum) {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%.1f", rehealSum/float64(n)),
+		fmt.Sprintf("%.3f", residualSum/float64(n))
 }
 
 func main() {
 	var (
-		axis  = flag.String("axis", "density", "sweep axis: density|range|speed|churn|energy|routing|mobility")
+		axis  = flag.String("axis", "density", "sweep axis: density|range|speed|churn|energy|routing|mobility|faults")
 		algsF = flag.String("algs", "basic,regular,random,hybrid", "comma-separated algorithms")
 		reps  = flag.Int("reps", 5, "replications per point")
 		nodes = flag.Int("nodes", 50, "base node count (non-density sweeps)")
 		dur   = flag.Float64("duration", 3600, "simulated seconds")
-		seed  = flag.Int64("seed", 1, "base seed")
+		seed  = flag.Int64("seed", 1, "base random seed")
 	)
 	flag.Parse()
 
-	points, ok := axes()[strings.ToLower(*axis)]
+	axisName := strings.ToLower(*axis)
+	points, ok := axes()[axisName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown axis %q\n", *axis)
+		valid := make([]string, 0, len(axes()))
+		for name := range axes() {
+			valid = append(valid, name)
+		}
+		sort.Strings(valid)
+		fmt.Fprintf(os.Stderr, "unknown axis %q (valid: %s)\n", *axis, strings.Join(valid, "|"))
 		os.Exit(2)
 	}
 	var algs []manetp2p.Algorithm
@@ -111,8 +171,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("# sweep axis=%s, %d reps/point, %gs simulated\n", *axis, *reps, *dur)
-	fmt.Println("point\talg\tconnect/node\tping/node\tquery/node\tfound%\tdist\tanswers\tdeaths\tlargest-comp")
+	fmt.Printf("# sweep axis=%s, %d reps/point, %gs simulated\n", axisName, *reps, *dur)
+	header := "point\talg\tconnect/node\tping/node\tquery/node\tfound%\tdist\tanswers\tdeaths\tlargest-comp"
+	if axisName == "faults" {
+		header += "\treheal-s\tresidual-disc"
+	}
+	fmt.Println(header)
 	for _, pt := range points {
 		for _, alg := range algs {
 			sc := manetp2p.DefaultScenario(*nodes, alg)
@@ -146,7 +210,7 @@ func main() {
 				}
 				dist /= float64(len(dists))
 			}
-			fmt.Printf("%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.2f\n",
+			row := fmt.Sprintf("%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.2f",
 				pt.label, alg,
 				res.Totals[metrics.Connect].Mean,
 				res.Totals[metrics.Ping].Mean,
@@ -154,6 +218,11 @@ func main() {
 				foundPct, dist, answ,
 				res.Deaths.Mean,
 				res.Overlay.LargestComponent.Mean)
+			if axisName == "faults" {
+				reheal, residual := resilienceCells(res)
+				row += "\t" + reheal + "\t" + residual
+			}
+			fmt.Println(row)
 		}
 	}
 }

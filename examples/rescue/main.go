@@ -1,8 +1,11 @@
 // Rescue: an emergency-operation MANET (§4 motivates ad-hoc networks
-// for exactly this) under the stresses from the paper's future-work
-// list — finite batteries and node churn. Compares how the Basic and
-// Regular algorithms age the network: Basic's indiscriminate flooding
-// drains batteries and kills nodes sooner.
+// for exactly this) hit by the correlated failures a real disaster
+// brings — a scripted fault plan splits the operation area in two
+// (a collapsed building line) and later crashes a wave of responders'
+// radios at once. Compares how the Basic and Regular algorithms
+// re-heal the overlay: time-to-reheal, residual disconnection and the
+// message cost of recovery, on top of the battery drain the original
+// churn study measured.
 //
 //	go run ./examples/rescue
 package main
@@ -16,35 +19,37 @@ import (
 )
 
 func main() {
-	fmt.Println("rescue scenario: 50 responders, 2 J batteries, churn (radios cycle off/on)")
+	fmt.Println("rescue scenario: 50 responders, 2 J batteries, scripted faults:")
+	fmt.Println("  t=1200s  the arena splits along x=50 for 120 s (collapsed building line)")
+	fmt.Println("  t=2400s  a crash wave takes 10 responders down for 300 s")
 	fmt.Println()
-	fmt.Println("alg      deaths/rep  energy-J/node  connect/node  found%")
+	fmt.Println("alg      deaths/rep  connect/node  reheal-s  rehealed%  residual  recovery-msgs")
 	for _, alg := range []manetp2p.Algorithm{manetp2p.Basic, manetp2p.Regular} {
 		sc := manetp2p.DefaultScenario(50, alg)
 		sc.Replications = 5
 		sc.Energy = manetp2p.DefaultEnergy(2.0)
-		sc.Churn = manetp2p.ChurnConfig{
-			MeanUptime:   manetp2p.Seconds(900),
-			MeanDowntime: manetp2p.Seconds(120),
-		}
+		sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+			manetp2p.PartitionFault(manetp2p.Seconds(1200), manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
+			manetp2p.CrashGroupFault(manetp2p.Seconds(2400), manetp2p.Seconds(300), 10),
+		}}
 		res, err := manetp2p.Run(sc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		found, reqs := 0.0, 0
-		for _, fc := range res.PerFile {
-			reqs += fc.Requests
-			found += fc.FoundRate * float64(fc.Requests)
+		reheal, rehealed, residual, cost := 0.0, 0.0, 0.0, 0.0
+		for _, ev := range res.Resilience.Events {
+			reheal += ev.RehealSeconds.Mean
+			rehealed += ev.RehealedFraction
+			residual += ev.ResidualDisconnect.Mean
+			cost += ev.RecoveryMessages.Mean
 		}
-		pct := 0.0
-		if reqs > 0 {
-			pct = 100 * found / float64(reqs)
-		}
-		fmt.Printf("%-8s %10.1f  %13.3f  %12.1f  %5.1f\n",
-			alg, res.Deaths.Mean, res.EnergySpent.Mean,
-			res.Totals[metrics.Connect].Mean, pct)
+		n := float64(len(res.Resilience.Events))
+		fmt.Printf("%-8s %10.1f  %12.1f  %8.1f  %8.0f%%  %8.3f  %13.1f\n",
+			alg, res.Deaths.Mean, res.Totals[metrics.Connect].Mean,
+			reheal/n, 100*rehealed/n, residual/n, cost/n)
 	}
 	fmt.Println()
-	fmt.Println("The Basic algorithm's fixed-radius broadcasts burn more energy per node,")
-	fmt.Println("killing more responders' radios — the paper's network-lifetime argument (§7.4).")
+	fmt.Println("Both algorithms re-heal the overlay once the faults clear — the paper's")
+	fmt.Println("(re)configuration claim — but Basic pays for it with far more connect")
+	fmt.Println("messages, draining batteries the operation cannot recharge (§7.4).")
 }

@@ -12,8 +12,10 @@ import (
 	"manetp2p/internal/aodv"
 	"manetp2p/internal/dsdv"
 	"manetp2p/internal/dsr"
+	"manetp2p/internal/fault"
 	"manetp2p/internal/flood"
 	"manetp2p/internal/geom"
+	"manetp2p/internal/graphs"
 	"manetp2p/internal/metrics"
 	"manetp2p/internal/mobility"
 	"manetp2p/internal/netif"
@@ -184,6 +186,19 @@ type Config struct {
 	// TrafficBucket > 0 enables time-bucketed message-rate series in the
 	// collector (Collector.Series), e.g. 60 s buckets.
 	TrafficBucket sim.Time
+
+	// Faults optionally scripts targeted failures (partitions, jamming,
+	// loss bursts, correlated crashes, link flaps) executed by an
+	// injector wired into the medium and the node lifecycle. The
+	// injector draws from its own RNG stream, so same seed + same plan
+	// reproduce the same failures.
+	Faults fault.Plan
+
+	// HealthEvery > 0 samples overlay health (largest-component
+	// fraction, link count, cumulative per-class message totals) into
+	// the Collector at this period — the resilience telemetry the
+	// recovery metrics are derived from.
+	HealthEvery sim.Time
 }
 
 // DefaultConfig returns the paper's Table 2 scenario with n nodes.
@@ -219,6 +234,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("manet: mobility tick %v not positive", c.Mobility.Tick)
 	case c.Churn.MeanUptime < 0 || c.Churn.MeanDowntime < 0:
 		return fmt.Errorf("manet: negative churn periods")
+	case c.HealthEvery < 0:
+		return fmt.Errorf("manet: HealthEvery %v negative", c.HealthEvery)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("manet: fault plan: %w", err)
 	}
 	if err := c.Params.Validate(); err != nil {
 		return err
@@ -234,7 +254,8 @@ type Network struct {
 	Routers   []NodeRouter
 	Servents  []*p2p.Servent // nil for nodes outside the overlay
 	Collector *metrics.Collector
-	Tracer    *trace.Tracer // nil unless Config.TraceCapacity > 0
+	Tracer    *trace.Tracer   // nil unless Config.TraceCapacity > 0
+	Injector  *fault.Injector // nil unless Config.Faults has events
 
 	models    []mobility.Model
 	member    []bool
@@ -359,7 +380,68 @@ func Build(cfg Config) (*Network, error) {
 			}
 		}
 	}
+
+	// Resilience telemetry and scripted fault injection. Both are
+	// gated so fault-free runs allocate no extra RNG streams and stay
+	// bit-identical to earlier builds with the same seed.
+	if cfg.HealthEvery > 0 {
+		sim.NewTicker(s, cfg.HealthEvery, n.sampleHealth)
+	}
+	if !cfg.Faults.Empty() {
+		n.Injector = fault.New(s, s.NewRand(), cfg.Faults, fault.Hooks{
+			Pos:           med.Pos,
+			Up:            med.Up,
+			SetLinkFilter: func(f func(src, dst int) bool) { med.SetLinkFilter(f) },
+			NodeDown:      n.ForceDown,
+			NodeUp:        n.ForceUp,
+			Members:       n.Members,
+		})
+		n.Injector.Arm()
+	}
 	return n, nil
+}
+
+// ForceDown crashes node i: its servent leaves the overlay and its
+// radio goes silent. Used by the fault injector — distinct from churn,
+// which draws its own schedule. Dead or already-down nodes are no-ops.
+func (n *Network) ForceDown(i int) {
+	if n.dead[i] || !n.Medium.Up(i) {
+		return
+	}
+	n.Tracer.Emit(trace.KindNode, i, -1, "fault down")
+	if sv := n.Servents[i]; sv != nil {
+		sv.Leave(false)
+	}
+	n.Medium.Leave(i)
+}
+
+// ForceUp restarts a crashed node at its current mobility position.
+// Battery-dead or already-up nodes are no-ops.
+func (n *Network) ForceUp(i int) {
+	if n.dead[i] || n.Medium.Up(i) {
+		return
+	}
+	n.Tracer.Emit(trace.KindNode, i, -1, "fault up")
+	n.Medium.Join(i, n.models[i].Pos(n.Sim.Now()), n.Routers[i].HandleFrame)
+	if sv := n.Servents[i]; sv != nil {
+		sv.Join()
+	}
+}
+
+// sampleHealth records one resilience telemetry point: overlay
+// connectivity plus the cumulative message totals, cheap enough to run
+// every few seconds.
+func (n *Network) sampleHealth() {
+	g := graphs.New(n.OverlayAdjacency())
+	h := metrics.HealthSample{
+		At:          n.Sim.Now(),
+		LargestComp: g.LargestComponentFraction(n.IsMember),
+		Links:       g.NumEdges(),
+	}
+	for c := 0; c < metrics.NumClasses; c++ {
+		h.Received[c] = n.Collector.TotalReceived(metrics.Class(c))
+	}
+	n.Collector.RecordHealth(h)
 }
 
 func newModel(cfg MobilityConfig, arena geom.Rect, start geom.Point, rng *rand.Rand) mobility.Model {

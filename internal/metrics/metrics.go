@@ -71,6 +71,17 @@ type Request struct {
 	Found    bool // at least one answer arrived
 }
 
+// HealthSample is one point of the resilience telemetry: a periodic
+// low-overhead reading of overlay health from which recovery metrics
+// (time-to-reheal, residual disconnection, message cost of recovery)
+// are derived after the run.
+type HealthSample struct {
+	At          sim.Time
+	LargestComp float64            // largest-component fraction of the membership
+	Links       int                // overlay link count
+	Received    [NumClasses]uint64 // cumulative network-wide received counts
+}
+
 // Collector accumulates one replication's measurements. It is not safe
 // for concurrent use: one Collector per Sim.
 type Collector struct {
@@ -82,7 +93,8 @@ type Collector struct {
 	bucketW sim.Time
 	buckets [][]uint64 // [class][bucket]
 
-	lifetimes []float64 // overlay connection lifetimes, seconds
+	lifetimes []float64      // overlay connection lifetimes, seconds
+	health    []HealthSample // periodic resilience telemetry
 }
 
 // NewCollector sizes the collector for n nodes.
@@ -134,6 +146,22 @@ func (c *Collector) Series(class Class) []uint64 {
 func (c *Collector) Received(node int, class Class) uint64 {
 	return c.recv[node][class]
 }
+
+// TotalReceived sums the class count over all nodes — the cumulative
+// totals the health sampler snapshots.
+func (c *Collector) TotalReceived(class Class) uint64 {
+	var t uint64
+	for i := range c.recv {
+		t += c.recv[i][class]
+	}
+	return t
+}
+
+// RecordHealth appends one resilience telemetry sample.
+func (c *Collector) RecordHealth(h HealthSample) { c.health = append(c.health, h) }
+
+// Health returns the recorded telemetry samples in time order.
+func (c *Collector) Health() []HealthSample { return c.health }
 
 // ReceivedAll returns the count of class messages for every node.
 func (c *Collector) ReceivedAll(class Class) []uint64 {

@@ -31,6 +31,12 @@ type Frame struct {
 // Receiver is the upper-layer hook invoked on frame arrival.
 type Receiver func(f Frame)
 
+// LinkFilter vets each would-be frame delivery; returning true drops it
+// (counted in the receiver's Gated stat). Installed by the fault
+// injector to gate links (partitions, flaps) or to stack extra loss
+// (jamming, loss bursts) on top of the medium's own LossProb.
+type LinkFilter func(src, dst int) bool
+
 // Config sets the physical parameters of the medium.
 type Config struct {
 	Arena    geom.Rect // simulation area
@@ -66,6 +72,7 @@ type Stats struct {
 	TxBytes  uint64
 	RxBytes  uint64
 	Dropped  uint64 // deliveries lost to LossProb
+	Gated    uint64 // deliveries dropped by the installed LinkFilter
 }
 
 // Medium is the shared wireless channel. Not safe for concurrent use;
@@ -78,6 +85,7 @@ type Medium struct {
 	jrng interface{ Int63n(int64) int64 }
 
 	recv    []Receiver
+	filter  LinkFilter
 	up      []bool
 	stats   []Stats
 	battery []*Battery
@@ -175,6 +183,10 @@ func (m *Medium) Battery(id int) *Battery { return m.battery[id] }
 // OnDeath installs a callback invoked when a node's battery empties.
 func (m *Medium) OnDeath(fn func(id int)) { m.onDeath = fn }
 
+// SetLinkFilter installs (or, with nil, removes) the per-delivery gate.
+// The filter runs at transmit time, once per receiver.
+func (m *Medium) SetLinkFilter(f LinkFilter) { m.filter = f }
+
 // Range returns the configured transmission range in metres.
 func (m *Medium) Range() float64 { return m.cfg.Range }
 
@@ -217,6 +229,10 @@ func (m *Medium) Send(f Frame) int {
 // deliver queues the frame for arrival at node to after latency+jitter,
 // applying the loss probability.
 func (m *Medium) deliver(f Frame, to int) {
+	if m.filter != nil && m.filter(f.Src, to) {
+		m.stats[to].Gated++
+		return
+	}
 	if m.cfg.LossProb > 0 && m.rng.Float64() < m.cfg.LossProb {
 		m.stats[to].Dropped++
 		return

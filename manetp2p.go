@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"manetp2p/internal/aodv"
+	"manetp2p/internal/fault"
 	"manetp2p/internal/geom"
 	"manetp2p/internal/manet"
 	"manetp2p/internal/p2p"
@@ -99,6 +100,69 @@ const (
 // in joules.
 func DefaultEnergy(capacityJ float64) EnergyConfig { return radio.DefaultEnergy(capacityJ) }
 
+// FaultPlan re-exports the scripted fault-injection timeline: a list of
+// typed events executed deterministically during every replication.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one entry of a FaultPlan.
+type FaultEvent = fault.Event
+
+// FaultKind identifies a fault event type.
+type FaultKind = fault.Kind
+
+// The fault event types.
+const (
+	FaultPartition  = fault.Partition
+	FaultJam        = fault.Jam
+	FaultLossBurst  = fault.LossBurst
+	FaultCrashGroup = fault.CrashGroup
+	FaultLinkFlap   = fault.LinkFlap
+)
+
+// FaultAxis selects a partition cut orientation.
+type FaultAxis = fault.Axis
+
+// Partition cut orientations.
+const (
+	AxisX = fault.AxisX
+	AxisY = fault.AxisY
+)
+
+// PartitionFault scripts an arena split along axis = pos for dur
+// starting at at: no frame crosses the line while it is active.
+func PartitionFault(at, dur Duration, axis FaultAxis, pos float64) FaultEvent {
+	return fault.PartitionEvent(at, dur, axis, pos)
+}
+
+// JamFault scripts a circular jammed region centred at (x, y) whose
+// deliveries suffer the added loss probability.
+func JamFault(at, dur Duration, x, y, radius, loss float64) FaultEvent {
+	return fault.JamEvent(at, dur, geom.Point{X: x, Y: y}, radius, loss)
+}
+
+// LossBurstFault scripts a global loss spike of the given probability.
+func LossBurstFault(at, dur Duration, loss float64) FaultEvent {
+	return fault.LossBurstEvent(at, dur, loss)
+}
+
+// CrashGroupFault scripts a correlated crash of count members,
+// restarted when the event clears.
+func CrashGroupFault(at, dur Duration, count int) FaultEvent {
+	return fault.CrashGroupEvent(at, dur, count)
+}
+
+// CrashFractionFault scripts a correlated crash of a fraction of the
+// membership, restarted when the event clears.
+func CrashFractionFault(at, dur Duration, fraction float64) FaultEvent {
+	return fault.CrashFractionEvent(at, dur, fraction)
+}
+
+// LinkFlapFault scripts periodic link outages: within [at, at+dur),
+// every period starts with downFor of dead air.
+func LinkFlapFault(at, dur, period, downFor Duration) FaultEvent {
+	return fault.LinkFlapEvent(at, dur, period, downFor)
+}
+
 // Scenario describes one experiment: a node population, an algorithm,
 // the protocol parameters and the measurement horizon.
 type Scenario struct {
@@ -138,6 +202,18 @@ type Scenario struct {
 	// TrafficBucket > 0 collects network-wide message-rate series
 	// (Result.ConnectTraffic / QueryTraffic), e.g. 60 s buckets.
 	TrafficBucket Duration
+
+	// Faults optionally scripts targeted failures — partitions,
+	// regional jamming, loss bursts, correlated crashes, link flaps —
+	// executed identically (same seed ⇒ same failures) in every
+	// replication. Recovery metrics land in Result.Resilience.
+	Faults FaultPlan
+
+	// HealthEvery sets the resilience-telemetry sampling period
+	// (largest-component fraction, link count, message rates). Zero
+	// defaults to 10 s whenever Faults is non-empty; telemetry stays
+	// off in fault-free runs unless set explicitly.
+	HealthEvery Duration
 
 	// TraceCapacity > 0 enables structured event tracing in
 	// single-Simulation use (NewSimulation); Run ignores it because
@@ -187,6 +263,11 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("manetp2p: Duration %v not positive", sc.Duration)
 	case sc.Replications < 1:
 		return fmt.Errorf("manetp2p: Replications %d < 1", sc.Replications)
+	case sc.HealthEvery < 0:
+		return fmt.Errorf("manetp2p: HealthEvery %v negative", sc.HealthEvery)
+	}
+	if err := sc.Faults.Validate(); err != nil {
+		return fmt.Errorf("manetp2p: fault plan: %w", err)
 	}
 	if err := sc.Params.Validate(); err != nil {
 		return err
@@ -225,7 +306,21 @@ func (sc Scenario) manetConfig(rep int) manet.Config {
 		Routing:        sc.Routing,
 		AODV:           aodv.Config{},
 		TrafficBucket:  sc.TrafficBucket,
+		Faults:         sc.Faults,
+		HealthEvery:    sc.healthEvery(),
 	}
+}
+
+// healthEvery resolves the effective telemetry period: explicit value,
+// else 10 s whenever faults are scripted, else off.
+func (sc Scenario) healthEvery() sim.Time {
+	if sc.HealthEvery > 0 {
+		return sc.HealthEvery
+	}
+	if !sc.Faults.Empty() {
+		return 10 * sim.Second
+	}
+	return 0
 }
 
 // Simulation is a single live replication, exposed for interactive use

@@ -156,6 +156,36 @@ func WriteTrafficSeries(w io.Writer, results []*Result) error {
 	return nil
 }
 
+// WriteResilience emits the resilience telemetry of a fault-injected
+// run: the health time series as TSV followed by one row per scripted
+// fault with its recovery metrics. No-op for runs without telemetry.
+func WriteResilience(w io.Writer, r *Result) error {
+	res := r.Resilience
+	if res == nil {
+		return nil
+	}
+	fmt.Fprintf(w, "# overlay health sampled every %.0fs (%s)\n",
+		res.SampleEvery, r.Scenario.Algorithm)
+	fmt.Fprintln(w, "time\tlargest-comp\tlinks\tconnect/member/s")
+	for i, t := range res.Times {
+		fmt.Fprintf(w, "%.0f\t%.3f\t%.1f\t%.3f\n",
+			t, res.LargestComp[i], res.Links[i], res.ConnectRate[i])
+	}
+	if len(res.Events) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "# recovery per scripted fault")
+	fmt.Fprintln(w, "fault\tcleared\tbaseline\ttrough\treheal-s\trehealed%\tresidual\trecovery-msgs")
+	for _, ev := range res.Events {
+		fmt.Fprintf(w, "%s\t%.0f\t%.3f\t%.3f\t%.1f\t%.0f\t%.3f\t%.1f\n",
+			ev.Label, ev.ClearSeconds, ev.Baseline.Mean, ev.Trough.Mean,
+			ev.RehealSeconds.Mean, 100*ev.RehealedFraction,
+			ev.ResidualDisconnect.Mean, ev.RecoveryMessages.Mean)
+	}
+	return nil
+}
+
 // WriteTable1 renders the paper's Table 1.
 func WriteTable1(w io.Writer) {
 	fmt.Fprintln(w, "# Table 1: topologies and their characteristics")
@@ -210,6 +240,14 @@ func WriteSummary(w io.Writer, r *Result) {
 	if r.ConnLifetime.N > 0 {
 		fmt.Fprintf(w, "connection lifetime: %s s over %d closed links\n",
 			r.ConnLifetime, r.ConnLifetime.N)
+	}
+	if res := r.Resilience; res != nil {
+		for _, ev := range res.Events {
+			fmt.Fprintf(w, "fault %s: baseline %.2f, trough %.2f, reheal %.1f s (%.0f%% of reps), residual %.3f, cost %.1f msgs/member\n",
+				ev.Label, ev.Baseline.Mean, ev.Trough.Mean,
+				ev.RehealSeconds.Mean, 100*ev.RehealedFraction,
+				ev.ResidualDisconnect.Mean, ev.RecoveryMessages.Mean)
+		}
 	}
 	found, reqs := 0.0, 0
 	for _, fc := range r.PerFile {

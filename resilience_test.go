@@ -1,0 +1,111 @@
+package manetp2p
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+// faultScenario is a dense little network (so the overlay is actually
+// connected before the fault) with a 60 s mid-run partition.
+func faultScenario(alg Algorithm) Scenario {
+	sc := DefaultScenario(24, alg)
+	sc.AreaSide = 50
+	sc.Range = 15
+	sc.Duration = 1500 * sim.Second
+	sc.Replications = 2
+	sc.SnapshotEvery = 0
+	sc.HealthEvery = 20 * sim.Second
+	sc.Faults = FaultPlan{Events: []FaultEvent{
+		PartitionFault(300*sim.Second, 60*sim.Second, AxisX, 25),
+	}}
+	return sc
+}
+
+// TestPartitionReheals asserts the paper's core claim for all four
+// algorithms: after a mid-run partition clears, the overlay re-heals —
+// its largest-component fraction returns to within 10 % of the
+// pre-fault value.
+func TestPartitionReheals(t *testing.T) {
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(faultScenario(alg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.Resilience
+			if r == nil {
+				t.Fatal("Resilience nil despite a fault plan")
+			}
+			if len(r.Times) == 0 || len(r.LargestComp) != len(r.Times) {
+				t.Fatalf("telemetry series malformed: %d times, %d largest-comp",
+					len(r.Times), len(r.LargestComp))
+			}
+			if len(r.Events) != 1 {
+				t.Fatalf("got %d recovery events, want 1", len(r.Events))
+			}
+			ev := r.Events[0]
+			if ev.Baseline.Mean <= 0.5 {
+				t.Errorf("pre-fault overlay too fragmented for the test to mean anything: baseline %.3f",
+					ev.Baseline.Mean)
+			}
+			if ev.RehealedFraction < 1 {
+				t.Errorf("only %.0f%% of replications re-healed after the partition (reheal %s s, residual %s)",
+					100*ev.RehealedFraction, ev.RehealSeconds, ev.ResidualDisconnect)
+			}
+			if ev.Trough.Mean >= ev.Baseline.Mean {
+				t.Errorf("partition left no trace: trough %.3f >= baseline %.3f",
+					ev.Trough.Mean, ev.Baseline.Mean)
+			}
+		})
+	}
+}
+
+// TestResilienceDeterminism asserts the acceptance criterion: identical
+// seeds and plans yield byte-identical Resilience sections and health
+// series, even with every fault type in the plan.
+func TestResilienceDeterminism(t *testing.T) {
+	sc := faultScenario(Regular)
+	sc.Duration = 900 * sim.Second
+	sc.Faults = FaultPlan{Events: []FaultEvent{
+		PartitionFault(200*sim.Second, 60*sim.Second, AxisY, 25),
+		JamFault(300*sim.Second, 60*sim.Second, 25, 25, 15, 0.8),
+		LossBurstFault(400*sim.Second, 30*sim.Second, 0.5),
+		CrashGroupFault(500*sim.Second, 120*sim.Second, 6),
+		LinkFlapFault(700*sim.Second, 60*sim.Second, 20*sim.Second, 5*sim.Second),
+	}}
+	render := func() string {
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteResilience(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v\n%s", *res.Resilience, buf.String())
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same seed + same plan produced different resilience output:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestFaultFreeRunHasNoResilience pins the gating: without a plan or an
+// explicit HealthEvery, no telemetry is collected.
+func TestFaultFreeRunHasNoResilience(t *testing.T) {
+	sc := quickScenario(Regular, 12)
+	sc.Replications = 1
+	sc.Duration = 120 * sim.Second
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience != nil {
+		t.Errorf("fault-free run grew a Resilience section: %+v", res.Resilience)
+	}
+}

@@ -71,6 +71,10 @@ type Result struct {
 	// at network formation and the steady state after it.
 	ConnectTraffic []float64
 	QueryTraffic   []float64
+
+	// Resilience telemetry and per-fault recovery metrics (nil when
+	// sampling is off — no Faults plan and no HealthEvery).
+	Resilience *Resilience
 }
 
 // repResult carries one replication's raw measurements to aggregation.
@@ -91,6 +95,8 @@ type repResult struct {
 	deaths    float64
 	energy    []float64
 	lifetimes []float64
+	health    []metrics.HealthSample // resilience telemetry samples
+	members   int                    // overlay membership size
 	err       error
 }
 
@@ -174,7 +180,9 @@ func runReplication(sc Scenario, rep int) repResult {
 
 	rr.requests = net.Collector.Requests()
 	rr.lifetimes = net.Collector.Lifetimes()
+	rr.health = net.Collector.Health()
 	members := net.Members()
+	rr.members = len(members)
 	for class := 0; class < metrics.NumClasses; class++ {
 		counts := make([]uint64, 0, len(members))
 		for _, id := range members {
@@ -326,5 +334,6 @@ func aggregate(sc Scenario, reps []repResult) *Result {
 	}
 	res.ConnectTraffic = stats.MeanSeries(connRates)
 	res.QueryTraffic = stats.MeanSeries(queryRates)
+	res.Resilience = computeResilience(sc, reps)
 	return res
 }

@@ -14,7 +14,11 @@ import (
 //	sc, _ := manetp2p.LoadScenario("experiments/fig7.json")
 //	res, _ := manetp2p.Run(sc)
 //
-// Durations serialize as integer microseconds (the sim.Time unit).
+// Durations serialize as integer microseconds (the sim.Time unit), with
+// one deliberate exception: the Faults plan is the hand-authored part
+// of a scenario, so its events carry a "type" tag and use
+// floating-point seconds (see internal/fault, json.go). Unknown fault
+// event types are rejected with an error listing the valid ones.
 
 // MarshalJSONScenario renders sc as indented JSON.
 func MarshalJSONScenario(sc Scenario) ([]byte, error) {
@@ -46,17 +50,43 @@ func SaveScenario(path string, sc Scenario) error {
 
 // LoadScenario reads a scenario from a JSON file ("-" = stdin).
 func LoadScenario(path string) (Scenario, error) {
-	var (
-		data []byte
-		err  error
-	)
-	if path == "-" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(path)
-	}
+	data, err := readPath(path)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("manetp2p: reading scenario: %w", err)
 	}
 	return UnmarshalJSONScenario(data)
+}
+
+// LoadFaultPlan reads a standalone fault-injection plan from a JSON
+// file ("-" = stdin) and validates it, e.g. for cmd/p2psim -faults.
+func LoadFaultPlan(path string) (FaultPlan, error) {
+	data, err := readPath(path)
+	if err != nil {
+		return FaultPlan{}, fmt.Errorf("manetp2p: reading fault plan: %w", err)
+	}
+	var plan FaultPlan
+	if err := json.Unmarshal(data, &plan); err != nil {
+		return FaultPlan{}, fmt.Errorf("manetp2p: parsing fault plan: %w", err)
+	}
+	if err := plan.Validate(); err != nil {
+		return FaultPlan{}, fmt.Errorf("manetp2p: fault plan: %w", err)
+	}
+	return plan, nil
+}
+
+// SaveFaultPlan writes a fault plan to path as JSON.
+func SaveFaultPlan(path string, plan FaultPlan) error {
+	data, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readPath reads a file, with "-" meaning stdin.
+func readPath(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
 }

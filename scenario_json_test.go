@@ -3,6 +3,7 @@ package manetp2p
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -34,6 +35,73 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	}
 	if len(got.Quals.Classes) != 3 {
 		t.Errorf("qualifier classes lost: %+v", got.Quals)
+	}
+}
+
+func TestScenarioJSONFaultsRoundTrip(t *testing.T) {
+	sc := DefaultScenario(50, Regular)
+	sc.Faults = FaultPlan{Events: []FaultEvent{
+		PartitionFault(600*sim.Second, 60*sim.Second, AxisY, 50),
+		JamFault(900*sim.Second, 120*sim.Second, 25, 75, 20, 0.9),
+		LossBurstFault(1200*sim.Second, 30*sim.Second, 0.5),
+		CrashGroupFault(1500*sim.Second, 300*sim.Second, 10),
+		LinkFlapFault(1800*sim.Second, 240*sim.Second, 20*sim.Second, 5*sim.Second),
+	}}
+	sc.HealthEvery = 5 * sim.Second
+	data, err := MarshalJSONScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSONScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Faults, sc.Faults) {
+		t.Errorf("fault plan changed in round trip:\n got %+v\nwant %+v", got.Faults, sc.Faults)
+	}
+	if got.HealthEvery != 5*sim.Second {
+		t.Errorf("HealthEvery = %v, want 5s", got.HealthEvery)
+	}
+	// Every event type survives with its kind-specific fields.
+	evs := got.Faults.Events
+	if evs[0].Kind != FaultPartition || evs[0].Axis != AxisY || evs[0].Pos != 50 {
+		t.Errorf("partition fields lost: %+v", evs[0])
+	}
+	if evs[1].Kind != FaultJam || evs[1].Radius != 20 || evs[1].Loss != 0.9 ||
+		evs[1].Center.X != 25 || evs[1].Center.Y != 75 {
+		t.Errorf("jam fields lost: %+v", evs[1])
+	}
+	if evs[2].Kind != FaultLossBurst || evs[2].Loss != 0.5 {
+		t.Errorf("lossburst fields lost: %+v", evs[2])
+	}
+	if evs[3].Kind != FaultCrashGroup || evs[3].Count != 10 {
+		t.Errorf("crashgroup fields lost: %+v", evs[3])
+	}
+	if evs[4].Kind != FaultLinkFlap || evs[4].Period != 20*sim.Second || evs[4].DownFor != 5*sim.Second {
+		t.Errorf("linkflap fields lost: %+v", evs[4])
+	}
+}
+
+func TestScenarioJSONRejectsUnknownFaultType(t *testing.T) {
+	_, err := UnmarshalJSONScenario([]byte(
+		`{"Faults": {"events": [{"type": "meteor", "at": 1, "duration": 1}]}}`))
+	if err == nil {
+		t.Fatal("unknown fault event type accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"meteor", "partition", "jam", "lossburst", "crashgroup", "linkflap"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestScenarioJSONRejectsInvalidFaultPlan(t *testing.T) {
+	// Well-formed JSON, semantically invalid plan: duration missing.
+	_, err := UnmarshalJSONScenario([]byte(
+		`{"Faults": {"events": [{"type": "partition", "at": 10}]}}`))
+	if err == nil {
+		t.Fatal("invalid fault plan accepted")
 	}
 }
 
