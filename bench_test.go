@@ -17,7 +17,6 @@ import (
 	"manetp2p/internal/manet"
 	"manetp2p/internal/metrics"
 	"manetp2p/internal/p2p"
-	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
 )
 
@@ -357,34 +356,13 @@ func BenchmarkAblationRunnerScaling(b *testing.B) {
 }
 
 // --- Microbenchmarks of the hot substrate paths ---
+//
+// The tracked ones delegate to benchsuite.go so that `go test -bench`
+// and cmd/bench (which writes BENCH_<n>.json) measure identical code.
 
-func BenchmarkSimEventQueue(b *testing.B) {
-	s := sim.New(1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s.Schedule(sim.Time(i%1000)*sim.Millisecond, func() {})
-		if s.Pending() > 1024 {
-			s.Run(sim.MaxTime)
-		}
-	}
-	s.Run(sim.MaxTime)
-}
+func BenchmarkSimEventQueue(b *testing.B) { benchSimEventQueue(b) }
 
-func BenchmarkGridNear(b *testing.B) {
-	arena := geom.Rect{W: 100, H: 100}
-	g := geom.NewGrid(arena, 10, 150)
-	s := sim.New(2)
-	rng := s.NewRand()
-	for i := 0; i < 150; i++ {
-		g.Insert(i, arena.RandomPoint(rng))
-	}
-	buf := make([]int, 0, 32)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf = g.Near(buf[:0], arena.RandomPoint(rng), 10, -1)
-	}
-}
+func BenchmarkGridNear(b *testing.B) { benchGridNear(b) }
 
 func BenchmarkGridNearBruteForce(b *testing.B) {
 	// The comparison baseline for BenchmarkGridNear: O(n) scan.
@@ -429,44 +407,9 @@ func BenchmarkWaypointPos(b *testing.B) {
 	}
 }
 
-func BenchmarkAODVDiscovery(b *testing.B) {
-	// Cost of one cold route discovery over a 10-hop chain.
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		s := sim.New(int64(i))
-		med, err := radio.NewMedium(s, radio.Config{
-			Arena: geom.Rect{W: 200, H: 50}, Range: 10, NumNodes: 11,
-			Latency: 2 * sim.Millisecond,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		routers := make([]*aodv.Router, 11)
-		delivered := false
-		for n := 0; n < 11; n++ {
-			routers[n] = aodv.NewRouter(n, s, med, aodv.Config{})
-			med.Join(n, geom.Point{X: 5 + 8*float64(n), Y: 25}, routers[n].HandleFrame)
-		}
-		routers[10].OnUnicast(func(aodv.Delivery) { delivered = true })
-		b.StartTimer()
-		routers[0].Send(10, 64, "x")
-		s.Run(30 * sim.Second)
-		if !delivered {
-			b.Fatal("discovery failed")
-		}
-	}
-}
+// Cost of one cold route discovery over a 10-hop chain.
+func BenchmarkAODVDiscovery(b *testing.B) { benchAODVDiscovery(b) }
 
 // BenchmarkFullReplication measures one end-to-end paper replication
 // (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
-func BenchmarkFullReplication(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		cfg := manet.DefaultConfig(50, p2p.Regular)
-		cfg.Seed = int64(i)
-		net, err := manet.Build(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		net.Run(3600 * sim.Second)
-	}
-}
+func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b) }

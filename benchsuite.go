@@ -1,0 +1,110 @@
+package manetp2p
+
+// The tracked benchmark suite: the tier-1 benchmarks whose trajectory is
+// recorded machine-readably (BENCH_<n>.json) by cmd/bench on every perf
+// PR. The functions live here, in a non-test file, so that both `go test
+// -bench` (via the delegating Benchmark* wrappers in bench_test.go) and
+// the cmd/bench binary (via testing.Benchmark) run the identical code.
+
+import (
+	"testing"
+
+	"manetp2p/internal/aodv"
+	"manetp2p/internal/geom"
+	"manetp2p/internal/manet"
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+// BenchSpec names one tracked benchmark.
+type BenchSpec struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// TrackedBenchmarks returns the benchmarks recorded in BENCH_<n>.json,
+// cheapest first.
+func TrackedBenchmarks() []BenchSpec {
+	return []BenchSpec{
+		{Name: "SimEventQueue", Fn: benchSimEventQueue},
+		{Name: "GridNear", Fn: benchGridNear},
+		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
+		{Name: "FullReplication", Fn: benchFullReplication},
+	}
+}
+
+// benchSimEventQueue measures the simulator's schedule+fire hot path.
+func benchSimEventQueue(b *testing.B) {
+	s := sim.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(sim.Time(i%1000)*sim.Millisecond, func() {})
+		if s.Pending() > 1024 {
+			s.Run(sim.MaxTime)
+		}
+	}
+	s.Run(sim.MaxTime)
+}
+
+// benchGridNear measures one range query on the spatial index.
+func benchGridNear(b *testing.B) {
+	arena := geom.Rect{W: 100, H: 100}
+	g := geom.NewGrid(arena, 10, 150)
+	s := sim.New(2)
+	rng := s.NewRand()
+	for i := 0; i < 150; i++ {
+		g.Insert(i, arena.RandomPoint(rng))
+	}
+	buf := make([]int, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Near(buf[:0], arena.RandomPoint(rng), 10, -1)
+	}
+}
+
+// benchAODVDiscovery measures one cold route discovery over a 10-hop
+// chain.
+func benchAODVDiscovery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := sim.New(int64(i))
+		med, err := radio.NewMedium(s, radio.Config{
+			Arena: geom.Rect{W: 200, H: 50}, Range: 10, NumNodes: 11,
+			Latency: 2 * sim.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		routers := make([]*aodv.Router, 11)
+		delivered := false
+		for n := 0; n < 11; n++ {
+			routers[n] = aodv.NewRouter(n, s, med, aodv.Config{})
+			med.Join(n, geom.Point{X: 5 + 8*float64(n), Y: 25}, routers[n].HandleFrame)
+		}
+		routers[10].OnUnicast(func(aodv.Delivery) { delivered = true })
+		b.StartTimer()
+		routers[0].Send(10, 64, "x")
+		s.Run(30 * sim.Second)
+		if !delivered {
+			b.Fatal("discovery failed")
+		}
+	}
+}
+
+// benchFullReplication measures one end-to-end paper replication
+// (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
+func benchFullReplication(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := manet.DefaultConfig(50, p2p.Regular)
+		cfg.Seed = int64(i)
+		net, err := manet.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net.Run(3600 * sim.Second)
+	}
+}

@@ -1,7 +1,18 @@
 #!/bin/sh
 # Repository health check: format, vet, full tests, quick bench smoke.
+#
+# `./check.sh bench` instead runs the tracked benchmark suite and writes
+# the machine-readable baseline (see cmd/bench); pass an output path as
+# the second argument to override the default BENCH.json.
 set -e
 cd "$(dirname "$0")"
+
+if [ "$1" = "bench" ]; then
+	out="${2:-BENCH.json}"
+	echo "== tracked benchmarks -> $out =="
+	go run ./cmd/bench -o "$out"
+	exit 0
+fi
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)

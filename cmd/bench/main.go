@@ -1,0 +1,101 @@
+// Command bench runs the tracked benchmark suite (benchsuite.go) and
+// writes the results as machine-readable JSON, so the repository's perf
+// trajectory is recorded per PR instead of living in commit messages.
+//
+// Usage:
+//
+//	bench                      # writes BENCH.json
+//	bench -o BENCH_2.json      # explicit output path ('-' = stdout)
+//	bench -benchtime 3s -run FullReplication
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"manetp2p"
+)
+
+// benchResult is one benchmark's measurement, mirroring the columns of
+// `go test -bench -benchmem` output.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Timestamp  string        `json:"timestamp"`
+	BenchTime  string        `json:"bench_time"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	// Register the testing flags first so -benchtime can be forwarded to
+	// testing.Benchmark below.
+	testing.Init()
+	var (
+		out       = flag.String("o", "BENCH.json", "output path for the JSON report ('-' = stdout)")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark time budget (forwarded to the testing package)")
+		run       = flag.String("run", "", "only run benchmarks whose name contains this substring")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		BenchTime: *benchtime,
+	}
+	for _, spec := range manetp2p.TrackedBenchmarks() {
+		if *run != "" && !strings.Contains(spec.Name, *run) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
+		r := testing.Benchmark(spec.Fn)
+		res := benchResult{
+			Name:        spec.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "  %d iterations, %.1f ns/op, %d B/op, %d allocs/op\n",
+			res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"manetp2p"
+	"manetp2p/internal/prof"
 )
 
 func parseAlg(s string) (manetp2p.Algorithm, error) {
@@ -47,7 +48,21 @@ func main() {
 		config   = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
 		saveCfg  = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Profiles flush on the normal return path; error paths os.Exit and
+	// deliberately drop them rather than report half a run as a profile.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var sc manetp2p.Scenario
 	if *config != "" {

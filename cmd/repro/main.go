@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"manetp2p"
+	"manetp2p/internal/prof"
 )
 
 // experiment maps a paper artifact to the runs and renderer it needs.
@@ -40,10 +41,24 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		quiet   = flag.Bool("q", false, "suppress progress messages on stderr")
 	)
+	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if *fast {
 		*reps = 5
 	}
+
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Flushed on the normal return path; error paths os.Exit and drop
+	// the partial profile.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	experiments := map[string]experiment{
 		"table1": {print: func([]*manetp2p.Result) { manetp2p.WriteTable1(os.Stdout) }},

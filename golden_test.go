@@ -1,0 +1,101 @@
+package manetp2p
+
+// Determinism golden test: one fixed-seed 50-node scenario per
+// algorithm, with snapshots, traffic buckets, health telemetry and a
+// scripted partition fault all enabled, asserting the full Result —
+// totals, every series, resilience — is byte-identical to a committed
+// fixture. The fixtures were generated before the zero-allocation event
+// engine landed, so this test proves the pooling/batching refactor
+// changed performance, not behavior. Regenerate (only after an
+// intentional behavior change) with:
+//
+//	go test -run TestGoldenResults -update-golden .
+//
+// and review the fixture diff like any other code change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the determinism golden fixtures")
+
+// goldenScenario is deliberately busy: every optional subsystem that
+// feeds the Result is on, so a behavior drift anywhere shows up here.
+func goldenScenario(alg Algorithm) Scenario {
+	sc := DefaultScenario(50, alg)
+	sc.Duration = 600 * sim.Second
+	sc.Replications = 2
+	sc.Seed = 7
+	sc.SnapshotEvery = 120 * sim.Second
+	sc.TrafficBucket = 60 * sim.Second
+	sc.HealthEvery = 10 * sim.Second
+	sc.Faults = FaultPlan{Events: []FaultEvent{
+		PartitionFault(120*sim.Second, 90*sim.Second, AxisX, 50),
+	}}
+	return sc
+}
+
+func TestGoldenResults(t *testing.T) {
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(goldenScenario(alg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", strings.ToLower(alg.String())+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("fixed-seed result for %v drifted from the committed fixture %s\n"+
+					"(if the behavior change is intentional, regenerate with -update-golden and review the diff)",
+					alg, path)
+			}
+		})
+	}
+}
+
+// TestGoldenRunRepeatable guards the weaker property independently of
+// the fixtures: two in-process runs of the same scenario are identical,
+// whatever the fixture says.
+func TestGoldenRunRepeatable(t *testing.T) {
+	sc := goldenScenario(Regular)
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("same scenario produced different results in the same process")
+	}
+}

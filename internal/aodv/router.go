@@ -115,7 +115,7 @@ type discovery struct {
 	ttl     int
 	retries int
 	repair  bool
-	timer   *sim.Event
+	timer   sim.Handle
 	queue   []data
 }
 
@@ -140,12 +140,17 @@ type Router struct {
 	onBroadcast  func(Delivery)
 	onUnicast    func(Delivery)
 	onSendFailed func(dst int, payload any)
+
+	// Callbacks for the typed scheduling API, bound once at construction
+	// so the hot paths schedule without a per-call closure allocation.
+	selfDeliverFn func(sim.Arg)
+	discTimeoutFn func(sim.Arg)
 }
 
 // NewRouter creates the routing layer for node id. The caller must pass
 // r.HandleFrame as the node's radio receiver when joining the medium.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
-	return &Router{
+	r := &Router{
 		id:        id,
 		sim:       s,
 		med:       med,
@@ -155,6 +160,9 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 		seenBcast: make(map[seenKey]sim.Time),
 		pending:   make(map[int]*discovery),
 	}
+	r.selfDeliverFn = r.selfDeliver
+	r.discTimeoutFn = r.discTimeout
+	return r
 }
 
 // ID returns the node this router belongs to.
@@ -207,11 +215,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 // zero hops on the next event-loop turn.
 func (r *Router) Send(dst, size int, payload any) {
 	if dst == r.id {
-		r.sim.Schedule(0, func() {
-			if r.onUnicast != nil {
-				r.onUnicast(Delivery{From: r.id, Hops: 0, Payload: payload})
-			}
-		})
+		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
 		return
 	}
 	if !r.med.Up(r.id) {
@@ -272,7 +276,20 @@ func (r *Router) sendRREQ(dst int, d *discovery) {
 	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
 
 	wait := 2 * sim.Time(d.ttl) * r.cfg.HopTraversal
-	d.timer = r.sim.Schedule(wait, func() { r.discoveryTimeout(dst, d) })
+	d.timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
+}
+
+// selfDeliver completes a Send addressed to this node on the next
+// event-loop turn.
+func (r *Router) selfDeliver(a sim.Arg) {
+	if r.onUnicast != nil {
+		r.onUnicast(Delivery{From: r.id, Hops: 0, Payload: a.X})
+	}
+}
+
+// discTimeout unpacks the typed-arg timer payload for discoveryTimeout.
+func (r *Router) discTimeout(a sim.Arg) {
+	r.discoveryTimeout(a.I0, a.X.(*discovery))
 }
 
 // discoveryTimeout escalates the ring or gives up.

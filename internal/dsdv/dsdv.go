@@ -148,6 +148,11 @@ type Router struct {
 	onBroadcast  func(netif.Delivery)
 	onUnicast    func(netif.Delivery)
 	onSendFailed func(dst int, payload any)
+
+	// Callbacks for the typed scheduling API, bound once at construction
+	// so the hot paths schedule without a per-call closure allocation.
+	selfDeliverFn  func(sim.Arg)
+	expireParkedFn func(sim.Arg)
 }
 
 var _ netif.Protocol = (*Router)(nil)
@@ -164,6 +169,8 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 		seenBcast: make(map[seenKey]sim.Time),
 		parked:    make(map[int][]waiting),
 	}
+	r.selfDeliverFn = r.selfDeliver
+	r.expireParkedFn = r.expireParkedArg
 	// Stagger first advertisements by node id so a freshly built network
 	// does not emit all dumps in the same microsecond.
 	first := r.cfg.UpdatePeriod/64*sim.Time(id%64) + sim.Millisecond
@@ -300,11 +307,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 // settling time (proactive protocols have no discovery to kick).
 func (r *Router) Send(dst, size int, payload any) {
 	if dst == r.id {
-		r.sim.Schedule(0, func() {
-			if r.onUnicast != nil {
-				r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: payload})
-			}
-		})
+		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
 		return
 	}
 	if !r.med.Up(r.id) {
@@ -331,9 +334,19 @@ func (r *Router) park(pkt data) {
 	}
 	w := waiting{pkt: pkt, expires: r.sim.Now() + r.cfg.SettlingTime}
 	r.parked[pkt.Dst] = append(q, w)
-	dst := pkt.Dst
-	r.sim.Schedule(r.cfg.SettlingTime+sim.Millisecond, func() { r.expireParked(dst) })
+	r.sim.ScheduleArg(r.cfg.SettlingTime+sim.Millisecond, r.expireParkedFn, sim.Arg{I0: pkt.Dst})
 }
+
+// selfDeliver completes a Send addressed to this node on the next
+// event-loop turn.
+func (r *Router) selfDeliver(a sim.Arg) {
+	if r.onUnicast != nil {
+		r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: a.X})
+	}
+}
+
+// expireParkedArg unpacks the typed-arg timer payload for expireParked.
+func (r *Router) expireParkedArg(a sim.Arg) { r.expireParked(a.I0) }
 
 // expireParked fails packets whose settling window lapsed routeless.
 func (r *Router) expireParked(dst int) {

@@ -149,7 +149,7 @@ type seenKey struct {
 
 type discovery struct {
 	retries int
-	timer   *sim.Event
+	timer   sim.Handle
 	queue   []data
 }
 
@@ -171,6 +171,11 @@ type Router struct {
 	onBroadcast  func(netif.Delivery)
 	onUnicast    func(netif.Delivery)
 	onSendFailed func(dst int, payload any)
+
+	// Callbacks for the typed scheduling API, bound once at construction
+	// so the hot paths schedule without a per-call closure allocation.
+	selfDeliverFn func(sim.Arg)
+	discTimeoutFn func(sim.Arg)
 }
 
 var _ netif.Protocol = (*Router)(nil)
@@ -178,7 +183,7 @@ var _ netif.Protocol = (*Router)(nil)
 // NewRouter creates the DSR layer for node id; pass HandleFrame as the
 // node's radio receiver.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
-	return &Router{
+	r := &Router{
 		id:        id,
 		sim:       s,
 		med:       med,
@@ -188,6 +193,22 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 		seenBcast: make(map[seenKey]sim.Time),
 		pending:   make(map[int]*discovery),
 	}
+	r.selfDeliverFn = r.selfDeliver
+	r.discTimeoutFn = r.discTimeout
+	return r
+}
+
+// selfDeliver completes a Send addressed to this node on the next
+// event-loop turn.
+func (r *Router) selfDeliver(a sim.Arg) {
+	if r.onUnicast != nil {
+		r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: a.X})
+	}
+}
+
+// discTimeout unpacks the typed-arg timer payload for discoveryTimeout.
+func (r *Router) discTimeout(a sim.Arg) {
+	r.discoveryTimeout(a.I0, a.X.(*discovery))
 }
 
 // ID returns the node this router belongs to.
@@ -285,11 +306,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 // Send routes payload to dst, discovering a source route on demand.
 func (r *Router) Send(dst, size int, payload any) {
 	if dst == r.id {
-		r.sim.Schedule(0, func() {
-			if r.onUnicast != nil {
-				r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: payload})
-			}
-		})
+		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
 		return
 	}
 	if !r.med.Up(r.id) {
@@ -334,7 +351,7 @@ func (r *Router) sendRREQ(dst int, d *discovery) {
 	r.stats.Discoveries++
 	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQBase, Payload: q})
 	wait := 2 * sim.Time(r.cfg.DiscoveryTTL) * r.cfg.HopTraversal
-	d.timer = r.sim.Schedule(wait, func() { r.discoveryTimeout(dst, d) })
+	d.timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
 }
 
 func (r *Router) discoveryTimeout(dst int, d *discovery) {

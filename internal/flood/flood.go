@@ -80,19 +80,33 @@ type Router struct {
 	onBroadcast  func(netif.Delivery)
 	onUnicast    func(netif.Delivery)
 	onSendFailed func(dst int, payload any)
+
+	// Bound once at construction so self-delivery schedules without a
+	// per-call closure allocation.
+	selfDeliverFn func(sim.Arg)
 }
 
 var _ netif.Protocol = (*Router)(nil)
 
 // NewRouter creates the flooding layer for node id.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
-	return &Router{
+	r := &Router{
 		id:       id,
 		sim:      s,
 		med:      med,
 		cfg:      cfg.withDefaults(),
 		seen:     make(map[seenKey]sim.Time),
 		lastHops: make(map[int]int),
+	}
+	r.selfDeliverFn = r.selfDeliver
+	return r
+}
+
+// selfDeliver completes a Send addressed to this node on the next
+// event-loop turn.
+func (r *Router) selfDeliver(a sim.Arg) {
+	if r.onUnicast != nil {
+		r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: a.X})
 	}
 }
 
@@ -131,11 +145,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 // Send floods payload with the unicast TTL; only dst delivers it.
 func (r *Router) Send(dst, size int, payload any) {
 	if dst == r.id {
-		r.sim.Schedule(0, func() {
-			if r.onUnicast != nil {
-				r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: payload})
-			}
-		})
+		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
 		return
 	}
 	r.emit(packet{Dst: dst, TTL: r.cfg.UnicastTTL, Size: size, Payload: payload})

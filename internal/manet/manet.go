@@ -262,6 +262,10 @@ type Network struct {
 	dead      []bool // battery-exhausted, never comes back
 	churnRNG  *rand.Rand
 	posTicker *sim.Ticker
+
+	// Churn callbacks bound once so re-arming allocates nothing.
+	churnDownFn func(sim.Arg)
+	churnUpFn   func(sim.Arg)
 }
 
 // Build constructs and wires a Network; nodes are placed uniformly at
@@ -295,6 +299,8 @@ func Build(cfg Config) (*Network, error) {
 		dead:      make([]bool, cfg.NumNodes),
 		churnRNG:  s.NewRand(),
 	}
+	n.churnDownFn = n.churnDown
+	n.churnUpFn = n.churnUp
 	if cfg.TraceCapacity > 0 {
 		n.Tracer = trace.New(s, cfg.TraceCapacity)
 	}
@@ -498,33 +504,39 @@ func (n *Network) tickPositions() {
 // scheduleChurnDown arms the next departure for member i.
 func (n *Network) scheduleChurnDown(i int) {
 	d := expDuration(n.churnRNG, n.Cfg.Churn.MeanUptime)
-	n.Sim.Schedule(d, func() {
-		if n.dead[i] || !n.Medium.Up(i) {
-			return
-		}
-		n.Tracer.Emit(trace.KindNode, i, -1, "churn down")
-		if sv := n.Servents[i]; sv != nil {
-			sv.Leave(false)
-		}
-		n.Medium.Leave(i)
-		n.scheduleChurnUp(i)
-	})
+	n.Sim.ScheduleArg(d, n.churnDownFn, sim.Arg{I0: i})
+}
+
+func (n *Network) churnDown(a sim.Arg) {
+	i := a.I0
+	if n.dead[i] || !n.Medium.Up(i) {
+		return
+	}
+	n.Tracer.Emit(trace.KindNode, i, -1, "churn down")
+	if sv := n.Servents[i]; sv != nil {
+		sv.Leave(false)
+	}
+	n.Medium.Leave(i)
+	n.scheduleChurnUp(i)
 }
 
 // scheduleChurnUp arms the next return for member i.
 func (n *Network) scheduleChurnUp(i int) {
 	d := expDuration(n.churnRNG, n.Cfg.Churn.MeanDowntime)
-	n.Sim.Schedule(d, func() {
-		if n.dead[i] || n.Medium.Up(i) {
-			return
-		}
-		n.Tracer.Emit(trace.KindNode, i, -1, "churn up")
-		n.Medium.Join(i, n.models[i].Pos(n.Sim.Now()), n.Routers[i].HandleFrame)
-		if sv := n.Servents[i]; sv != nil {
-			sv.Join()
-		}
-		n.scheduleChurnDown(i)
-	})
+	n.Sim.ScheduleArg(d, n.churnUpFn, sim.Arg{I0: i})
+}
+
+func (n *Network) churnUp(a sim.Arg) {
+	i := a.I0
+	if n.dead[i] || n.Medium.Up(i) {
+		return
+	}
+	n.Tracer.Emit(trace.KindNode, i, -1, "churn up")
+	n.Medium.Join(i, n.models[i].Pos(n.Sim.Now()), n.Routers[i].HandleFrame)
+	if sv := n.Servents[i]; sv != nil {
+		sv.Join()
+	}
+	n.scheduleChurnDown(i)
 }
 
 // expDuration draws an exponential duration with the given mean,

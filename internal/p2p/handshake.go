@@ -10,6 +10,8 @@ package p2p
 //
 // plus the Random algorithm's farthest-responder offer collection.
 
+import "manetp2p/internal/sim"
+
 // onSolicit decides whether to offer a connection to the solicitor.
 func (sv *Servent) onSolicit(from int, m msgSolicit, bcastHops int) {
 	if !sv.willingToConnect(from, m.Rand, m.MasterOnly) {
@@ -82,14 +84,18 @@ func (sv *Servent) onOffer(from int, m msgOffer) {
 // acceptOffer commits a slot and sends the accept (second handshake step).
 func (sv *Servent) acceptOffer(peer int, random, master bool) {
 	h := &handshake{peer: peer, random: random, master: master}
-	h.timeout = sv.s.Schedule(sv.par.HandshakeWait, func() {
-		if sv.pending[peer] == h {
-			delete(sv.pending, peer)
-			sv.ensureCycle()
-		}
-	})
+	h.timeout = sv.s.ScheduleArg(sv.par.HandshakeWait, sv.hsTimeoutFn, sim.Arg{I0: peer, X: h})
 	sv.pending[peer] = h
 	sv.send(peer, msgAccept{Rand: random, Master: master})
+}
+
+// handshakeTimeout releases a reserved slot whose confirm never arrived.
+func (sv *Servent) handshakeTimeout(a sim.Arg) {
+	peer, h := a.I0, a.X.(*handshake)
+	if sv.pending[peer] == h {
+		delete(sv.pending, peer)
+		sv.ensureCycle()
+	}
 }
 
 // onAccept is the responder committing its half of the connection.
@@ -153,7 +159,7 @@ func (sv *Servent) startRandomSolicit() {
 	sv.collecting = true
 	sv.offers = sv.offers[:0]
 	sv.broadcast(randhops, msgSolicit{Rand: true})
-	sv.s.Schedule(sv.par.OfferWindow, sv.endRandomCollect)
+	sv.s.Schedule(sv.par.OfferWindow, sv.endCollectFn)
 }
 
 // endRandomCollect picks the farthest responder and accepts it.

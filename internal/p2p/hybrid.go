@@ -133,12 +133,16 @@ func (sv *Servent) tryEnslaveTo(master int) {
 	sv.reservedWith = master
 	sv.send(master, msgEnslaveReq{Qualifier: sv.opt.Qualifier})
 	sv.reservedEv.Cancel()
-	sv.reservedEv = sv.s.Schedule(sv.par.HandshakeWait, func() {
-		if sv.joined && sv.state == StateReserved && sv.reservedWith == master {
-			sv.state = StateInitial
-			sv.ensureCycle()
-		}
-	})
+	sv.reservedEv = sv.s.ScheduleArg(sv.par.HandshakeWait, sv.reservedExpFn, sim.Arg{I0: master})
+}
+
+// reservedExpired returns a reserved slave candidate to initial when the
+// prospective master never answered.
+func (sv *Servent) reservedExpired(a sim.Arg) {
+	if sv.joined && sv.state == StateReserved && sv.reservedWith == a.I0 {
+		sv.state = StateInitial
+		sv.ensureCycle()
+	}
 }
 
 // onEnslaveReq is the master side of the enslavement handshake. An
@@ -170,14 +174,14 @@ func (sv *Servent) onEnslaveAccept(from int) {
 		return
 	}
 	sv.reservedEv.Cancel()
-	sv.reservedEv = nil
+	sv.reservedEv = sim.Handle{}
 	sv.opt.Tracer.Emit(trace.KindState, sv.id, from, "reserved->slave")
 	sv.state = StateSlave
 	sv.installConn(&conn{peer: from, toMaster: true, initiator: true})
 	sv.send(from, msgEnslaveConfirm{})
 	// A slave abandons any half-done mesh business.
 	sv.cycleEv.Cancel()
-	sv.cycleEv = nil
+	sv.cycleEv = sim.Handle{}
 	sv.cycleRunning = false
 }
 
@@ -208,7 +212,7 @@ func (sv *Servent) onEnslaveReject(from int) {
 		return
 	}
 	sv.reservedEv.Cancel()
-	sv.reservedEv = nil
+	sv.reservedEv = sim.Handle{}
 	sv.state = StateInitial
 	sv.ensureCycle()
 }

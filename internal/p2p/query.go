@@ -52,14 +52,14 @@ func (sv *Servent) pickFile() int {
 
 // runQuery issues one file search.
 func (sv *Servent) runQuery() {
-	sv.queryEv = nil
+	sv.queryEv = sim.Handle{}
 	if !sv.joined {
 		return
 	}
 	file := sv.pickFile()
 	if file < 0 || len(sv.conns) == 0 {
 		// Nothing to ask or no one to ask: try again later.
-		sv.queryEv = sv.s.Schedule(sv.queryGap(), sv.runQuery)
+		sv.queryEv = sv.s.Schedule(sv.queryGap(), sv.runQueryFn)
 		return
 	}
 	sv.nextQID++
@@ -69,25 +69,26 @@ func (sv *Servent) runQuery() {
 	switch sv.par.QueryMode {
 	case QueryRandomWalk:
 		// Launch k walkers on random neighbors (distinct when possible).
-		q := msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.WalkTTL, Walk: true}
-		peers := sv.Peers()
+		var q any = msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.WalkTTL, Walk: true}
+		peers := sv.sortedPeers()
 		sv.opt.RNG.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
 		for w := 0; w < sv.par.Walkers; w++ {
 			sv.send(peers[w%len(peers)], q)
 		}
 	default:
-		q := msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.QueryTTL, P2PHops: 0}
-		for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
+		// Box the query once; the fan-out sends the same interface value.
+		var q any = msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.QueryTTL, P2PHops: 0}
+		for _, peer := range sv.sortedPeers() { // sorted: keeps runs reproducible
 			sv.send(peer, q)
 		}
 	}
-	sv.queryEv = sv.s.Schedule(sv.par.QueryCollect, sv.finishQuery)
+	sv.queryEv = sv.s.Schedule(sv.par.QueryCollect, sv.finishQueryFn)
 }
 
 // finishQuery closes the 30 s collection window, records the outcome and
 // schedules the next query.
 func (sv *Servent) finishQuery() {
-	sv.queryEv = nil
+	sv.queryEv = sim.Handle{}
 	if r := sv.curReq; r != nil {
 		sv.opt.Tracer.Emit(trace.KindQuery, sv.id, -1,
 			"done qid=%d file=%d answers=%d minP2P=%d", r.qid, r.file, r.answers, r.minP2P)
@@ -110,7 +111,7 @@ func (sv *Servent) finishQuery() {
 	if r != nil && r.answers > 0 {
 		sv.maybeStartDownload(r.file, r.holder)
 	}
-	sv.queryEv = sv.s.Schedule(sv.queryGap(), sv.runQuery)
+	sv.queryEv = sv.s.Schedule(sv.queryGap(), sv.runQueryFn)
 }
 
 // onQuery applies the paper's three forwarding rules and answers if this
@@ -137,8 +138,9 @@ func (sv *Servent) onQuery(prev int, q msgQuery) {
 	if q.TTL <= 1 {
 		return
 	}
-	fwd := msgQuery{Origin: q.Origin, QID: q.QID, File: q.File, TTL: q.TTL - 1, P2PHops: myDist}
-	for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
+	// Box the forwarded query once; the fan-out reuses the interface value.
+	var fwd any = msgQuery{Origin: q.Origin, QID: q.QID, File: q.File, TTL: q.TTL - 1, P2PHops: myDist}
+	for _, peer := range sv.sortedPeers() { // sorted: keeps runs reproducible
 		if peer == prev || peer == q.Origin {
 			continue // rules 2 and 3
 		}

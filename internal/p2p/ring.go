@@ -21,11 +21,11 @@ func (sv *Servent) ensureCycle() {
 
 func (sv *Servent) scheduleCycle(d sim.Time) {
 	sv.cycleEv.Cancel()
-	sv.cycleEv = sv.s.Schedule(d, sv.cycleStep)
+	sv.cycleEv = sv.s.Schedule(d, sv.cycleStepFn)
 }
 
 func (sv *Servent) cycleStep() {
-	sv.cycleEv = nil
+	sv.cycleEv = sim.Handle{}
 	if !sv.joined || !sv.needEstablish() {
 		sv.cycleRunning = false
 		return

@@ -66,7 +66,7 @@ type handshake struct {
 	peer    int
 	random  bool
 	master  bool
-	timeout *sim.Event
+	timeout sim.Handle
 }
 
 // offerInfo is a response collected during the Random algorithm's
@@ -105,7 +105,7 @@ type Servent struct {
 	// master mesh / initial capture cycle share this ring machinery).
 	nhops        int
 	timer        sim.Time
-	cycleEv      *sim.Event
+	cycleEv      sim.Handle
 	cycleRunning bool
 	pending      map[int]*handshake
 
@@ -117,13 +117,13 @@ type Servent struct {
 	state        HybridState
 	reservedWith int
 	noSlave      *sim.Timer
-	reservedEv   *sim.Event
+	reservedEv   sim.Handle
 
 	// Query engine.
 	nextQID uint32
 	seen    map[queryKey]struct{}
 	curReq  *request
-	queryEv *sim.Event
+	queryEv sim.Handle
 
 	// Download extension.
 	xfer      *xfer
@@ -135,6 +135,18 @@ type Servent struct {
 	// Local statistics (per-servent, complementing the Collector).
 	established uint64 // connections successfully formed
 	closed      uint64 // connections torn down
+
+	// Callbacks bound once at construction: the establishment cycle and
+	// query engine re-schedule these constantly, and a method value passed
+	// directly to Schedule would allocate a fresh closure every call.
+	ensureCycleFn func()
+	cycleStepFn   func()
+	runQueryFn    func()
+	finishQueryFn func()
+	endCollectFn  func()
+	hsTimeoutFn   func(sim.Arg)
+	reservedExpFn func(sim.Arg)
+	peersScratch  []int // sorted-peer buffer for hot iteration paths; see sortedPeers
 }
 
 type queryKey struct {
@@ -163,7 +175,7 @@ func NewServent(id int, s *sim.Sim, rt netif.Protocol, par Params, alg Algorithm
 	if opt.RNG == nil {
 		panic("p2p: Options.RNG is required")
 	}
-	return &Servent{
+	sv := &Servent{
 		id:      id,
 		s:       s,
 		rt:      rt,
@@ -175,6 +187,29 @@ func NewServent(id int, s *sim.Sim, rt netif.Protocol, par Params, alg Algorithm
 		seen:    make(map[queryKey]struct{}),
 		state:   StateInitial,
 	}
+	sv.ensureCycleFn = sv.ensureCycle
+	sv.cycleStepFn = sv.cycleStep
+	sv.runQueryFn = sv.runQuery
+	sv.finishQueryFn = sv.finishQuery
+	sv.endCollectFn = sv.endRandomCollect
+	sv.hsTimeoutFn = sv.handshakeTimeout
+	sv.reservedExpFn = sv.reservedExpired
+	return sv
+}
+
+// sortedPeers fills the servent's scratch buffer with the connected peer
+// ids in ascending order — the same content Peers returns, without the
+// allocation. Only leaf messaging paths (query fan-out) may use it: the
+// buffer is invalidated by the next sortedPeers call, so callers must not
+// re-enter any code that could call it again while iterating.
+func (sv *Servent) sortedPeers() []int {
+	out := sv.peersScratch[:0]
+	for p := range sv.conns {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	sv.peersScratch = out
+	return out
 }
 
 // ID returns the node id.
@@ -267,11 +302,11 @@ func (sv *Servent) Join() {
 	sv.timer = sv.par.TimerInitial
 	stagger := sim.UniformDuration(sv.opt.RNG, 0, sv.par.JoinStaggerMax)
 	if !sv.opt.NoEstablish {
-		sv.s.Schedule(stagger, sv.ensureCycle)
+		sv.s.Schedule(stagger, sv.ensureCycleFn)
 	}
 	if !sv.opt.NoQueries {
 		first := stagger + sv.par.QueryCollect + sv.queryGap()
-		sv.queryEv = sv.s.Schedule(first, sv.runQuery)
+		sv.queryEv = sv.s.Schedule(first, sv.runQueryFn)
 	}
 }
 
@@ -291,10 +326,10 @@ func (sv *Servent) Leave(graceful bool) {
 	}
 	sv.pending = make(map[int]*handshake)
 	sv.cycleEv.Cancel()
-	sv.cycleEv = nil
+	sv.cycleEv = sim.Handle{}
 	sv.cycleRunning = false
 	sv.queryEv.Cancel()
-	sv.queryEv = nil
+	sv.queryEv = sim.Handle{}
 	sv.curReq = nil
 	if sv.xfer != nil {
 		sv.xfer.timeout.Stop()
@@ -303,7 +338,7 @@ func (sv *Servent) Leave(graceful bool) {
 	sv.collecting = false
 	sv.offers = nil
 	sv.reservedEv.Cancel()
-	sv.reservedEv = nil
+	sv.reservedEv = sim.Handle{}
 	if sv.noSlave != nil {
 		sv.noSlave.Stop()
 	}

@@ -91,7 +91,96 @@ type Medium struct {
 	battery []*Battery
 	onDeath func(id int)
 
-	scratch []int
+	scratch  []int // Neighbors/Degree query buffer
+	bscratch []int // broadcast fan-out buffer; see the note in Send
+
+	// Batched delivery engine: instead of one simulator event (and one
+	// capturing closure) per in-flight frame, pending deliveries are
+	// value-typed records in the medium's own min-heap, drained by a
+	// single pooled event. Each record consumes a global sequence number
+	// via ReserveSeq at the moment the old code would have scheduled it,
+	// so the interleaving with independently scheduled events — and
+	// therefore determinism — is bit-identical to the one-event-per-frame
+	// design. The one observable difference: Sim.Pending/Fired counts,
+	// and a Stop() landing mid-batch no longer splits same-instant
+	// deliveries (both are diagnostics, not simulation state).
+	pending    deliveryHeap
+	drainFn    func()
+	drainH     sim.Handle
+	drainAt    sim.Time
+	drainSeq   uint64
+	drainArmed bool
+	draining   bool
+}
+
+// delivery is one in-flight frame: it arrives at node to at instant at,
+// ordered among all simulator events by the reserved seq.
+type delivery struct {
+	at  sim.Time
+	seq uint64
+	to  int
+	f   Frame
+}
+
+// deliveryHeap is a value-typed binary min-heap over (at, seq).
+type deliveryHeap struct {
+	items []delivery
+}
+
+func (q *deliveryHeap) len() int { return len(q.items) }
+
+func (q *deliveryHeap) less(i, j int) bool {
+	a, b := &q.items[i], &q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *deliveryHeap) push(d delivery) {
+	q.items = append(q.items, d)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *deliveryHeap) peek() (delivery, bool) {
+	if len(q.items) == 0 {
+		return delivery{}, false
+	}
+	return q.items[0], true
+}
+
+func (q *deliveryHeap) pop() delivery {
+	n := len(q.items)
+	top := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items[n-1] = delivery{} // drop the Payload reference
+	q.items = q.items[:n-1]
+	n--
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
 }
 
 // NewMedium creates the medium; all nodes start down (not placed) until
@@ -114,6 +203,7 @@ func NewMedium(s *sim.Sim, cfg Config) (*Medium, error) {
 	for i := range m.battery {
 		m.battery[i] = NewBattery(cfg.Energy)
 	}
+	m.drainFn = m.drainDeliveries
 	return m, nil
 }
 
@@ -185,6 +275,11 @@ func (m *Medium) OnDeath(fn func(id int)) { m.onDeath = fn }
 
 // SetLinkFilter installs (or, with nil, removes) the per-delivery gate.
 // The filter runs at transmit time, once per receiver.
+//
+// Reentrancy contract: the filter runs inside Send, so it may query the
+// medium (Neighbors, Degree, InRange, Pos, Up) but must not mutate it —
+// no Send, Join, Leave or SetPos — and must not draw from simulation RNG
+// streams it does not own.
 func (m *Medium) SetLinkFilter(f LinkFilter) { m.filter = f }
 
 // Range returns the configured transmission range in metres.
@@ -211,9 +306,14 @@ func (m *Medium) Send(f Frame) int {
 	m.spendTx(f.Src, f.Size)
 
 	if f.Dst == BroadcastAddr {
-		m.scratch = m.Neighbors(m.scratch[:0], f.Src)
+		// The fan-out iterates its own buffer, not m.scratch: deliver runs
+		// the installed LinkFilter, which (fault injector) may legally call
+		// Neighbors or Degree and would clobber the shared query buffer
+		// mid-iteration. The reentrancy contract is documented on
+		// SetLinkFilter.
+		m.bscratch = m.Neighbors(m.bscratch[:0], f.Src)
 		n := 0
-		for _, nb := range m.scratch {
+		for _, nb := range m.bscratch {
 			m.deliver(f, nb)
 			n++
 		}
@@ -227,7 +327,9 @@ func (m *Medium) Send(f Frame) int {
 }
 
 // deliver queues the frame for arrival at node to after latency+jitter,
-// applying the loss probability.
+// applying the loss probability. The pending record reserves its global
+// sequence number here — exactly where the per-frame event used to be
+// scheduled — so batching cannot reorder it against anything else.
 func (m *Medium) deliver(f Frame, to int) {
 	if m.filter != nil && m.filter(f.Src, to) {
 		m.stats[to].Gated++
@@ -241,19 +343,77 @@ func (m *Medium) deliver(f Frame, to int) {
 	if m.cfg.Jitter > 0 {
 		delay += sim.Time(m.jrng.Int63n(int64(m.cfg.Jitter) + 1))
 	}
-	m.sim.Schedule(delay, func() {
-		// The receiver may have left or died while the frame was in
-		// flight; radio waves do not chase nodes.
-		if !m.up[to] {
+	m.pending.push(delivery{at: m.sim.Now() + delay, seq: m.sim.ReserveSeq(), to: to, f: f})
+	m.syncDrain()
+}
+
+// syncDrain keeps exactly one simulator event armed at the earliest
+// pending record's (at, seq) key. Re-arming on a changed head lazily
+// cancels the previous drain event; the sim purges it at peek.
+func (m *Medium) syncDrain() {
+	if m.draining {
+		return // drainDeliveries re-syncs once the batch is done
+	}
+	head, ok := m.pending.peek()
+	if !ok {
+		if m.drainArmed {
+			m.drainH.Cancel()
+			m.drainArmed = false
+		}
+		return
+	}
+	if m.drainArmed {
+		if head.at == m.drainAt && head.seq == m.drainSeq {
 			return
 		}
-		m.stats[to].RxFrames++
-		m.stats[to].RxBytes += uint64(f.Size)
-		m.spendRx(to, f.Size)
-		if m.up[to] { // spendRx may have killed it
-			m.recv[to](f)
+		m.drainH.Cancel()
+	}
+	m.drainH = m.sim.AtReserved(head.at, head.seq, m.drainFn)
+	m.drainAt, m.drainSeq, m.drainArmed = head.at, head.seq, true
+}
+
+// drainDeliveries fires at the head record's reserved key and completes
+// every pending delivery that would have run back-to-back anyway: same
+// instant, and ordered before the simulator's next independent event.
+// Anything later re-arms a fresh drain, preserving the exact global
+// event interleaving of the one-event-per-frame design.
+func (m *Medium) drainDeliveries() {
+	m.drainArmed = false
+	m.draining = true
+	now := m.sim.Now()
+	for {
+		rec, ok := m.pending.peek()
+		if !ok || rec.at != now {
+			break
 		}
-	})
+		// The first record is always safe: the drain event just fired at
+		// its exact key. Later records must still precede the simulator's
+		// next event to run inline without reordering.
+		if qt, qs, qok := m.sim.NextEvent(); qok && qt == now && qs < rec.seq {
+			break
+		}
+		m.pending.pop()
+		m.arrive(rec)
+	}
+	m.draining = false
+	m.syncDrain()
+}
+
+// arrive completes one delivery, with the same receiver checks the
+// per-frame closure used to make at fire time.
+func (m *Medium) arrive(rec delivery) {
+	to := rec.to
+	// The receiver may have left or died while the frame was in
+	// flight; radio waves do not chase nodes.
+	if !m.up[to] {
+		return
+	}
+	m.stats[to].RxFrames++
+	m.stats[to].RxBytes += uint64(rec.f.Size)
+	m.spendRx(to, rec.f.Size)
+	if m.up[to] { // spendRx may have killed it
+		m.recv[to](rec.f)
+	}
 }
 
 func (m *Medium) spendTx(id, size int) {

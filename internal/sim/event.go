@@ -1,33 +1,67 @@
 package sim
 
-// Event is a scheduled callback. The zero Event is not useful; events are
-// created by Sim.Schedule and Sim.At. Holding the returned *Event allows
-// the caller to Cancel it before it fires.
+// Event is a scheduled callback slot. Events are pooled: the Sim owns
+// every *Event and recycles it — through an intrusive free list — when
+// it fires or when its lazy cancellation is discarded. Callers never
+// hold an *Event; they hold the value-type Handle returned by the
+// scheduling calls, which a generation counter keeps safe against
+// recycling (cancelling a stale Handle is a no-op, never a misfire of
+// the slot's next tenant).
 type Event struct {
-	at        Time
-	seq       uint64 // tie-breaker: FIFO order among same-instant events
-	fn        func()
+	at  Time
+	seq uint64 // tie-breaker: FIFO order among same-instant events
+	gen uint64 // bumped on recycle; Handles with an older gen are stale
+
+	fn    func()    // plain callback (nil when argFn is set)
+	argFn func(Arg) // typed callback, paired with arg
+	arg   Arg
+
 	cancelled bool
 	fired     bool
+	nextFree  *Event // intrusive free-list link, meaningful only when pooled
 }
 
-// At reports the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Arg is the small value payload of the typed scheduling API
+// (ScheduleArg/AtArg). It exists so hot-path components — the radio
+// medium, routing-protocol timers, servent timers, churn — can schedule
+// per-message or per-peer work without allocating a capturing closure
+// per call: the component stores one func(Arg) for its callback and
+// passes the variable state here. Ints cover ids/ranks; X carries an
+// optional pointer or pre-boxed payload (storing a pointer in an
+// interface does not allocate).
+type Arg struct {
+	I0, I1 int
+	X      any
+}
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op. Cancellation is lazy: the
-// entry stays in the queue and is discarded when popped.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// Handle identifies one scheduled firing. The zero Handle is valid and
+// refers to nothing: Cancel on it is a no-op and Pending reports false,
+// so callers can store Handles directly in structs without nil checks.
+// Handles are values — copy them freely.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// live reports whether the handle still refers to the firing it was
+// created for (the slot has not been recycled for a new event).
+func (h Handle) live() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// Cancel prevents the event from firing. Cancelling an event that
+// already fired, was already cancelled, or whose slot was recycled is a
+// no-op. Cancellation is lazy: the entry stays in the queue and is
+// discarded (and its slot recycled) when it reaches the head.
+func (h Handle) Cancel() {
+	if h.live() && !h.ev.fired {
+		h.ev.cancelled = true
 	}
 }
 
-// Cancelled reports whether Cancel was called before the event fired.
-func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
-
-// Fired reports whether the event's callback has run.
-func (e *Event) Fired() bool { return e != nil && e.fired }
+// Pending reports whether the firing is still scheduled: not yet fired
+// and not cancelled. A recycled slot reports false.
+func (h Handle) Pending() bool {
+	return h.live() && !h.ev.cancelled && !h.ev.fired
+}
 
 // eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
 // rather than wrapping container/heap to avoid the interface-call overhead

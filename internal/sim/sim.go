@@ -7,10 +7,16 @@ import (
 
 // Sim is a deterministic discrete-event simulator. It is not safe for
 // concurrent use; run one Sim per goroutine.
+//
+// Event slots are pooled: firing or discarding an event returns its
+// *Event to an intrusive free list, so steady-state scheduling performs
+// zero heap allocations. See Handle for how callers stay safe against
+// slot reuse.
 type Sim struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
+	free    *Event // intrusive free list of recycled event slots
 	rngs    *rngSource
 	rng     *rand.Rand
 	stopped bool
@@ -44,9 +50,37 @@ func (s *Sim) Pending() int { return s.queue.Len() }
 // Fired reports how many events have executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
+// alloc takes an event slot from the free list (or the heap, while the
+// pool is still warming up) and stamps it with a queue key.
+func (s *Sim) alloc(t Time, seq uint64) *Event {
+	e := s.free
+	if e == nil {
+		e = &Event{}
+	} else {
+		s.free = e.nextFree
+		e.nextFree = nil
+	}
+	e.at = t
+	e.seq = seq
+	return e
+}
+
+// recycle invalidates every outstanding Handle to e and returns the slot
+// to the free list.
+func (s *Sim) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.argFn = nil
+	e.arg = Arg{}
+	e.cancelled = false
+	e.fired = false
+	e.nextFree = s.free
+	s.free = e
+}
+
 // Schedule queues fn to run after delay and returns a handle that can
 // cancel it. A negative delay panics: the past is immutable.
-func (s *Sim) Schedule(delay Time, fn func()) *Event {
+func (s *Sim) Schedule(delay Time, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with negative delay %v at %v", delay, s.now))
 	}
@@ -55,17 +89,97 @@ func (s *Sim) Schedule(delay Time, fn func()) *Event {
 
 // At queues fn to run at instant t (which must not precede Now) and
 // returns a cancellation handle.
-func (s *Sim) At(t Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: At(%v) before now %v", t, s.now))
-	}
+func (s *Sim) At(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
 	s.seq++
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	return s.enqueue(t, s.seq, fn, nil, Arg{})
+}
+
+// ScheduleArg queues fn(arg) to run after delay. It is the
+// allocation-free flavour of Schedule for hot paths: the caller stores
+// one func(Arg) for the lifetime of the component and passes per-call
+// state through arg, instead of allocating a capturing closure per call.
+func (s *Sim) ScheduleArg(delay Time, fn func(Arg), arg Arg) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleArg with negative delay %v at %v", delay, s.now))
+	}
+	return s.AtArg(s.now+delay, fn, arg)
+}
+
+// AtArg queues fn(arg) to run at instant t. See ScheduleArg.
+func (s *Sim) AtArg(t Time, fn func(Arg), arg Arg) Handle {
+	if fn == nil {
+		panic("sim: AtArg with nil callback")
+	}
+	s.seq++
+	return s.enqueue(t, s.seq, nil, fn, arg)
+}
+
+// ReserveSeq consumes and returns the next sequence number without
+// scheduling anything. Components that batch many logical events behind
+// one real queue entry (the radio medium) reserve a seq per logical
+// event at the moment the old code would have scheduled it, keeping the
+// global ordering — and therefore determinism — identical, then arm one
+// drain event at the earliest reserved key via AtReserved.
+func (s *Sim) ReserveSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// AtReserved queues fn at instant t under a previously reserved sequence
+// number, consuming no new seq. The (t, seq) pair must order consistently
+// with reservation time: t must not precede Now.
+func (s *Sim) AtReserved(t Time, seq uint64, fn func()) Handle {
+	if fn == nil {
+		panic("sim: AtReserved with nil callback")
+	}
+	return s.enqueue(t, seq, fn, nil, Arg{})
+}
+
+func (s *Sim) enqueue(t Time, seq uint64, fn func(), argFn func(Arg), arg Arg) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, s.now))
+	}
+	e := s.alloc(t, seq)
+	e.fn = fn
+	e.argFn = argFn
+	e.arg = arg
 	s.queue.push(e)
-	return e
+	return Handle{ev: e, gen: e.gen}
+}
+
+// peekLive returns the earliest non-cancelled queued event, discarding
+// (and recycling) lazily-cancelled entries it finds at the head. Purging
+// at peek keeps long runs with heavy Cancel traffic — retry backoff,
+// re-armed keepalives — from growing the heap unboundedly, and ensures a
+// cancelled entry past the Run horizon cannot sit at the head forever.
+func (s *Sim) peekLive() *Event {
+	for {
+		next := s.queue.peek()
+		if next == nil {
+			return nil
+		}
+		if !next.cancelled {
+			return next
+		}
+		s.queue.pop()
+		s.recycle(next)
+	}
+}
+
+// NextEvent reports the (instant, sequence) key of the earliest pending
+// event, or ok=false when the queue is empty. Lazily-cancelled entries
+// encountered at the head are discarded. The radio medium uses this to
+// decide how many batched deliveries it may run back-to-back without
+// reordering against independently scheduled events.
+func (s *Sim) NextEvent() (at Time, seq uint64, ok bool) {
+	next := s.peekLive()
+	if next == nil {
+		return 0, 0, false
+	}
+	return next.at, next.seq, true
 }
 
 // Run executes events in timestamp order until the queue drains, the
@@ -77,7 +191,7 @@ func (s *Sim) At(t Time, fn func()) *Event {
 func (s *Sim) Run(until Time) {
 	s.stopped = false
 	for !s.stopped {
-		next := s.queue.peek()
+		next := s.peekLive()
 		if next == nil {
 			if until < MaxTime && until > s.now {
 				s.now = until
@@ -89,34 +203,38 @@ func (s *Sim) Run(until Time) {
 			return
 		}
 		s.queue.pop()
-		if next.cancelled {
-			continue
-		}
 		s.now = next.at
-		next.fired = true
 		s.fired++
-		next.fn()
+		s.fire(next)
 	}
 }
 
 // Step executes the single earliest pending event and reports whether one
 // was executed. Cancelled entries are skipped. Useful in tests.
 func (s *Sim) Step() bool {
-	for {
-		next := s.queue.peek()
-		if next == nil {
-			return false
-		}
-		s.queue.pop()
-		if next.cancelled {
-			continue
-		}
-		s.now = next.at
-		next.fired = true
-		s.fired++
-		next.fn()
-		return true
+	next := s.peekLive()
+	if next == nil {
+		return false
 	}
+	s.queue.pop()
+	s.now = next.at
+	s.fired++
+	s.fire(next)
+	return true
+}
+
+// fire recycles the slot before invoking the callback, so the callback
+// can immediately schedule into the same slot; the firing event's own
+// Handles are already stale by then, which is exactly the "fired"
+// semantics Handle.Pending reports.
+func (s *Sim) fire(e *Event) {
+	fn, argFn, arg := e.fn, e.argFn, e.arg
+	s.recycle(e)
+	if argFn != nil {
+		argFn(arg)
+		return
+	}
+	fn()
 }
 
 // Stop makes the current Run return after the in-flight event completes.

@@ -120,23 +120,23 @@ func TestCancelPreventsFiring(t *testing.T) {
 	s := New(1)
 	fired := false
 	e := s.Schedule(Second, func() { fired = true })
+	if !e.Pending() {
+		t.Error("Pending() = false before Cancel")
+	}
 	e.Cancel()
+	if e.Pending() {
+		t.Error("Pending() = true after Cancel")
+	}
 	s.Run(MaxTime)
 	if fired {
 		t.Error("cancelled event fired")
-	}
-	if !e.Cancelled() {
-		t.Error("Cancelled() = false after Cancel")
-	}
-	if e.Fired() {
-		t.Error("Fired() = true for cancelled event")
 	}
 }
 
 func TestCancelFromInsideEarlierEvent(t *testing.T) {
 	s := New(1)
 	fired := false
-	var e *Event
+	var e Handle
 	s.Schedule(1*Second, func() { e.Cancel() })
 	e = s.Schedule(2*Second, func() { fired = true })
 	s.Run(MaxTime)
@@ -453,6 +453,114 @@ func TestTickerSetInterval(t *testing.T) {
 		if ticks[i] != want[i] {
 			t.Fatalf("ticks = %v, want %v", ticks, want)
 		}
+	}
+}
+
+func TestZeroHandleIsInert(t *testing.T) {
+	var h Handle
+	h.Cancel() // must not panic
+	if h.Pending() {
+		t.Error("zero Handle reports pending")
+	}
+}
+
+// A handle to a fired (and therefore recycled) event must stay inert even
+// after its slot is reused for a new event: the generation counter is
+// what makes lazy cancellation safe under pooling.
+func TestStaleHandleAfterRecycleIsInert(t *testing.T) {
+	s := New(1)
+	h1 := s.Schedule(Second, func() {})
+	s.Run(MaxTime)
+	if h1.Pending() {
+		t.Error("handle to fired event reports pending")
+	}
+	fired := false
+	h2 := s.Schedule(Second, func() { fired = true })
+	if h1.ev != h2.ev {
+		t.Fatal("expected the freed slot to be reused (pool broken?)")
+	}
+	h1.Cancel() // stale: must not cancel the slot's new tenant
+	if !h2.Pending() {
+		t.Error("stale Cancel hit the slot's new tenant")
+	}
+	s.Run(MaxTime)
+	if !fired {
+		t.Error("recycled event did not fire")
+	}
+}
+
+// Satellite regression: a lazily-cancelled event sitting at the queue
+// head past the Run horizon used to stay enqueued forever; peek must
+// purge it.
+func TestRunPurgesCancelledHeadPastHorizon(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		e := s.Schedule(10*Second, func() {})
+		e.Cancel()
+	}
+	s.Run(5 * Second)
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0: cancelled heads past the horizon must be purged", s.Pending())
+	}
+	if s.Now() != 5*Second {
+		t.Errorf("Now() = %v, want the 5s horizon", s.Now())
+	}
+}
+
+func TestReservedSeqPreservesOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	seqA := s.ReserveSeq() // logical event A claims its place in line
+	s.Schedule(Second, func() { order = append(order, 2) })
+	// A is armed after B but with the earlier reserved seq, so it still
+	// fires first — the property batched radio delivery depends on.
+	s.AtReserved(Second, seqA, func() { order = append(order, 1) })
+	s.Run(MaxTime)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestScheduleArgDeliversPayload(t *testing.T) {
+	s := New(1)
+	var got []int
+	fn := func(a Arg) { got = append(got, a.I0, a.I1) }
+	s.ScheduleArg(Second, fn, Arg{I0: 7, I1: 9})
+	h := s.ScheduleArg(2*Second, fn, Arg{I0: 1})
+	if !h.Pending() {
+		t.Error("ScheduleArg handle not pending")
+	}
+	h.Cancel()
+	s.Run(MaxTime)
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("got = %v, want [7 9]", got)
+	}
+}
+
+// Alloc guard (ISSUE 2): once the pool is warm, scheduling and firing an
+// event — plain or typed-arg — performs zero heap allocations.
+func TestScheduleFireZeroAllocs(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 64; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	s.Run(MaxTime)
+
+	n := 0
+	fn := func() { n++ }
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Schedule(Second, fn)
+		s.Run(MaxTime)
+	}); allocs != 0 {
+		t.Errorf("Schedule+fire allocates %.1f allocs/op, want 0", allocs)
+	}
+
+	argFn := func(a Arg) { n += a.I0 }
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.ScheduleArg(Second, argFn, Arg{I0: 1, X: s})
+		s.Run(MaxTime)
+	}); allocs != 0 {
+		t.Errorf("ScheduleArg+fire allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

@@ -6,7 +6,7 @@ package sim
 // guarantees at most one pending firing.
 type Timer struct {
 	sim   *Sim
-	event *Event
+	event Handle
 	fn    func()
 }
 
@@ -28,21 +28,20 @@ func (t *Timer) Reset(delay Time) {
 // Stop cancels any pending firing. Stopping an unarmed timer is a no-op.
 func (t *Timer) Stop() {
 	t.event.Cancel()
-	t.event = nil
+	t.event = Handle{}
 }
 
 // Armed reports whether a firing is pending.
-func (t *Timer) Armed() bool {
-	return t.event != nil && !t.event.Cancelled() && !t.event.Fired()
-}
+func (t *Timer) Armed() bool { return t.event.Pending() }
 
 // Ticker invokes fn every interval until stopped. Intervals may be
 // changed between ticks via SetInterval.
 type Ticker struct {
 	sim      *Sim
 	interval Time
-	event    *Event
+	event    Handle
 	fn       func()
+	tick     func() // self-rescheduling wrapper, built once in NewTicker
 	stopped  bool
 }
 
@@ -57,20 +56,17 @@ func NewTicker(s *Sim, interval Time, fn func()) *Ticker {
 		panic("sim: NewTicker with nil callback")
 	}
 	t := &Ticker{sim: s, interval: interval, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.event = t.sim.Schedule(t.interval, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			t.schedule()
+			t.event = t.sim.Schedule(t.interval, t.tick)
 		}
-	})
+	}
+	t.event = s.Schedule(interval, t.tick)
+	return t
 }
 
 // SetInterval changes the period for subsequent ticks. It does not

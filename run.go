@@ -183,8 +183,9 @@ func runReplication(sc Scenario, rep int) repResult {
 	rr.health = net.Collector.Health()
 	members := net.Members()
 	rr.members = len(members)
+	counts := make([]uint64, 0, len(members)) // reused across classes
 	for class := 0; class < metrics.NumClasses; class++ {
-		counts := make([]uint64, 0, len(members))
+		counts = counts[:0]
 		for _, id := range members {
 			counts = append(counts, net.Collector.Received(id, metrics.Class(class)))
 		}
