@@ -1,0 +1,167 @@
+package manetp2p
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file holds the scenario-level half of the invariant tentpole: the
+// aggregation of per-replication checker findings into Result.Invariants
+// and the determinism self-audit — the reproducibility claim every
+// figure in the paper reproduction rests on, turned into a checkable
+// property: the same seed must yield a byte-identical Result, and the
+// result must not depend on how replications were scheduled across the
+// worker pool.
+
+// ReplicationViolations is one replication's invariant breaches.
+type ReplicationViolations struct {
+	Replication int   // replication index within the scenario
+	Seed        int64 // the replication's effective seed
+	Total       int   // breaches detected, including past the recording cap
+	Violations  []InvariantViolation
+}
+
+// InvariantReport aggregates the invariant checker's findings across a
+// scenario's replications.
+type InvariantReport struct {
+	Replications int // replications validated
+	Violations   int // total breaches across all of them
+	// PerReplication lists only the offending replications.
+	PerReplication []ReplicationViolations `json:",omitempty"`
+}
+
+// OK reports whether every validated replication was clean.
+func (r *InvariantReport) OK() bool { return r == nil || r.Violations == 0 }
+
+// invariantReport folds the per-replication checker findings, or nil
+// when the checker never ran.
+func invariantReport(sc Scenario, reps []repResult) *InvariantReport {
+	rep := &InvariantReport{}
+	for i, rr := range reps {
+		if !rr.checked {
+			continue
+		}
+		rep.Replications++
+		rep.Violations += rr.violTotal
+		if rr.violTotal > 0 {
+			rep.PerReplication = append(rep.PerReplication, ReplicationViolations{
+				Replication: i,
+				Seed:        sc.Seed + int64(i),
+				Total:       rr.violTotal,
+				Violations:  rr.violations,
+			})
+		}
+	}
+	if rep.Replications == 0 {
+		return nil
+	}
+	return rep
+}
+
+// SelfAuditReport is the outcome of SelfAudit.
+type SelfAuditReport struct {
+	// Deterministic: rerunning the scenario with the same seed produced
+	// a byte-identical Result.
+	Deterministic bool
+	// ScheduleIndependent: a serial (Workers=1) run matched the pooled
+	// run — replication results do not depend on worker scheduling.
+	ScheduleIndependent bool
+	// Invariants carries the instrumented base run's checker findings.
+	Invariants *InvariantReport
+	// Detail describes the first fingerprint mismatch, when any.
+	Detail string
+}
+
+// OK reports whether the audit passed outright.
+func (r *SelfAuditReport) OK() bool {
+	return r.Deterministic && r.ScheduleIndependent && r.Invariants.OK()
+}
+
+// SelfAudit runs the scenario's invariant suite and determinism audit:
+// the scenario executes three times — instrumented base run, identical
+// rerun, serial (Workers=1) run — and the Results are compared as
+// canonical JSON with the Workers knob normalized out. The invariant
+// checker is forced on for all three. Expect three full scenario runs'
+// worth of wall-clock; size the scenario accordingly.
+func SelfAudit(sc Scenario) (*SelfAuditReport, error) {
+	inv := InvariantConfig{Enabled: true}
+	if sc.Invariants != nil {
+		inv = *sc.Invariants
+		inv.Enabled = true
+	}
+	sc.Invariants = &inv
+
+	base, err := Run(sc)
+	if err != nil {
+		return nil, err
+	}
+	again, err := Run(sc)
+	if err != nil {
+		return nil, err
+	}
+	serial := sc
+	serial.Workers = 1
+	one, err := Run(serial)
+	if err != nil {
+		return nil, err
+	}
+
+	fpBase, err := fingerprint(base)
+	if err != nil {
+		return nil, err
+	}
+	fpAgain, err := fingerprint(again)
+	if err != nil {
+		return nil, err
+	}
+	fpOne, err := fingerprint(one)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SelfAuditReport{
+		Deterministic:       bytes.Equal(fpBase, fpAgain),
+		ScheduleIndependent: bytes.Equal(fpBase, fpOne),
+		Invariants:          base.Invariants,
+	}
+	switch {
+	case !rep.Deterministic:
+		rep.Detail = diffDetail("rerun", fpBase, fpAgain)
+	case !rep.ScheduleIndependent:
+		rep.Detail = diffDetail("serial run", fpBase, fpOne)
+	}
+	return rep, nil
+}
+
+// fingerprint canonicalizes a Result for comparison: the Workers knob is
+// pure execution policy, so it is normalized out before marshalling.
+func fingerprint(res *Result) ([]byte, error) {
+	clone := *res
+	clone.Scenario.Workers = 0
+	return json.Marshal(&clone)
+}
+
+// diffDetail locates the first divergence between two fingerprints and
+// quotes it with some context.
+func diffDetail(what string, a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	ctx := func(s []byte) string {
+		lo, hi := i-30, i+30
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s) {
+			hi = len(s)
+		}
+		return string(s[lo:hi])
+	}
+	return fmt.Sprintf("%s diverges at byte %d: %q vs %q", what, i, ctx(a), ctx(b))
+}

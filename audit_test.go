@@ -1,0 +1,175 @@
+package manetp2p
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+// checkedScenario arms the invariant checker on a quick scenario.
+func checkedScenario(alg Algorithm, nodes int) Scenario {
+	sc := quickScenario(alg, nodes)
+	sc.Invariants = &InvariantConfig{Enabled: true}
+	return sc
+}
+
+func TestInvariantsCleanMatrix(t *testing.T) {
+	plans := map[string]FaultPlan{
+		"nofault": {},
+		"partition": {Events: []FaultEvent{
+			PartitionFault(60*sim.Second, 60*sim.Second, AxisX, 50),
+			CrashGroupFault(150*sim.Second, 60*sim.Second, 15),
+		}},
+	}
+	for _, alg := range Algorithms() {
+		for name, plan := range plans {
+			alg, plan := alg, plan
+			t.Run(alg.String()+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				sc := checkedScenario(alg, 24)
+				sc.Faults = plan
+				res, err := Run(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Invariants == nil {
+					t.Fatal("checker armed but Result.Invariants is nil")
+				}
+				if !res.Invariants.OK() {
+					for _, pr := range res.Invariants.PerReplication {
+						for _, v := range pr.Violations {
+							t.Errorf("rep %d (seed %d): %s", pr.Replication, pr.Seed, v.String())
+						}
+					}
+					t.Fatalf("clean run reported %d violations", res.Invariants.Violations)
+				}
+				if res.Invariants.Replications != sc.Replications {
+					t.Errorf("checked %d replications, want %d", res.Invariants.Replications, sc.Replications)
+				}
+			})
+		}
+	}
+}
+
+func TestInvariantsNilWhenDisabled(t *testing.T) {
+	res, err := Run(quickScenario(Regular, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invariants != nil {
+		t.Fatalf("checker off but Result.Invariants = %+v", res.Invariants)
+	}
+	// Nil report reads as passing: callers can always write report.OK().
+	var nilReport *InvariantReport
+	if !nilReport.OK() {
+		t.Error("nil InvariantReport must report OK")
+	}
+}
+
+func TestInvariantsDoNotPerturbResults(t *testing.T) {
+	// The checker only observes: measured metrics with it armed must be
+	// byte-identical to the unchecked run (golden-compatibility depends
+	// on this).
+	plain := quickScenario(Random, 20)
+	checked := plain
+	checked.Invariants = &InvariantConfig{Enabled: true, Every: 10 * sim.Second}
+
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(checked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Invariants.OK() {
+		t.Fatalf("checked run has violations: %+v", b.Invariants)
+	}
+	// Compare everything except the two fields that legitimately differ.
+	b.Invariants = nil
+	b.Scenario.Invariants = nil
+	aj, err := json.Marshal(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("arming the checker changed measured results")
+	}
+}
+
+func TestSelfAuditPasses(t *testing.T) {
+	sc := quickScenario(Hybrid, 20)
+	sc.Workers = 2
+	rep, err := SelfAudit(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deterministic {
+		t.Errorf("determinism audit failed: %s", rep.Detail)
+	}
+	if !rep.ScheduleIndependent {
+		t.Errorf("schedule-independence audit failed: %s", rep.Detail)
+	}
+	if !rep.Invariants.OK() {
+		t.Errorf("invariant violations during self-audit: %+v", rep.Invariants)
+	}
+	if !rep.OK() {
+		t.Error("self-audit did not pass overall")
+	}
+}
+
+func TestScenarioJSONInvariantsRoundTrip(t *testing.T) {
+	sc := DefaultScenario(50, Regular)
+	sc.Invariants = &InvariantConfig{Enabled: true, Every: 15 * sim.Second, MaxViolations: 8}
+	data, err := MarshalJSONScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSONScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Invariants == nil || !got.Invariants.Enabled ||
+		got.Invariants.Every != 15*sim.Second || got.Invariants.MaxViolations != 8 {
+		t.Fatalf("Invariants lost in round trip: %+v", got.Invariants)
+	}
+
+	// Scenarios that never arm the checker must serialize exactly as
+	// before the field existed — golden fixtures depend on the key being
+	// absent, not null.
+	plain, err := MarshalJSONScenario(DefaultScenario(50, Regular))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte("Invariants")) {
+		t.Fatal("unarmed scenario serializes an Invariants key")
+	}
+}
+
+func TestScenarioValidateRejectsBadProtocolTiming(t *testing.T) {
+	bads := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"odd MaxNHops", func(s *Scenario) { s.Params.MaxNHops = 5 }},
+		{"odd NHopsInitial", func(s *Scenario) { s.Params.NHopsInitial = 3; s.Params.MaxNHops = 6 }},
+		{"zero HandshakeWait", func(s *Scenario) { s.Params.HandshakeWait = 0 }},
+		{"zero OfferWindow", func(s *Scenario) { s.Params.OfferWindow = 0 }},
+		{"zero MasterIdle", func(s *Scenario) { s.Params.MasterIdle = 0 }},
+		{"negative JoinStaggerMax", func(s *Scenario) { s.Params.JoinStaggerMax = -1 }},
+		{"negative checker interval", func(s *Scenario) { s.Invariants = &InvariantConfig{Every: -1} }},
+	}
+	for _, bad := range bads {
+		sc := DefaultScenario(50, Regular)
+		bad.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", bad.name)
+		}
+	}
+}

@@ -412,4 +412,9 @@ func BenchmarkAODVDiscovery(b *testing.B) { benchAODVDiscovery(b) }
 
 // BenchmarkFullReplication measures one end-to-end paper replication
 // (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
-func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b) }
+func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b, false) }
+
+// BenchmarkFullReplicationChecked is the same replication with the
+// runtime invariant checker armed (Every = 30 s default); compare with
+// BenchmarkFullReplication to read the checker's overhead.
+func BenchmarkFullReplicationChecked(b *testing.B) { benchFullReplication(b, true) }

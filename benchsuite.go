@@ -30,7 +30,8 @@ func TrackedBenchmarks() []BenchSpec {
 		{Name: "SimEventQueue", Fn: benchSimEventQueue},
 		{Name: "GridNear", Fn: benchGridNear},
 		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
-		{Name: "FullReplication", Fn: benchFullReplication},
+		{Name: "FullReplication", Fn: func(b *testing.B) { benchFullReplication(b, false) }},
+		{Name: "FullReplicationChecked", Fn: func(b *testing.B) { benchFullReplication(b, true) }},
 	}
 }
 
@@ -96,15 +97,25 @@ func benchAODVDiscovery(b *testing.B) {
 
 // benchFullReplication measures one end-to-end paper replication
 // (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
-func benchFullReplication(b *testing.B) {
+// With checked, the runtime invariant checker is armed at its default
+// 30 s sweep — the delta against the unchecked bench is the checker's
+// whole cost (EXPERIMENTS.md quotes it).
+func benchFullReplication(b *testing.B, checked bool) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := manet.DefaultConfig(50, p2p.Regular)
 		cfg.Seed = int64(i)
+		cfg.Invariants.Enabled = checked
 		net, err := manet.Build(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		net.Run(3600 * sim.Second)
+		if checked {
+			net.Checker.Finalize()
+			if !net.Checker.OK() {
+				b.Fatalf("invariant violations during bench: %d", net.Checker.Total())
+			}
+		}
 	}
 }

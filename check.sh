@@ -4,6 +4,11 @@
 # `./check.sh bench` instead runs the tracked benchmark suite and writes
 # the machine-readable baseline (see cmd/bench); pass an output path as
 # the second argument to override the default BENCH.json.
+#
+# `./check.sh selfcheck` runs the runtime invariant suite and the
+# determinism self-audit (p2psim -selfcheck) across all four algorithms,
+# fault-free and under the scripted partition+crash plan in
+# testdata/selfcheck_faults.json. Exits nonzero on any violation.
 set -e
 cd "$(dirname "$0")"
 
@@ -11,6 +16,18 @@ if [ "$1" = "bench" ]; then
 	out="${2:-BENCH.json}"
 	echo "== tracked benchmarks -> $out =="
 	go run ./cmd/bench -o "$out"
+	exit 0
+fi
+
+if [ "$1" = "selfcheck" ]; then
+	for alg in basic regular random hybrid; do
+		echo "== selfcheck $alg (no faults) =="
+		go run ./cmd/p2psim -selfcheck -alg "$alg" -nodes 30 -duration 600 -reps 2
+		echo "== selfcheck $alg (partition + crash) =="
+		go run ./cmd/p2psim -selfcheck -alg "$alg" -nodes 30 -duration 600 -reps 2 \
+			-faults testdata/selfcheck_faults.json
+	done
+	echo "selfcheck passed"
 	exit 0
 fi
 

@@ -28,25 +28,26 @@ func parseAlg(s string) (manetp2p.Algorithm, error) {
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 50, "number of ad-hoc nodes")
-		algName  = flag.String("alg", "regular", "algorithm: basic|regular|random|hybrid")
-		duration = flag.Float64("duration", 3600, "simulated seconds per replication")
-		reps     = flag.Int("reps", 33, "replications")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		fraction = flag.Float64("p2p", 0.75, "fraction of nodes in the p2p overlay")
-		speed    = flag.Float64("speed", 1.0, "max node speed, m/s")
-		area     = flag.Float64("area", 100, "square arena side, metres")
-		rng      = flag.Float64("range", 10, "radio range, metres")
-		series   = flag.String("series", "", "also print a node series: connect|ping|query")
-		curves   = flag.Bool("curves", false, "also print the per-file distance/answer curves")
-		quals    = flag.Bool("classes", false, "use phone/PDA/notebook device classes (hybrid)")
-		traceOut = flag.String("trace", "", "run a single replication and write a JSON-lines event trace to this file ('-' = stdout)")
-		routing  = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
-		traffic  = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
-		faults   = flag.String("faults", "", "load a fault-injection plan from this JSON file ('-' = stdin) and print recovery metrics")
-		health   = flag.Float64("health", 0, "resilience-telemetry sampling period in seconds (default 10 when -faults is set)")
-		config   = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
-		saveCfg  = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
+		nodes     = flag.Int("nodes", 50, "number of ad-hoc nodes")
+		algName   = flag.String("alg", "regular", "algorithm: basic|regular|random|hybrid")
+		duration  = flag.Float64("duration", 3600, "simulated seconds per replication")
+		reps      = flag.Int("reps", 33, "replications")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		fraction  = flag.Float64("p2p", 0.75, "fraction of nodes in the p2p overlay")
+		speed     = flag.Float64("speed", 1.0, "max node speed, m/s")
+		area      = flag.Float64("area", 100, "square arena side, metres")
+		rng       = flag.Float64("range", 10, "radio range, metres")
+		series    = flag.String("series", "", "also print a node series: connect|ping|query")
+		curves    = flag.Bool("curves", false, "also print the per-file distance/answer curves")
+		quals     = flag.Bool("classes", false, "use phone/PDA/notebook device classes (hybrid)")
+		traceOut  = flag.String("trace", "", "run a single replication and write a JSON-lines event trace to this file ('-' = stdout)")
+		routing   = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
+		traffic   = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
+		faults    = flag.String("faults", "", "load a fault-injection plan from this JSON file ('-' = stdin) and print recovery metrics")
+		health    = flag.Float64("health", 0, "resilience-telemetry sampling period in seconds (default 10 when -faults is set)")
+		config    = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
+		saveCfg   = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
+		selfcheck = flag.Bool("selfcheck", false, "run the invariant suite and determinism self-audit on the scenario and exit nonzero on any violation")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -126,6 +127,10 @@ func main() {
 		}
 		return
 	}
+	if *selfcheck {
+		runSelfcheck(sc)
+		return
+	}
 	if *traceOut != "" {
 		runTraced(sc, *traceOut)
 		return
@@ -175,6 +180,42 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runSelfcheck runs the invariant suite plus determinism audit and
+// reports the outcome, exiting nonzero when anything is violated.
+func runSelfcheck(sc manetp2p.Scenario) {
+	fmt.Printf("selfcheck %s: %d nodes, %v x %d reps\n",
+		sc.Name, sc.NumNodes, sc.Duration, sc.Replications)
+	rep, err := manetp2p.SelfAudit(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pass := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	fmt.Printf("  determinism (same seed, same result): %s\n", pass(rep.Deterministic))
+	fmt.Printf("  scheduling independence (serial == pooled): %s\n", pass(rep.ScheduleIndependent))
+	if rep.Invariants != nil {
+		fmt.Printf("  invariants (%d replications): %s\n",
+			rep.Invariants.Replications, pass(rep.Invariants.OK()))
+		for _, rv := range rep.Invariants.PerReplication {
+			fmt.Printf("    replication %d (seed %d): %d violations\n", rv.Replication, rv.Seed, rv.Total)
+			for _, v := range rv.Violations {
+				fmt.Printf("      %s\n", v)
+			}
+		}
+	}
+	if rep.Detail != "" {
+		fmt.Printf("  detail: %s\n", rep.Detail)
+	}
+	if !rep.OK() {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,281 @@
+// Package invariant implements the opt-in runtime invariant checker: a
+// structural validator that sweeps a live replication at configurable
+// simulated-time intervals and at teardown, checking cross-layer
+// invariants the paper's metrics silently depend on — sim-kernel
+// integrity (event-time monotonicity, pooled-slot hygiene, an empty
+// queue at the horizon), radio/metrics conservation (every queued
+// delivery is received, lost to a down receiver, or still in flight),
+// and the per-algorithm protocol invariants of §6 (connection symmetry,
+// MAXNCONN/MAXNSLAVES caps, hybrid role consistency, handshake-state
+// legality).
+//
+// The checker is zero-cost when off: nothing in this package is touched
+// by the simulation hot path, and a disabled Config wires no events and
+// allocates nothing. When on, it observes through read-only snapshots
+// (p2p.Servent.Inspect, radio.Medium.InFlightTo, sim.Sim.Audit) and
+// draws no random numbers, so an instrumented run produces the same
+// Result as an uninstrumented one.
+package invariant
+
+import (
+	"fmt"
+
+	"manetp2p/internal/metrics"
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+// Config enables and tunes the checker. The zero value is "off".
+type Config struct {
+	Enabled bool
+	// Every is the sampling period; 0 defaults to 30 s. Teardown checks
+	// run regardless via Finalize.
+	Every sim.Time
+	// Grace is how long a cross-node inconsistency (an asymmetric link,
+	// a slave pointing at a demoted master) may persist before it is a
+	// violation rather than an in-flight close or handshake. 0 derives
+	// the bound from the protocol parameters: the responder keepalive
+	// window — the longest a correct implementation can take to notice a
+	// silent unilateral close — plus one sampling period of slack.
+	Grace sim.Time
+	// MaxViolations caps recorded violations per replication (the total
+	// count keeps climbing past it); 0 defaults to 64.
+	MaxViolations int
+}
+
+// Validate reports a descriptive error for inconsistent configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Every < 0:
+		return fmt.Errorf("invariant: Every %v negative", c.Every)
+	case c.Grace < 0:
+		return fmt.Errorf("invariant: Grace %v negative", c.Grace)
+	case c.MaxViolations < 0:
+		return fmt.Errorf("invariant: MaxViolations %d negative", c.MaxViolations)
+	}
+	return nil
+}
+
+// Violation is one detected invariant breach, stamped with the simulated
+// time and the node(s) involved so a report pinpoints the corruption.
+type Violation struct {
+	At     sim.Time
+	Layer  string // "sim", "radio", "metrics" or "p2p"
+	Rule   string
+	Node   int // -1 when not node-specific
+	Peer   int // -1 when not pairwise
+	Detail string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	who := ""
+	switch {
+	case v.Node >= 0 && v.Peer >= 0:
+		who = fmt.Sprintf(" node=%d peer=%d", v.Node, v.Peer)
+	case v.Node >= 0:
+		who = fmt.Sprintf(" node=%d", v.Node)
+	}
+	return fmt.Sprintf("t=%v %s/%s%s: %s", v.At, v.Layer, v.Rule, who, v.Detail)
+}
+
+// Target is the replication under validation: the assembled layers the
+// checker observes. Servents may hold nils for nodes outside the overlay.
+type Target struct {
+	Sim       *sim.Sim
+	Medium    *radio.Medium
+	Collector *metrics.Collector
+	Servents  []*p2p.Servent
+	Algorithm p2p.Algorithm
+	Params    p2p.Params
+}
+
+// pairKey identifies one tracked cross-node observation.
+type pairKey struct {
+	rule string
+	a, b int
+}
+
+// pairState tracks when a cross-node inconsistency was first seen and
+// whether it has already been reported (each offence reports once).
+type pairState struct {
+	first    sim.Time
+	reported bool
+	seenPass uint64
+}
+
+// Checker validates one replication. Not safe for concurrent use: one
+// Checker per Sim, like every other component.
+type Checker struct {
+	cfg Config
+	t   Target
+
+	ticker   *sim.Ticker
+	lastNow  sim.Time
+	passes   uint64
+	views    []p2p.View // one reusable snapshot per node
+	inflight []uint64
+	lastRecv [metrics.NumClasses]uint64
+	pairs    map[pairKey]*pairState
+
+	violations []Violation
+	total      int
+}
+
+// New builds a checker for the target. Call Attach to arm the periodic
+// sweep, or Check/Finalize directly.
+func New(cfg Config, t Target) *Checker {
+	if cfg.Every <= 0 {
+		cfg.Every = 30 * sim.Second
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 64
+	}
+	if cfg.Grace <= 0 {
+		// The responder-side keepalive window is the longest a correct
+		// node may hold its half of a silently-closed connection.
+		cfg.Grace = 2*(t.Params.PingInterval+t.Params.PongTimeout) + cfg.Every
+	}
+	return &Checker{
+		cfg:      cfg,
+		t:        t,
+		views:    make([]p2p.View, len(t.Servents)),
+		inflight: make([]uint64, t.Medium.NumNodes()),
+		pairs:    make(map[pairKey]*pairState),
+	}
+}
+
+// Attach arms the periodic sweep on the target's simulator.
+func (c *Checker) Attach() {
+	if c.ticker != nil {
+		return
+	}
+	c.ticker = sim.NewTicker(c.t.Sim, c.cfg.Every, c.runPass)
+}
+
+func (c *Checker) runPass() { c.Check() }
+
+// Violations returns the recorded violations in detection order.
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Total reports how many violations were detected, including any past
+// the recording cap.
+func (c *Checker) Total() int { return c.total }
+
+// OK reports whether no invariant has been violated so far.
+func (c *Checker) OK() bool { return c.total == 0 }
+
+// report records one violation, honoring the cap.
+func (c *Checker) report(layer, rule string, node, peer int, format string, args ...any) {
+	c.total++
+	if len(c.violations) >= c.cfg.MaxViolations {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		At:     c.t.Sim.Now(),
+		Layer:  layer,
+		Rule:   rule,
+		Node:   node,
+		Peer:   peer,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs one full sweep at the current simulated time.
+func (c *Checker) Check() {
+	now := c.t.Sim.Now()
+	if now < c.lastNow {
+		c.report("sim", "time-monotonic", -1, -1,
+			"clock moved backwards: %v after %v", now, c.lastNow)
+	}
+	c.lastNow = now
+	c.passes++
+
+	c.t.Sim.Audit(func(rule, detail string) {
+		c.report("sim", rule, -1, -1, "%s", detail)
+	})
+	c.checkRadioConservation()
+	c.checkMetrics()
+	c.checkOverlay()
+	c.sweepPairs()
+}
+
+// Finalize runs the teardown checks after the replication's horizon: one
+// last full sweep plus the kernel's empty-queue-at-horizon rule — Run
+// must have fired every event stamped at or before the clock.
+func (c *Checker) Finalize() {
+	c.Check()
+	if at, seq, ok := c.t.Sim.NextEvent(); ok && at <= c.t.Sim.Now() {
+		c.report("sim", "queue-at-horizon", -1, -1,
+			"live event (at=%v seq=%d) still queued at horizon %v", at, seq, c.t.Sim.Now())
+	}
+}
+
+// checkRadioConservation closes the per-node frame conservation law:
+// every delivery queued toward a node was received, lost to the node
+// being down, or is still in flight.
+func (c *Checker) checkRadioConservation() {
+	c.inflight = c.t.Medium.InFlightTo(c.inflight)
+	for i := 0; i < c.t.Medium.NumNodes(); i++ {
+		st := c.t.Medium.Stats(i)
+		if st.Queued != st.RxFrames+st.LostDown+c.inflight[i] {
+			c.report("radio", "conservation", i, -1,
+				"queued %d != received %d + lost-down %d + in-flight %d",
+				st.Queued, st.RxFrames, st.LostDown, c.inflight[i])
+		}
+	}
+}
+
+// checkMetrics validates the collector: cumulative per-class receive
+// totals never decrease, and when time-bucketed series are on, the
+// buckets sum to the cumulative total — no message is counted into a
+// bucket without the total seeing it, and vice versa.
+func (c *Checker) checkMetrics() {
+	for class := 0; class < metrics.NumClasses; class++ {
+		total := c.t.Collector.TotalReceived(metrics.Class(class))
+		if total < c.lastRecv[class] {
+			c.report("metrics", "monotonic", -1, -1,
+				"class %v total %d below earlier %d", metrics.Class(class), total, c.lastRecv[class])
+		}
+		c.lastRecv[class] = total
+		if series := c.t.Collector.Series(metrics.Class(class)); series != nil {
+			var sum uint64
+			for _, b := range series {
+				sum += b
+			}
+			if sum != total {
+				c.report("metrics", "bucket-conservation", -1, -1,
+					"class %v buckets sum to %d, cumulative total %d", metrics.Class(class), sum, total)
+			}
+		}
+	}
+}
+
+// observePair notes a cross-node inconsistency that is legal while a
+// close or handshake is in flight; it becomes a violation when it
+// persists past the grace window.
+func (c *Checker) observePair(rule string, a, b int, format string, args ...any) {
+	k := pairKey{rule: rule, a: a, b: b}
+	st := c.pairs[k]
+	if st == nil {
+		st = &pairState{first: c.t.Sim.Now()}
+		c.pairs[k] = st
+	}
+	st.seenPass = c.passes
+	if !st.reported && c.t.Sim.Now()-st.first >= c.cfg.Grace {
+		st.reported = true
+		c.report("p2p", rule, a, b, "persisted %v (> grace %v): %s",
+			c.t.Sim.Now()-st.first, c.cfg.Grace, fmt.Sprintf(format, args...))
+	}
+}
+
+// sweepPairs forgets tracked inconsistencies that healed since the last
+// pass, so a re-occurrence restarts its grace window.
+func (c *Checker) sweepPairs() {
+	for k, st := range c.pairs {
+		if st.seenPass != c.passes {
+			delete(c.pairs, k)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// External test package: the checker is validated against full manet
+// networks, and manet itself imports invariant.
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"manetp2p/internal/geom"
+	"manetp2p/internal/invariant"
+	"manetp2p/internal/manet"
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/sim"
+)
+
+// testConfig builds a dense-enough network that overlay links actually
+// form, with the checker enabled.
+func testConfig(seed int64, alg p2p.Algorithm) manet.Config {
+	cfg := manet.DefaultConfig(25, alg)
+	cfg.Seed = seed
+	cfg.Arena = geom.Rect{W: 60, H: 60}
+	cfg.NoQueries = true
+	cfg.Invariants = invariant.Config{Enabled: true}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  invariant.Config
+		ok   bool
+	}{
+		{"zero", invariant.Config{}, true},
+		{"enabled defaults", invariant.Config{Enabled: true}, true},
+		{"explicit", invariant.Config{Enabled: true, Every: 10 * sim.Second, Grace: sim.Second, MaxViolations: 5}, true},
+		{"negative every", invariant.Config{Every: -1}, false},
+		{"negative grace", invariant.Config{Grace: -1}, false},
+		{"negative cap", invariant.Config{MaxViolations: -1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestCleanNetworksPassAllAlgorithms(t *testing.T) {
+	for _, alg := range p2p.Algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			net, err := manet.Build(testConfig(7, alg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.Run(600 * sim.Second)
+			net.Checker.Finalize()
+			if !net.Checker.OK() {
+				for _, v := range net.Checker.Violations() {
+					t.Errorf("violation: %s", v.String())
+				}
+				t.Fatalf("clean %v run: %d violations", alg, net.Checker.Total())
+			}
+		})
+	}
+}
+
+// TestDetectsSuppressedClose seeds the canonical protocol mutation —
+// one servent never executes its side of closeConn toward a chosen peer
+// — and requires the checker to flag the resulting one-sided link with
+// the right node ids and a sim time after the mutation.
+func TestDetectsSuppressedClose(t *testing.T) {
+	net, err := manet.Build(testConfig(3, p2p.Regular))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(300 * sim.Second)
+
+	// Find a live overlay link (i, j).
+	var view p2p.View
+	i, j := -1, -1
+	for idx, sv := range net.Servents {
+		if sv == nil || !sv.Joined() {
+			continue
+		}
+		sv.Inspect(&view)
+		if len(view.Conns) > 0 {
+			i, j = idx, view.Conns[0].Peer
+			break
+		}
+	}
+	if i < 0 {
+		t.Fatal("no overlay link formed in 300 s; scenario too sparse for the test")
+	}
+
+	mutatedAt := net.Sim.Now()
+	net.Servents[i].SkipCloseForTest(j)
+	net.ForceDown(j) // j leaves; i can never tear down its side
+	net.Run(400 * sim.Second)
+	net.Checker.Finalize()
+
+	if net.Checker.OK() {
+		t.Fatalf("mutation not detected: closeConn(%d->%d) suppressed, no violations", i, j)
+	}
+	found := false
+	for _, v := range net.Checker.Violations() {
+		if v.Node == i && v.Peer == j && v.At > mutatedAt {
+			found = true
+			if v.String() == "" || !strings.Contains(v.String(), "node=") {
+				t.Errorf("violation renders without node id: %q", v.String())
+			}
+		}
+	}
+	if !found {
+		for _, v := range net.Checker.Violations() {
+			t.Logf("violation: %s", v.String())
+		}
+		t.Fatalf("no violation names the mutated pair node=%d peer=%d after t=%v", i, j, mutatedAt)
+	}
+}
+
+// TestCheckerDrawsNoRandomness: enabling the checker must not perturb
+// the simulation it observes — the overlay it leaves behind is
+// identical to an unchecked run with the same seed.
+func TestCheckerDrawsNoRandomness(t *testing.T) {
+	run := func(check bool) []string {
+		cfg := testConfig(11, p2p.Hybrid)
+		cfg.Invariants.Enabled = check
+		net, err := manet.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(600 * sim.Second)
+		var v p2p.View
+		out := make([]string, 0, len(net.Servents))
+		for _, sv := range net.Servents {
+			if sv == nil {
+				continue
+			}
+			sv.Inspect(&v)
+			line := sv.Joined()
+			s := make([]byte, 0, 64)
+			if line {
+				s = append(s, 'J')
+			}
+			for _, c := range v.Conns {
+				s = append(s, byte('0'+c.Peer/10), byte('0'+c.Peer%10), ',')
+			}
+			out = append(out, string(s))
+		}
+		return out
+	}
+	with, without := run(true), run(false)
+	if len(with) != len(without) {
+		t.Fatalf("servent count differs: %d vs %d", len(with), len(without))
+	}
+	for k := range with {
+		if with[k] != without[k] {
+			t.Fatalf("overlay state diverges at servent %d: checked=%q unchecked=%q", k, with[k], without[k])
+		}
+	}
+}

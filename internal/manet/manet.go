@@ -16,6 +16,7 @@ import (
 	"manetp2p/internal/flood"
 	"manetp2p/internal/geom"
 	"manetp2p/internal/graphs"
+	"manetp2p/internal/invariant"
 	"manetp2p/internal/metrics"
 	"manetp2p/internal/mobility"
 	"manetp2p/internal/netif"
@@ -199,6 +200,12 @@ type Config struct {
 	// the Collector at this period — the resilience telemetry the
 	// recovery metrics are derived from.
 	HealthEvery sim.Time
+
+	// Invariants optionally arms the runtime invariant checker
+	// (internal/invariant). Off by default: a disabled checker wires no
+	// events and costs nothing. The checker only observes, so enabling
+	// it does not change the replication's results.
+	Invariants invariant.Config
 }
 
 // DefaultConfig returns the paper's Table 2 scenario with n nodes.
@@ -243,6 +250,9 @@ func (c Config) Validate() error {
 	if err := c.Params.Validate(); err != nil {
 		return err
 	}
+	if err := c.Invariants.Validate(); err != nil {
+		return err
+	}
 	return c.Files.Validate()
 }
 
@@ -254,8 +264,9 @@ type Network struct {
 	Routers   []NodeRouter
 	Servents  []*p2p.Servent // nil for nodes outside the overlay
 	Collector *metrics.Collector
-	Tracer    *trace.Tracer   // nil unless Config.TraceCapacity > 0
-	Injector  *fault.Injector // nil unless Config.Faults has events
+	Tracer    *trace.Tracer      // nil unless Config.TraceCapacity > 0
+	Injector  *fault.Injector    // nil unless Config.Faults has events
+	Checker   *invariant.Checker // nil unless Config.Invariants.Enabled
 
 	models    []mobility.Model
 	member    []bool
@@ -403,6 +414,17 @@ func Build(cfg Config) (*Network, error) {
 			Members:       n.Members,
 		})
 		n.Injector.Arm()
+	}
+	if cfg.Invariants.Enabled {
+		n.Checker = invariant.New(cfg.Invariants, invariant.Target{
+			Sim:       s,
+			Medium:    med,
+			Collector: n.Collector,
+			Servents:  n.Servents,
+			Algorithm: cfg.Algorithm,
+			Params:    cfg.Params,
+		})
+		n.Checker.Attach()
 	}
 	return n, nil
 }

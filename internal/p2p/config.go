@@ -160,6 +160,14 @@ func (p Params) Validate() error {
 		return fmt.Errorf("p2p: MaxNConn %d < 1", p.MaxNConn)
 	case p.NHopsInitial < 1 || p.NHopsInitial > p.MaxNHops:
 		return fmt.Errorf("p2p: NHopsInitial %d outside [1, MaxNHops=%d]", p.NHopsInitial, p.MaxNHops)
+	case p.MaxNHops%2 != 0:
+		// The expanding ring advances by 2 modulo MaxNHops+2; an odd
+		// ceiling never hits 0 and the sweep emits radii above MAXNHOPS.
+		return fmt.Errorf("p2p: MaxNHops %d must be even", p.MaxNHops)
+	case p.NHopsInitial%2 != 0:
+		// Same sequence argument: an odd start walks the odd residues and
+		// overshoots MaxNHops before wrapping.
+		return fmt.Errorf("p2p: NHopsInitial %d must be even", p.NHopsInitial)
 	case p.NHopsBasic < 1:
 		return fmt.Errorf("p2p: NHopsBasic %d < 1", p.NHopsBasic)
 	case p.MaxDist < 1:
@@ -172,6 +180,14 @@ func (p Params) Validate() error {
 		return fmt.Errorf("p2p: timer configuration invalid")
 	case p.PingInterval <= 0 || p.PongTimeout <= 0:
 		return fmt.Errorf("p2p: keepalive configuration invalid")
+	case p.HandshakeWait <= 0:
+		return fmt.Errorf("p2p: HandshakeWait %v not positive", p.HandshakeWait)
+	case p.OfferWindow <= 0:
+		return fmt.Errorf("p2p: OfferWindow %v not positive", p.OfferWindow)
+	case p.MasterIdle <= 0:
+		return fmt.Errorf("p2p: MasterIdle %v not positive", p.MasterIdle)
+	case p.JoinStaggerMax < 0:
+		return fmt.Errorf("p2p: JoinStaggerMax %v negative", p.JoinStaggerMax)
 	case p.QueryCollect <= 0 || p.QueryGapMin < 0 || p.QueryGapMax < p.QueryGapMin:
 		return fmt.Errorf("p2p: query timing invalid")
 	case p.QueryMode == QueryRandomWalk && (p.Walkers < 1 || p.WalkTTL < 1):

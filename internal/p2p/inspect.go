@@ -1,0 +1,101 @@
+package p2p
+
+import "manetp2p/internal/sim"
+
+// This file is the read-only introspection surface the runtime invariant
+// checker (internal/invariant) validates servents through. The servent's
+// protocol state is deliberately unexported; Inspect copies a structural
+// snapshot into caller-owned buffers so the checker can verify
+// cross-servent invariants (symmetry, role consistency, caps) without
+// reaching into — or being able to perturb — live protocol state.
+
+// ConnView is one live connection as seen by the invariant checker.
+type ConnView struct {
+	Peer      int
+	Random    bool
+	Initiator bool
+	ToMaster  bool
+	ToSlave   bool
+	Master    bool
+	Since     sim.Time
+	// Exactly one keepalive timer guards every connection: the initiator
+	// pings, the responder watches a ping deadline. A connection with
+	// neither armed can never detect peer loss and leaks forever.
+	PingArmed     bool
+	DeadlineArmed bool
+}
+
+// PendingView is one in-flight solicitor-side handshake reservation.
+type PendingView struct {
+	Peer         int
+	Random       bool
+	Master       bool
+	TimeoutArmed bool
+}
+
+// View is a structural snapshot of one servent. Slices are reused across
+// Inspect calls on the same View, so a checker can sweep a whole network
+// every sampling interval without steady-state allocation.
+type View struct {
+	Joined        bool
+	State         HybridState
+	ReservedWith  int  // peer of the in-flight enslavement, when Reserved
+	ReservedArmed bool // the reservation's expiry timer is pending
+	Conns         []ConnView
+	Pending       []PendingView
+	CacheLen      int // peer-cache population
+}
+
+// Inspect fills v with this servent's current structural state. Conns
+// and Pending are sorted by peer id so violation reports are
+// deterministic.
+func (sv *Servent) Inspect(v *View) {
+	v.Joined = sv.joined
+	v.State = sv.state
+	v.ReservedWith = sv.reservedWith
+	v.ReservedArmed = sv.reservedEv.Pending()
+	v.CacheLen = len(sv.peerCache)
+
+	v.Conns = v.Conns[:0]
+	for _, c := range sv.conns {
+		v.Conns = append(v.Conns, ConnView{
+			Peer:          c.peer,
+			Random:        c.random,
+			Initiator:     c.initiator,
+			ToMaster:      c.toMaster,
+			ToSlave:       c.toSlave,
+			Master:        c.master,
+			Since:         c.since,
+			PingArmed:     c.pingTimer != nil && c.pingTimer.Armed(),
+			DeadlineArmed: c.deadline != nil && c.deadline.Armed(),
+		})
+	}
+	for i := 1; i < len(v.Conns); i++ { // insertion sort: tiny slices
+		for j := i; j > 0 && v.Conns[j].Peer < v.Conns[j-1].Peer; j-- {
+			v.Conns[j], v.Conns[j-1] = v.Conns[j-1], v.Conns[j]
+		}
+	}
+
+	v.Pending = v.Pending[:0]
+	for _, h := range sv.pending {
+		v.Pending = append(v.Pending, PendingView{
+			Peer:         h.peer,
+			Random:       h.random,
+			Master:       h.master,
+			TimeoutArmed: h.timeout.Pending(),
+		})
+	}
+	for i := 1; i < len(v.Pending); i++ {
+		for j := i; j > 0 && v.Pending[j].Peer < v.Pending[j-1].Peer; j-- {
+			v.Pending[j], v.Pending[j-1] = v.Pending[j-1], v.Pending[j]
+		}
+	}
+}
+
+// SkipCloseForTest makes every closeConn toward peer a silent no-op on
+// this servent — the seeded mutation of the invariant checker's
+// detection tests: a protocol implementation that forgets one side of a
+// teardown leaves an asymmetric "symmetric" connection behind, which
+// must surface as a checker violation, never as silently skewed message
+// counts. Production code never calls this.
+func (sv *Servent) SkipCloseForTest(peer int) { sv.skipClose = peer }

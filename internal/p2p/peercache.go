@@ -19,6 +19,11 @@ type PeerCacheConfig struct {
 	Tries   int      // direct solicitations per cycle step (default 2)
 }
 
+// WithDefaults returns the configuration with unset fields resolved to
+// their defaults — the effective values a servent runs with. The
+// invariant checker uses it to validate the cache cap.
+func (c PeerCacheConfig) WithDefaults() PeerCacheConfig { return c.withDefaults() }
+
 func (c PeerCacheConfig) withDefaults() PeerCacheConfig {
 	if c.Size <= 0 {
 		c.Size = 8
@@ -34,8 +39,9 @@ func (c PeerCacheConfig) withDefaults() PeerCacheConfig {
 
 // cacheEntry is one remembered peer.
 type cacheEntry struct {
-	seen  sim.Time // last positive contact
-	tried sim.Time // last direct solicitation (0 = never)
+	seen     sim.Time // last positive contact
+	tried    sim.Time // last direct solicitation
+	hasTried bool     // tried is meaningful; t=0 is a legal try time
 }
 
 // rememberPeer records positive contact with a peer.
@@ -85,7 +91,7 @@ func (sv *Servent) tryCachedPeers() bool {
 			delete(sv.peerCache, peer)
 			continue
 		}
-		if e.tried != 0 && now-e.tried < cfg.TTL/4 {
+		if e.hasTried && now-e.tried < cfg.TTL/4 {
 			continue // recently tried; let it rest
 		}
 		if _, dup := sv.conns[peer]; dup {
@@ -95,6 +101,7 @@ func (sv *Servent) tryCachedPeers() bool {
 			continue
 		}
 		e.tried = now
+		e.hasTried = true
 		sv.send(peer, msgSolicit{})
 		sent++
 	}

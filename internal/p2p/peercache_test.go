@@ -96,3 +96,59 @@ func TestPeerCacheTTLExpiry(t *testing.T) {
 		t.Error("expired entry not purged")
 	}
 }
+
+func TestPeerCacheRateLimitAtTimeZero(t *testing.T) {
+	// Regression: the try rate-limit used tried != 0 as its "ever tried"
+	// sentinel, so a solicitation sent at t=0 was treated as never sent
+	// and the peer was hammered again on the very next step.
+	par := DefaultParams()
+	par.PeerCache = PeerCacheConfig{Enabled: true, TTL: 300 * sim.Second}
+	w := newWorld(t, worldSpec{
+		seed: 74, pts: cliquePts(2), alg: Regular, par: par,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	sv := w.svs[0]
+	sv.rememberPeer(1)
+	sv.peerCache[1].seen = 0 // pretend contact happened at t=0 too
+
+	if w.s.Now() != 0 {
+		t.Fatalf("precondition: now = %v, want 0", w.s.Now())
+	}
+	if !sv.tryCachedPeers() {
+		t.Fatal("first try at t=0 did not solicit")
+	}
+	e := sv.peerCache[1]
+	if !e.hasTried || e.tried != 0 {
+		t.Fatalf("entry after t=0 try: hasTried=%v tried=%v", e.hasTried, e.tried)
+	}
+	// Drop the handshake reservation so only the rate limit can block a
+	// second solicitation.
+	for p, h := range sv.pending {
+		h.timeout.Cancel()
+		delete(sv.pending, p)
+	}
+	if sv.tryCachedPeers() {
+		t.Error("peer re-solicited within TTL/4 of a t=0 try")
+	}
+	// Past the TTL/4 rest period the peer is fair game again.
+	w.run(par.PeerCache.WithDefaults().TTL/4 + sim.Second)
+	for p, h := range sv.pending {
+		h.timeout.Cancel()
+		delete(sv.pending, p)
+	}
+	// The t=0 solicit may have completed a handshake meanwhile; drop the
+	// link so only the rate limit decides.
+	if c, ok := sv.conns[1]; ok {
+		if c.pingTimer != nil {
+			c.pingTimer.Stop()
+		}
+		if c.deadline != nil {
+			c.deadline.Stop()
+		}
+		delete(sv.conns, 1)
+	}
+	if !sv.tryCachedPeers() {
+		t.Error("peer not re-solicited after the rest period")
+	}
+}

@@ -136,6 +136,10 @@ type Servent struct {
 	established uint64 // connections successfully formed
 	closed      uint64 // connections torn down
 
+	// skipClose is the invariant-checker mutation hook: closeConn toward
+	// this peer becomes a no-op (-1 = disabled). See SkipCloseForTest.
+	skipClose int
+
 	// Callbacks bound once at construction: the establishment cycle and
 	// query engine re-schedule these constantly, and a method value passed
 	// directly to Schedule would allocate a fresh closure every call.
@@ -176,16 +180,17 @@ func NewServent(id int, s *sim.Sim, rt netif.Protocol, par Params, alg Algorithm
 		panic("p2p: Options.RNG is required")
 	}
 	sv := &Servent{
-		id:      id,
-		s:       s,
-		rt:      rt,
-		par:     par,
-		alg:     alg,
-		opt:     opt,
-		conns:   make(map[int]*conn),
-		pending: make(map[int]*handshake),
-		seen:    make(map[queryKey]struct{}),
-		state:   StateInitial,
+		id:        id,
+		s:         s,
+		rt:        rt,
+		par:       par,
+		alg:       alg,
+		opt:       opt,
+		conns:     make(map[int]*conn),
+		pending:   make(map[int]*handshake),
+		seen:      make(map[queryKey]struct{}),
+		state:     StateInitial,
+		skipClose: -1,
 	}
 	sv.ensureCycleFn = sv.ensureCycle
 	sv.cycleStepFn = sv.cycleStep
@@ -455,6 +460,9 @@ func (sv *Servent) installConn(c *conn) {
 
 // closeConn tears down the connection to peer, optionally notifying it.
 func (sv *Servent) closeConn(peer int, notify bool) {
+	if peer == sv.skipClose {
+		return // seeded mutation for invariant-checker tests
+	}
 	c, ok := sv.conns[peer]
 	if !ok {
 		return

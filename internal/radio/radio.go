@@ -65,7 +65,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats aggregates per-node medium usage.
+// Stats aggregates per-node medium usage. The counters satisfy a
+// conservation law the invariant checker validates: every delivery
+// attempted toward a node is gated, dropped, or queued, and every queued
+// delivery is received, lost to the receiver being down, or still in
+// flight — Queued == RxFrames + LostDown + in-flight.
 type Stats struct {
 	TxFrames uint64
 	RxFrames uint64
@@ -73,6 +77,8 @@ type Stats struct {
 	RxBytes  uint64
 	Dropped  uint64 // deliveries lost to LossProb
 	Gated    uint64 // deliveries dropped by the installed LinkFilter
+	Queued   uint64 // deliveries queued toward this node (post-gate, post-loss)
+	LostDown uint64 // queued deliveries that arrived while the node was down
 }
 
 // Medium is the shared wireless channel. Not safe for concurrent use;
@@ -282,6 +288,26 @@ func (m *Medium) OnDeath(fn func(id int)) { m.onDeath = fn }
 // streams it does not own.
 func (m *Medium) SetLinkFilter(f LinkFilter) { m.filter = f }
 
+// InFlight reports how many deliveries are currently queued in the air.
+func (m *Medium) InFlight() int { return m.pending.len() }
+
+// InFlightTo fills dst with the per-destination counts of in-flight
+// deliveries and returns it, growing dst to NumNodes if needed (pass nil
+// for a fresh slice). Used by the invariant checker to close the
+// per-node conservation law.
+func (m *Medium) InFlightTo(dst []uint64) []uint64 {
+	if len(dst) < m.cfg.NumNodes {
+		dst = make([]uint64, m.cfg.NumNodes)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range m.pending.items {
+		dst[m.pending.items[i].to]++
+	}
+	return dst
+}
+
 // Range returns the configured transmission range in metres.
 func (m *Medium) Range() float64 { return m.cfg.Range }
 
@@ -343,6 +369,7 @@ func (m *Medium) deliver(f Frame, to int) {
 	if m.cfg.Jitter > 0 {
 		delay += sim.Time(m.jrng.Int63n(int64(m.cfg.Jitter) + 1))
 	}
+	m.stats[to].Queued++
 	m.pending.push(delivery{at: m.sim.Now() + delay, seq: m.sim.ReserveSeq(), to: to, f: f})
 	m.syncDrain()
 }
@@ -406,6 +433,7 @@ func (m *Medium) arrive(rec delivery) {
 	// The receiver may have left or died while the frame was in
 	// flight; radio waves do not chase nodes.
 	if !m.up[to] {
+		m.stats[to].LostDown++
 		return
 	}
 	m.stats[to].RxFrames++

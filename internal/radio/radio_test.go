@@ -423,3 +423,53 @@ func TestReceiveTriggeredSendDelayed(t *testing.T) {
 		t.Fatalf("reply arrivals = %v, want [4ms] (two hops of 2ms latency)", arrivals)
 	}
 }
+
+// conservationOK asserts the per-node frame conservation law the
+// invariant checker relies on: every delivery queued toward a node was
+// received, lost while the node was down, or is still in flight.
+func conservationOK(t *testing.T, m *Medium, when string) {
+	t.Helper()
+	inflight := m.InFlightTo(nil)
+	for i := 0; i < m.NumNodes(); i++ {
+		st := m.Stats(i)
+		if st.Queued != st.RxFrames+st.LostDown+inflight[i] {
+			t.Errorf("%s: node %d: queued %d != rx %d + lostdown %d + inflight %d",
+				when, i, st.Queued, st.RxFrames, st.LostDown, inflight[i])
+		}
+	}
+}
+
+func TestFrameConservation(t *testing.T) {
+	s := sim.New(7)
+	m := newTestMedium(t, s, testConfig(3))
+	m.Join(0, geom.Point{X: 10, Y: 10}, func(Frame) {})
+	m.Join(1, geom.Point{X: 12, Y: 10}, func(Frame) {})
+	m.Join(2, geom.Point{X: 14, Y: 10}, func(Frame) {})
+
+	for i := 0; i < 10; i++ {
+		m.Send(Frame{Src: 0, Dst: 1, Size: 16})
+		m.Send(Frame{Src: 1, Dst: -1, Size: 16}) // broadcast
+	}
+	conservationOK(t, m, "frames in flight")
+	if m.InFlight() == 0 {
+		t.Error("expected frames in flight before delivery")
+	}
+
+	// Take node 1 down while deliveries are pending: its queued frames
+	// must land in LostDown, not vanish.
+	m.Leave(1)
+	s.Run(sim.MaxTime)
+	conservationOK(t, m, "after down-node drain")
+	if m.Stats(1).LostDown == 0 {
+		t.Error("LostDown not incremented for a down receiver")
+	}
+	if m.InFlight() != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", m.InFlight())
+	}
+
+	// Back up: subsequent deliveries count as received again.
+	m.Join(1, geom.Point{X: 12, Y: 10}, func(Frame) {})
+	m.Send(Frame{Src: 0, Dst: 1, Size: 16})
+	s.Run(sim.MaxTime)
+	conservationOK(t, m, "after rejoin")
+}

@@ -579,3 +579,56 @@ func TestPendingAndFiredCounters(t *testing.T) {
 		t.Errorf("Pending() = %d after drain, want 0", s.Pending())
 	}
 }
+
+func TestTimerStopSurvivesSlotRecycle(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(5 * Second)
+	tm.Stop() // lazily cancelled; the entry is still queued
+
+	s.Run(6 * Second) // discards the cancelled entry, recycling its slot
+
+	// The recycled slot's next tenant must be invisible to the timer.
+	tenant := 0
+	s.Schedule(2*Second, func() { tenant++ })
+	if tm.Armed() {
+		t.Error("stopped timer reports armed after its slot was reused")
+	}
+	tm.Stop() // no-op; must not touch the slot's new tenant
+	tm.Reset(Second)
+	if !tm.Armed() {
+		t.Error("timer not armed after Reset on a recycled slot")
+	}
+	s.Run(MaxTime)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if tenant != 1 {
+		t.Errorf("tenant fired %d times, want 1 (stale timer cancelled it?)", tenant)
+	}
+}
+
+func TestTimerStaleAfterFireAndSlotReuse(t *testing.T) {
+	s := New(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	tm.Reset(Second)
+	s.Run(2 * Second) // fires; the slot returns to the pool
+
+	tenant := 0
+	s.Schedule(Second, func() { tenant++ }) // reuses the slot
+	if tm.Armed() {
+		t.Error("fired timer reports armed through its recycled slot")
+	}
+	tm.Stop() // stale handle: must not cancel the new tenant
+	s.Run(MaxTime)
+	if tenant != 1 {
+		t.Errorf("tenant fired %d times, want 1", tenant)
+	}
+	tm.Reset(Second) // the timer must remain reusable after going stale
+	s.Run(MaxTime)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"manetp2p/internal/aodv"
 	"manetp2p/internal/fault"
 	"manetp2p/internal/geom"
+	"manetp2p/internal/invariant"
 	"manetp2p/internal/manet"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
@@ -163,6 +164,15 @@ func LinkFlapFault(at, dur, period, downFor Duration) FaultEvent {
 	return fault.LinkFlapEvent(at, dur, period, downFor)
 }
 
+// InvariantConfig re-exports the runtime invariant checker
+// configuration (internal/invariant): sampling period, grace window for
+// in-flight cross-node inconsistencies, and the violation recording cap.
+type InvariantConfig = invariant.Config
+
+// InvariantViolation is one detected cross-layer invariant breach,
+// stamped with the simulated time and the node(s) involved.
+type InvariantViolation = invariant.Violation
+
 // Scenario describes one experiment: a node population, an algorithm,
 // the protocol parameters and the measurement horizon.
 type Scenario struct {
@@ -220,6 +230,13 @@ type Scenario struct {
 	// traces from 33 replications are rarely what anyone wants.
 	TraceCapacity int
 
+	// Invariants optionally arms the runtime invariant checker in every
+	// replication; findings land in Result.Invariants. Nil (the default)
+	// disables it entirely — the checker is strictly opt-in and costs
+	// nothing when off. Enabling it does not change measured results:
+	// the checker only observes and draws no randomness.
+	Invariants *InvariantConfig `json:",omitempty"`
+
 	// Concurrency: 0 = GOMAXPROCS.
 	Workers int
 }
@@ -272,6 +289,11 @@ func (sc Scenario) Validate() error {
 	if err := sc.Params.Validate(); err != nil {
 		return err
 	}
+	if sc.Invariants != nil {
+		if err := sc.Invariants.Validate(); err != nil {
+			return fmt.Errorf("manetp2p: %w", err)
+		}
+	}
 	return sc.Files.Validate()
 }
 
@@ -287,7 +309,7 @@ func (sc Scenario) manetConfig(rep int) manet.Config {
 	if sc.Stationary {
 		mob.Kind = manet.MobilityStationary
 	}
-	return manet.Config{
+	cfg := manet.Config{
 		Seed:           sc.Seed + int64(rep),
 		NumNodes:       sc.NumNodes,
 		MemberFraction: sc.MemberFraction,
@@ -309,6 +331,10 @@ func (sc Scenario) manetConfig(rep int) manet.Config {
 		Faults:         sc.Faults,
 		HealthEvery:    sc.healthEvery(),
 	}
+	if sc.Invariants != nil {
+		cfg.Invariants = *sc.Invariants
+	}
+	return cfg
 }
 
 // healthEvery resolves the effective telemetry period: explicit value,

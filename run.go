@@ -75,29 +75,36 @@ type Result struct {
 	// Resilience telemetry and per-fault recovery metrics (nil when
 	// sampling is off — no Faults plan and no HealthEvery).
 	Resilience *Resilience
+
+	// Invariants reports the runtime invariant checker's findings (nil
+	// when Scenario.Invariants is off).
+	Invariants *InvariantReport `json:",omitempty"`
 }
 
 // repResult carries one replication's raw measurements to aggregation.
 type repResult struct {
-	requests  []metrics.Request
-	series    [metrics.NumClasses][]float64
-	totals    [metrics.NumClasses][]float64
-	rxFrames  []float64
-	txFrames  []float64
-	clust     []float64
-	pathLen   []float64
-	largest   []float64
-	meanDeg   []float64
-	alive     []float64 // per snapshot: fraction of members joined
-	degSeries []float64 // per snapshot: mean overlay degree
-	connRate  []float64 // per bucket: connect msgs per member
-	queryRate []float64 // per bucket: query msgs per member
-	deaths    float64
-	energy    []float64
-	lifetimes []float64
-	health    []metrics.HealthSample // resilience telemetry samples
-	members   int                    // overlay membership size
-	err       error
+	requests   []metrics.Request
+	series     [metrics.NumClasses][]float64
+	totals     [metrics.NumClasses][]float64
+	rxFrames   []float64
+	txFrames   []float64
+	clust      []float64
+	pathLen    []float64
+	largest    []float64
+	meanDeg    []float64
+	alive      []float64 // per snapshot: fraction of members joined
+	degSeries  []float64 // per snapshot: mean overlay degree
+	connRate   []float64 // per bucket: connect msgs per member
+	queryRate  []float64 // per bucket: query msgs per member
+	deaths     float64
+	energy     []float64
+	lifetimes  []float64
+	health     []metrics.HealthSample // resilience telemetry samples
+	members    int                    // overlay membership size
+	checked    bool                   // the invariant checker validated this replication
+	violTotal  int                    // invariant breaches detected (including past the cap)
+	violations []InvariantViolation   // recorded breaches, detection order
+	err        error
 }
 
 // Run executes all replications of the scenario concurrently and
@@ -177,6 +184,13 @@ func runReplication(sc Scenario, rep int) repResult {
 	}
 
 	net.Run(sc.Duration)
+
+	if net.Checker != nil {
+		net.Checker.Finalize()
+		rr.checked = true
+		rr.violTotal = net.Checker.Total()
+		rr.violations = net.Checker.Violations()
+	}
 
 	rr.requests = net.Collector.Requests()
 	rr.lifetimes = net.Collector.Lifetimes()
@@ -336,5 +350,6 @@ func aggregate(sc Scenario, reps []repResult) *Result {
 	res.ConnectTraffic = stats.MeanSeries(connRates)
 	res.QueryTraffic = stats.MeanSeries(queryRates)
 	res.Resilience = computeResilience(sc, reps)
+	res.Invariants = invariantReport(sc, reps)
 	return res
 }
