@@ -410,6 +410,10 @@ func BenchmarkWaypointPos(b *testing.B) {
 // Cost of one cold route discovery over a 10-hop chain.
 func BenchmarkAODVDiscovery(b *testing.B) { benchAODVDiscovery(b) }
 
+// Cost of one controlled broadcast flooded down a 16-node line through
+// the shared route.Bcaster relay path.
+func BenchmarkBcastRelay(b *testing.B) { benchBcastRelay(b) }
+
 // BenchmarkFullReplication measures one end-to-end paper replication
 // (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
 func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b, false) }

@@ -10,8 +10,10 @@ import (
 	"testing"
 
 	"manetp2p/internal/aodv"
+	"manetp2p/internal/flood"
 	"manetp2p/internal/geom"
 	"manetp2p/internal/manet"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
@@ -30,6 +32,7 @@ func TrackedBenchmarks() []BenchSpec {
 		{Name: "SimEventQueue", Fn: benchSimEventQueue},
 		{Name: "GridNear", Fn: benchGridNear},
 		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
+		{Name: "BcastRelay", Fn: benchBcastRelay},
 		{Name: "FullReplication", Fn: func(b *testing.B) { benchFullReplication(b, false) }},
 		{Name: "FullReplicationChecked", Fn: func(b *testing.B) { benchFullReplication(b, true) }},
 	}
@@ -92,6 +95,40 @@ func benchAODVDiscovery(b *testing.B) {
 		if !delivered {
 			b.Fatal("discovery failed")
 		}
+	}
+}
+
+// benchBcastRelay measures the shared controlled-broadcast relay path
+// (route.Bcaster, used by all four routing substrates): one TTL-bounded
+// broadcast flooded down a 16-node line, including every relay
+// re-transmission and duplicate-cache suppression along the way. The
+// network persists across iterations, so the duplicate caches work at
+// steady state and their pruning cost is included.
+func benchBcastRelay(b *testing.B) {
+	const nodes = 16
+	s := sim.New(7)
+	med, err := radio.NewMedium(s, radio.Config{
+		Arena: geom.Rect{W: 200, H: 50}, Range: 10, NumNodes: nodes,
+		Latency: 2 * sim.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	routers := make([]*flood.Router, nodes)
+	for n := 0; n < nodes; n++ {
+		routers[n] = flood.NewRouter(n, s, med, flood.Config{})
+		med.Join(n, geom.Point{X: 5 + 8*float64(n), Y: 25}, routers[n].HandleFrame)
+	}
+	delivered := 0
+	routers[nodes-1].OnBroadcast(func(netif.Delivery) { delivered++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routers[0].Broadcast(nodes-1, 64, "x")
+		s.Run(sim.MaxTime)
+	}
+	if delivered != b.N {
+		b.Fatalf("far end delivered %d of %d broadcasts", delivered, b.N)
 	}
 }
 

@@ -3,7 +3,9 @@
 // speed, death/birth churn, energy budget and scripted fault regimes.
 // Each sweep prints one TSV row per parameter point with the headline
 // metrics for the selected algorithms; the faults axis adds
-// time-to-reheal and residual-disconnect columns.
+// time-to-reheal and residual-disconnect columns, and the routing axis
+// adds control-overhead columns (control frames per delivered payload
+// and the send-failure rate) from the unified netif.Stats telemetry.
 //
 // Usage:
 //
@@ -134,6 +136,18 @@ func resilienceCells(res *manetp2p.Result) (reheal, residual string) {
 		fmt.Sprintf("%.3f", residualSum/float64(n))
 }
 
+// routingCells renders the routing-axis extra columns: control frames
+// spent per delivered payload and the percentage of locally originated
+// sends that were abandoned, "-" when telemetry is absent.
+func routingCells(res *manetp2p.Result) (ctrlPerDelivered, sendFail string) {
+	rt := res.Routing
+	if rt == nil {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%.2f", rt.ControlPerDelivered()),
+		fmt.Sprintf("%.1f", 100*rt.SendFailRate())
+}
+
 func main() {
 	var (
 		axis  = flag.String("axis", "density", "sweep axis: density|range|speed|churn|energy|routing|mobility|faults")
@@ -175,6 +189,9 @@ func main() {
 	header := "point\talg\tconnect/node\tping/node\tquery/node\tfound%\tdist\tanswers\tdeaths\tlargest-comp"
 	if axisName == "faults" {
 		header += "\treheal-s\tresidual-disc"
+	}
+	if axisName == "routing" {
+		header += "\tctrl/delivered\tsendfail%"
 	}
 	fmt.Println(header)
 	for _, pt := range points {
@@ -221,6 +238,10 @@ func main() {
 			if axisName == "faults" {
 				reheal, residual := resilienceCells(res)
 				row += "\t" + reheal + "\t" + residual
+			}
+			if axisName == "routing" {
+				cpd, sf := routingCells(res)
+				row += "\t" + cpd + "\t" + sf
 			}
 			fmt.Println(row)
 		}

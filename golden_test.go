@@ -43,6 +43,46 @@ func goldenScenario(alg Algorithm) Scenario {
 	return sc
 }
 
+// goldenMarshal renders a Result in the fixtures' canonical form. The
+// fixtures predate the unified routing telemetry, so Routing is stripped
+// from a shallow clone before marshalling (json omitempty then elides
+// it); routing-counter determinism is still pinned by
+// TestGoldenRunRepeatable and TestRoutingTelemetry.
+func goldenMarshal(t *testing.T, res *Result) []byte {
+	t.Helper()
+	clone := *res
+	clone.Routing = nil
+	got, err := json.MarshalIndent(&clone, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(got, '\n')
+}
+
+// checkGolden compares the marshalled result against the fixture at
+// path, rewriting it under -update-golden.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fixed-seed result drifted from the committed fixture %s\n"+
+			"(if the behavior change is intentional, regenerate with -update-golden and review the diff)",
+			path)
+	}
+}
+
 func TestGoldenResults(t *testing.T) {
 	for _, alg := range Algorithms() {
 		alg := alg
@@ -52,31 +92,59 @@ func TestGoldenResults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := json.MarshalIndent(res, "", "  ")
-			if err != nil {
-				t.Fatal(err)
-			}
-			got = append(got, '\n')
 			path := filepath.Join("testdata", "golden", strings.ToLower(alg.String())+".json")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing fixture (run with -update-golden to create): %v", err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Fatalf("fixed-seed result for %v drifted from the committed fixture %s\n"+
-					"(if the behavior change is intentional, regenerate with -update-golden and review the diff)",
-					alg, path)
-			}
+			checkGolden(t, path, goldenMarshal(t, res))
 		})
+	}
+}
+
+// goldenRoutingScenario is the substrate-matrix variant of
+// goldenScenario: the same busy subsystem mix, sized down so the full
+// four-algorithms-by-four-substrates matrix stays cheap to run.
+func goldenRoutingScenario(alg Algorithm, routing RoutingKind) Scenario {
+	sc := DefaultScenario(50, alg)
+	sc.Duration = 300 * sim.Second
+	sc.Replications = 1
+	sc.Seed = 11
+	sc.Routing = routing
+	sc.SnapshotEvery = 120 * sim.Second
+	sc.TrafficBucket = 60 * sim.Second
+	sc.HealthEvery = 10 * sim.Second
+	sc.Faults = FaultPlan{Events: []FaultEvent{
+		PartitionFault(100*sim.Second, 60*sim.Second, AxisX, 50),
+	}}
+	return sc
+}
+
+// TestGoldenRouting pins fixed-seed results for every algorithm on
+// every routing substrate. These fixtures were generated from the
+// pre-consolidation routers (each with its own private duplicate cache,
+// pending buffer and dispatch path), so byte-identity here proves the
+// shared internal/route control plane changed structure, not behavior.
+func TestGoldenRouting(t *testing.T) {
+	substrates := []struct {
+		name string
+		kind RoutingKind
+	}{
+		{"aodv", RoutingAODV},
+		{"dsr", RoutingDSR},
+		{"flood", RoutingFlood},
+		{"dsdv", RoutingDSDV},
+	}
+	for _, sub := range substrates {
+		for _, alg := range Algorithms() {
+			sub, alg := sub, alg
+			t.Run(sub.name+"/"+alg.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(goldenRoutingScenario(alg, sub.kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join("testdata", "golden",
+					"routing_"+sub.name+"_"+strings.ToLower(alg.String())+".json")
+				checkGolden(t, path, goldenMarshal(t, res))
+			})
+		}
 	}
 }
 

@@ -70,25 +70,12 @@ type data struct {
 	Payload  any
 }
 
-// bcast is a controlled-broadcast application packet. Like an RREQ it
-// carries the origin's sequence number, so forwarding it installs a
-// reverse route to the origin — responders can answer by unicast without
-// a fresh route discovery, exactly the pattern the paper's connect
-// messages rely on.
-type bcast struct {
-	Origin    int
-	OriginSeq uint32
-	ID        uint32
-	HopCount  int
-	TTL       int
-	Size      int
-	Payload   any
-}
+// The controlled-broadcast packet is the shared route.Bcast carrier;
+// like an RREQ it carries the origin's sequence number, so forwarding it
+// installs a reverse route to the origin — responders can answer by
+// unicast without a fresh route discovery, exactly the pattern the
+// paper's connect messages rely on (see Router's Accept hook).
 
 func (p data) String() string {
 	return fmt.Sprintf("data{%d->%d hops=%d ttl=%d}", p.Origin, p.Dst, p.HopCount, p.TTL)
-}
-
-func (p bcast) String() string {
-	return fmt.Sprintf("bcast{%d id=%d hops=%d ttl=%d}", p.Origin, p.ID, p.HopCount, p.TTL)
 }

@@ -5,6 +5,7 @@ import (
 
 	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
+	"manetp2p/internal/route"
 	"manetp2p/internal/sim"
 )
 
@@ -15,6 +16,7 @@ var _ netif.Protocol = (*Router)(nil)
 type Config struct {
 	ActiveRouteTimeout  sim.Time // lifetime of an unused route
 	SeenCacheTimeout    sim.Time // duplicate-suppression window for floods
+	SeenCacheCap        int      // soft entry bound per duplicate cache
 	MaxDiscoveryRetries int      // extra network-wide RREQ attempts
 	TTLStart            int      // first expanding-ring radius
 	TTLIncrement        int      // ring growth per attempt
@@ -40,6 +42,7 @@ func DefaultConfig() Config {
 		// bounds silent staleness, so it can be generous.
 		ActiveRouteTimeout:  30 * sim.Second,
 		SeenCacheTimeout:    30 * sim.Second,
+		SeenCacheCap:        route.DefaultSoftCap,
 		MaxDiscoveryRetries: 2,
 		TTLStart:            4,
 		TTLIncrement:        4,
@@ -57,6 +60,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SeenCacheTimeout <= 0 {
 		c.SeenCacheTimeout = d.SeenCacheTimeout
+	}
+	if c.SeenCacheCap <= 0 {
+		c.SeenCacheCap = d.SeenCacheCap
 	}
 	if c.MaxDiscoveryRetries <= 0 {
 		c.MaxDiscoveryRetries = d.MaxDiscoveryRetries
@@ -86,102 +92,51 @@ func (c Config) withDefaults() Config {
 // many ad-hoc hops it traveled, and the payload.
 type Delivery = netif.Delivery
 
-// Stats counts routing-layer activity for one node.
-type Stats struct {
-	RREQSent     uint64
-	RREQRelayed  uint64
-	RREPSent     uint64
-	RERRSent     uint64
-	DataSent     uint64
-	DataRelayed  uint64
-	DataDropped  uint64 // no route / TTL exhausted / buffer overflow
-	BcastSent    uint64
-	BcastRelayed uint64
-	BcastDup     uint64 // duplicates suppressed by the controlled-broadcast cache
-	Discoveries  uint64
-	DiscoverFail uint64
-}
-
-type seenKey struct {
-	origin int
-	id     uint32
-}
-
-// discovery tracks one in-progress route search. A repair discovery
-// (started for a transit packet, RFC 3561 §6.12) stays at the initial
-// ring radius and never retries — local repair is a cheap bounded
-// attempt, not a network-wide search.
-type discovery struct {
-	ttl     int
-	retries int
-	repair  bool
-	timer   sim.Handle
-	queue   []data
-}
-
 // Router is the per-node network layer. It attaches to the shared medium
 // as the node's frame receiver and exposes unicast (AODV) and controlled
-// broadcast to the layer above.
+// broadcast to the layer above. The shared control-plane mechanics —
+// dispatch, counters, duplicate caches, the broadcast relay, the
+// pending-send buffer — come from internal/route; this file is the AODV
+// state machine proper.
 type Router struct {
-	id  int
+	*route.Core
 	sim *sim.Sim
 	med *radio.Medium
 	cfg Config
 
-	table     *routeTable
-	seq       uint32
-	rreqID    uint32
-	bcastID   uint32
-	seenRREQ  map[seenKey]sim.Time
-	seenBcast map[seenKey]sim.Time
-	pending   map[int]*discovery
-	stats     Stats
+	table    *routeTable
+	seq      uint32
+	rreqID   uint32
+	seenRREQ *route.DupCache
+	bcast    *route.Bcaster
+	pending  *route.Pending[data]
 
-	onBroadcast  func(Delivery)
-	onUnicast    func(Delivery)
-	onSendFailed func(dst int, payload any)
-
-	// Callbacks for the typed scheduling API, bound once at construction
+	// Callback for the typed scheduling API, bound once at construction
 	// so the hot paths schedule without a per-call closure allocation.
-	selfDeliverFn func(sim.Arg)
 	discTimeoutFn func(sim.Arg)
 }
 
 // NewRouter creates the routing layer for node id. The caller must pass
 // r.HandleFrame as the node's radio receiver when joining the medium.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	core := route.NewCore(id, s)
+	cache := route.CacheConfig{Timeout: cfg.SeenCacheTimeout, SoftCap: cfg.SeenCacheCap}
 	r := &Router{
-		id:        id,
-		sim:       s,
-		med:       med,
-		cfg:       cfg.withDefaults(),
-		table:     newRouteTable(),
-		seenRREQ:  make(map[seenKey]sim.Time),
-		seenBcast: make(map[seenKey]sim.Time),
-		pending:   make(map[int]*discovery),
+		Core:     core,
+		sim:      s,
+		med:      med,
+		cfg:      cfg,
+		table:    newRouteTable(),
+		seenRREQ: route.NewDupCache(core, cache),
+		bcast:    route.NewBcaster(core, med, sizeBcastHdr, 0, cache),
+		pending:  route.NewPending[data](cfg.BufferCap),
 	}
-	r.selfDeliverFn = r.selfDeliver
+	r.bcast.Disable = cfg.DisableBcastDupCache
+	r.bcast.Accept = r.acceptBcast
 	r.discTimeoutFn = r.discTimeout
 	return r
 }
-
-// ID returns the node this router belongs to.
-func (r *Router) ID() int { return r.id }
-
-// Stats returns the router's activity counters.
-func (r *Router) Stats() Stats { return r.stats }
-
-// OnBroadcast installs the controlled-broadcast upper-layer hook. Every
-// node that receives a (deduplicated) broadcast sees it, member of the
-// overlay or not — exactly like a promiscuous flood relay.
-func (r *Router) OnBroadcast(fn func(Delivery)) { r.onBroadcast = fn }
-
-// OnUnicast installs the upper-layer hook for data addressed to this node.
-func (r *Router) OnUnicast(fn func(Delivery)) { r.onUnicast = fn }
-
-// OnSendFailed installs a hook invoked when a packet is abandoned because
-// route discovery failed or the buffer overflowed.
-func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
 
 // HopsTo reports the current route-table distance to dst in ad-hoc hops,
 // if a valid route exists. It does not trigger discovery.
@@ -199,30 +154,38 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 	if ttl <= 0 {
 		panic("aodv: Broadcast with non-positive TTL")
 	}
-	if !r.med.Up(r.id) {
+	if !r.med.Up(r.ID()) {
 		return
 	}
-	r.bcastID++
 	r.seq++
-	pkt := bcast{Origin: r.id, OriginSeq: r.seq, ID: r.bcastID, HopCount: 0, TTL: ttl, Size: size, Payload: payload}
-	r.markSeen(r.seenBcast, seenKey{r.id, pkt.ID})
-	r.stats.BcastSent++
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: size + sizeBcastHdr, Payload: pkt})
+	r.bcast.Originate(ttl, size, payload, r.seq)
+}
+
+// acceptBcast is the per-hop side effect of the controlled broadcast:
+// like an RREQ, a broadcast teaches relays the way back to its origin,
+// so responders can reply by unicast immediately.
+func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
+	now := r.sim.Now()
+	r.table.update(b.Origin, prev, b.HopCount, b.OriginSeq, true, now, r.cfg.ActiveRouteTimeout)
+	if prev != b.Origin {
+		r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
+	}
+	return b.HopCount
 }
 
 // Send routes an application payload of the given size to dst,
 // discovering a route on demand. Sending to self delivers locally with
 // zero hops on the next event-loop turn.
 func (r *Router) Send(dst, size int, payload any) {
-	if dst == r.id {
-		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
+	if dst == r.ID() {
+		r.SelfDeliver(payload)
 		return
 	}
-	if !r.med.Up(r.id) {
+	r.Count.DataSent++
+	if !r.med.Up(r.ID()) {
 		return
 	}
-	pkt := data{Origin: r.id, Dst: dst, HopCount: 0, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
-	r.stats.DataSent++
+	pkt := data{Origin: r.ID(), Dst: dst, HopCount: 0, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
 	if _, ok := r.table.get(dst, r.sim.Now()); ok {
 		r.forwardData(pkt)
 		return
@@ -234,88 +197,73 @@ func (r *Router) Send(dst, size int, payload any) {
 // Transit packets (local repair) share the buffer with locally
 // originated ones.
 func (r *Router) enqueue(pkt data) {
-	d, inProgress := r.pending[pkt.Dst]
+	d, inProgress := r.pending.Get(pkt.Dst)
 	if !inProgress {
-		d = &discovery{ttl: r.cfg.TTLStart, repair: pkt.Origin != r.id}
-		r.pending[pkt.Dst] = d
+		d = r.pending.Start(pkt.Dst)
+		d.TTL = r.cfg.TTLStart
+		d.Repair = pkt.Origin != r.ID()
+		r.Count.Discoveries++
 		r.sendRREQ(pkt.Dst, d)
-	} else if pkt.Origin == r.id {
+	} else if pkt.Origin == r.ID() {
 		// A locally originated packet upgrades a repair discovery to a
 		// full escalating search.
-		d.repair = false
+		d.Repair = false
 	}
-	if len(d.queue) >= r.cfg.BufferCap {
-		r.stats.DataDropped++
-		if pkt.Origin == r.id {
-			r.failSend(pkt.Dst, pkt.Payload)
+	if !r.pending.Push(d, pkt) {
+		r.Count.DataDropped++
+		if pkt.Origin == r.ID() {
+			r.FailSend(pkt.Dst, pkt.Payload)
 		}
-		return
-	}
-	d.queue = append(d.queue, pkt)
-}
-
-func (r *Router) failSend(dst int, payload any) {
-	if r.onSendFailed != nil {
-		r.onSendFailed(dst, payload)
 	}
 }
 
 // sendRREQ emits one ring of the expanding-ring search and arms the
 // retry timer.
-func (r *Router) sendRREQ(dst int, d *discovery) {
+func (r *Router) sendRREQ(dst int, d *route.Discovery[data]) {
 	r.rreqID++
 	r.seq++
 	var dstSeq uint32
 	if e, ok := r.table.raw(dst); ok && e.haveSeq {
 		dstSeq = e.seq
 	}
-	q := rreq{Origin: r.id, OriginSeq: r.seq, ID: r.rreqID, Dst: dst, DstSeq: dstSeq, HopCount: 0, TTL: d.ttl}
-	r.markSeen(r.seenRREQ, seenKey{r.id, q.ID})
-	r.stats.RREQSent++
-	r.stats.Discoveries++
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
+	q := rreq{Origin: r.ID(), OriginSeq: r.seq, ID: r.rreqID, Dst: dst, DstSeq: dstSeq, HopCount: 0, TTL: d.TTL}
+	r.seenRREQ.Mark(route.Key{Origin: r.ID(), ID: q.ID})
+	r.Count.CtrlOrig++
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
 
-	wait := 2 * sim.Time(d.ttl) * r.cfg.HopTraversal
-	d.timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
-}
-
-// selfDeliver completes a Send addressed to this node on the next
-// event-loop turn.
-func (r *Router) selfDeliver(a sim.Arg) {
-	if r.onUnicast != nil {
-		r.onUnicast(Delivery{From: r.id, Hops: 0, Payload: a.X})
-	}
+	wait := 2 * sim.Time(d.TTL) * r.cfg.HopTraversal
+	d.Timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
 }
 
 // discTimeout unpacks the typed-arg timer payload for discoveryTimeout.
 func (r *Router) discTimeout(a sim.Arg) {
-	r.discoveryTimeout(a.I0, a.X.(*discovery))
+	r.discoveryTimeout(a.I0, a.X.(*route.Discovery[data]))
 }
 
 // discoveryTimeout escalates the ring or gives up.
-func (r *Router) discoveryTimeout(dst int, d *discovery) {
-	if r.pending[dst] != d { // completed or superseded
+func (r *Router) discoveryTimeout(dst int, d *route.Discovery[data]) {
+	if !r.pending.Current(dst, d) { // completed or superseded
 		return
 	}
-	if d.repair {
+	if d.Repair {
 		// One bounded attempt only.
-		d.retries = r.cfg.MaxDiscoveryRetries + 1
-	} else if d.ttl < r.cfg.TTLMax {
-		d.ttl += r.cfg.TTLIncrement
-		if d.ttl > r.cfg.TTLMax {
-			d.ttl = r.cfg.TTLMax
+		d.Retries = r.cfg.MaxDiscoveryRetries + 1
+	} else if d.TTL < r.cfg.TTLMax {
+		d.TTL += r.cfg.TTLIncrement
+		if d.TTL > r.cfg.TTLMax {
+			d.TTL = r.cfg.TTLMax
 		}
 	} else {
-		d.retries++
+		d.Retries++
 	}
-	if d.retries > r.cfg.MaxDiscoveryRetries {
-		delete(r.pending, dst)
-		r.stats.DiscoverFail++
+	if d.Retries > r.cfg.MaxDiscoveryRetries {
+		r.pending.Drop(dst)
+		r.Count.DiscoverFailed++
 		announced := false
-		for _, pkt := range d.queue {
-			r.stats.DataDropped++
-			if pkt.Origin == r.id {
-				r.failSend(dst, pkt.Payload)
+		for _, pkt := range d.Queue {
+			r.Count.DataDropped++
+			if pkt.Origin == r.ID() {
+				r.FailSend(dst, pkt.Payload)
 			} else if !announced {
 				// Failed local repair: tell upstream users of the route.
 				r.sendRERRFor(dst, r.sim.Now())
@@ -329,13 +277,11 @@ func (r *Router) discoveryTimeout(dst int, d *discovery) {
 
 // completeDiscovery flushes packets buffered for dst.
 func (r *Router) completeDiscovery(dst int) {
-	d, ok := r.pending[dst]
+	d, ok := r.pending.Take(dst)
 	if !ok {
 		return
 	}
-	delete(r.pending, dst)
-	d.timer.Cancel()
-	for _, pkt := range d.queue {
+	for _, pkt := range d.Queue {
 		r.forwardData(pkt)
 	}
 }
@@ -351,19 +297,19 @@ func (r *Router) forwardData(pkt data) {
 		r.enqueue(pkt)
 		return
 	}
-	if !r.med.InRange(r.id, e.nextHop) {
+	if !r.med.InRange(r.ID(), e.nextHop) {
 		// Link-layer feedback: the hop is gone. Tear down everything
 		// that used it, tell the neighborhood, then locally repair.
 		r.linkBreak(e.nextHop, now)
 		r.enqueue(pkt)
 		return
 	}
-	if pkt.Origin != r.id {
-		r.stats.DataRelayed++
+	if pkt.Origin != r.ID() {
+		r.Count.DataForwarded++
 	}
 	r.table.refresh(pkt.Dst, now, r.cfg.ActiveRouteTimeout)
 	r.table.refresh(pkt.Origin, now, r.cfg.ActiveRouteTimeout)
-	r.med.Send(radio.Frame{Src: r.id, Dst: e.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: e.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
 }
 
 // linkBreak invalidates all routes through via and broadcasts an RERR.
@@ -372,22 +318,26 @@ func (r *Router) linkBreak(via int, now sim.Time) {
 	if len(lost) == 0 {
 		return
 	}
-	r.emitRERR(lost)
+	r.emitRERR(lost, false)
 }
 
 // sendRERRFor reports a single unroutable destination.
 func (r *Router) sendRERRFor(dst int, now sim.Time) {
 	seq, _ := r.table.invalidate(dst, now)
-	r.emitRERR([]unreachable{{Dst: dst, Seq: seq}})
+	r.emitRERR([]unreachable{{Dst: dst, Seq: seq}}, false)
 }
 
-func (r *Router) emitRERR(lost []unreachable) {
-	if !r.med.Up(r.id) {
+func (r *Router) emitRERR(lost []unreachable, relay bool) {
+	if !r.med.Up(r.ID()) {
 		return
 	}
 	e := rerr{Unreachable: lost}
-	r.stats.RERRSent++
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: e.size(), Payload: e})
+	if relay {
+		r.Count.CtrlRelayed++
+	} else {
+		r.Count.CtrlOrig++
+	}
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: e.size(), Payload: e})
 }
 
 // HandleFrame is the radio receive callback; it dispatches on packet type.
@@ -401,18 +351,23 @@ func (r *Router) HandleFrame(f radio.Frame) {
 		r.handleRERR(f.Src, pkt)
 	case data:
 		r.handleData(f.Src, pkt)
-	case bcast:
-		r.handleBcast(f.Src, pkt)
+	case route.Bcast:
+		r.bcast.Handle(f.Src, pkt)
 	default:
 		panic(fmt.Sprintf("aodv: unknown payload type %T", f.Payload))
 	}
 }
 
 func (r *Router) handleRREQ(prev int, q rreq) {
-	if q.Origin == r.id || r.haveSeen(r.seenRREQ, seenKey{q.Origin, q.ID}) {
+	if q.Origin == r.ID() {
 		return
 	}
-	r.markSeen(r.seenRREQ, seenKey{q.Origin, q.ID})
+	k := route.Key{Origin: q.Origin, ID: q.ID}
+	if r.seenRREQ.Seen(k) {
+		r.Count.DupHits++
+		return
+	}
+	r.seenRREQ.Mark(k)
 	now := r.sim.Now()
 	q.HopCount++
 	// Learn/refresh the reverse route to the requester.
@@ -421,36 +376,40 @@ func (r *Router) handleRREQ(prev int, q rreq) {
 		r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
 	}
 
-	if q.Dst == r.id {
+	if q.Dst == r.ID() {
 		// We are the destination: answer with our own sequence number.
 		if seqGreater(q.DstSeq, r.seq) {
 			r.seq = q.DstSeq
 		}
 		r.seq++
-		r.sendRREP(rrep{Origin: q.Origin, Dst: r.id, DstSeq: r.seq, HopCount: 0}, now)
+		r.sendRREP(rrep{Origin: q.Origin, Dst: r.ID(), DstSeq: r.seq, HopCount: 0}, now, false)
 		return
 	}
 	if e, ok := r.table.get(q.Dst, now); ok && e.haveSeq && !seqGreater(q.DstSeq, e.seq) {
 		// Intermediate node with a route at least as fresh as requested.
-		r.sendRREP(rrep{Origin: q.Origin, Dst: q.Dst, DstSeq: e.seq, HopCount: e.hopCount}, now)
+		r.sendRREP(rrep{Origin: q.Origin, Dst: q.Dst, DstSeq: e.seq, HopCount: e.hopCount}, now, false)
 		return
 	}
 	if q.TTL > 1 {
 		q.TTL--
-		r.stats.RREQRelayed++
-		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
+		r.Count.CtrlRelayed++
+		r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
 	}
 }
 
 // sendRREP unicasts a reply one hop toward the requester.
-func (r *Router) sendRREP(p rrep, now sim.Time) {
+func (r *Router) sendRREP(p rrep, now sim.Time, relay bool) {
 	e, ok := r.table.get(p.Origin, now)
-	if !ok || !r.med.InRange(r.id, e.nextHop) {
+	if !ok || !r.med.InRange(r.ID(), e.nextHop) {
 		return // reverse route already gone; the ring will retry
 	}
-	r.stats.RREPSent++
+	if relay {
+		r.Count.CtrlRelayed++
+	} else {
+		r.Count.CtrlOrig++
+	}
 	r.table.refresh(p.Origin, now, r.cfg.ActiveRouteTimeout)
-	r.med.Send(radio.Frame{Src: r.id, Dst: e.nextHop, Size: sizeRREP, Payload: p})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: e.nextHop, Size: sizeRREP, Payload: p})
 }
 
 func (r *Router) handleRREP(prev int, p rrep) {
@@ -459,11 +418,11 @@ func (r *Router) handleRREP(prev int, p rrep) {
 	// Learn the forward route to the replied-for destination.
 	r.table.update(p.Dst, prev, p.HopCount, p.DstSeq, true, now, r.cfg.ActiveRouteTimeout)
 	r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
-	if p.Origin == r.id {
+	if p.Origin == r.ID() {
 		r.completeDiscovery(p.Dst)
 		return
 	}
-	r.sendRREP(p, now)
+	r.sendRREP(p, now, true)
 }
 
 func (r *Router) handleRERR(prev int, e rerr) {
@@ -478,7 +437,7 @@ func (r *Router) handleRERR(prev int, e rerr) {
 		}
 	}
 	if len(propagate) > 0 {
-		r.emitRERR(propagate)
+		r.emitRERR(propagate, true)
 	}
 }
 
@@ -488,65 +447,14 @@ func (r *Router) handleData(prev int, pkt data) {
 	// Path accumulation: we now know a route back to the packet origin.
 	r.table.update(pkt.Origin, prev, pkt.HopCount, 0, false, now, r.cfg.ActiveRouteTimeout)
 	r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
-	if pkt.Dst == r.id {
-		if r.onUnicast != nil {
-			r.onUnicast(Delivery{From: pkt.Origin, Hops: pkt.HopCount, Payload: pkt.Payload})
-		}
+	if pkt.Dst == r.ID() {
+		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Payload)
 		return
 	}
 	if pkt.TTL <= 1 {
-		r.stats.DataDropped++
+		r.Count.DataDropped++
 		return
 	}
 	pkt.TTL--
 	r.forwardData(pkt)
-}
-
-func (r *Router) handleBcast(prev int, b bcast) {
-	if b.Origin == r.id {
-		return
-	}
-	dup := r.haveSeen(r.seenBcast, seenKey{b.Origin, b.ID})
-	if dup {
-		r.stats.BcastDup++
-		if !r.cfg.DisableBcastDupCache {
-			return
-		}
-	}
-	r.markSeen(r.seenBcast, seenKey{b.Origin, b.ID})
-	now := r.sim.Now()
-	b.HopCount++
-	// Like an RREQ, a controlled broadcast teaches relays the way back to
-	// its origin, so responders can reply by unicast immediately.
-	r.table.update(b.Origin, prev, b.HopCount, b.OriginSeq, true, now, r.cfg.ActiveRouteTimeout)
-	if prev != b.Origin {
-		r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
-	}
-	if r.onBroadcast != nil {
-		r.onBroadcast(Delivery{From: b.Origin, Hops: b.HopCount, Payload: b.Payload})
-	}
-	if b.TTL > 1 {
-		b.TTL--
-		r.stats.BcastRelayed++
-		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: b.Size + sizeBcastHdr, Payload: b})
-	}
-}
-
-// haveSeen reports whether key is in the duplicate cache and still fresh.
-func (r *Router) haveSeen(cache map[seenKey]sim.Time, k seenKey) bool {
-	t, ok := cache[k]
-	return ok && r.sim.Now()-t < r.cfg.SeenCacheTimeout
-}
-
-// markSeen records key, sweeping expired entries when the cache grows.
-func (r *Router) markSeen(cache map[seenKey]sim.Time, k seenKey) {
-	if len(cache) > 4096 {
-		cutoff := r.sim.Now() - r.cfg.SeenCacheTimeout
-		for key, t := range cache {
-			if t < cutoff {
-				delete(cache, key)
-			}
-		}
-	}
-	cache[k] = r.sim.Now()
 }

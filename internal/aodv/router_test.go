@@ -122,7 +122,7 @@ func TestExpandingRingEscalates(t *testing.T) {
 	if len(n.unicast[7]) != 1 {
 		t.Fatalf("far node deliveries = %v, want 1", n.unicast[7])
 	}
-	if got := n.routers[0].Stats().RREQSent; got < 3 {
+	if got := n.routers[0].Stats().CtrlOrig; got < 3 {
 		t.Errorf("RREQSent = %d, want >= 3 (ring escalation)", got)
 	}
 }
@@ -136,8 +136,8 @@ func TestDiscoveryFailureNotifies(t *testing.T) {
 	if len(n.failed[0]) != 1 || n.failed[0][0] != 2 {
 		t.Fatalf("failed = %v, want [2]", n.failed[0])
 	}
-	if n.routers[0].Stats().DiscoverFail != 1 {
-		t.Errorf("DiscoverFail = %d, want 1", n.routers[0].Stats().DiscoverFail)
+	if n.routers[0].Stats().DiscoverFailed != 1 {
+		t.Errorf("DiscoverFail = %d, want 1", n.routers[0].Stats().DiscoverFailed)
 	}
 	if len(n.unicast[2]) != 0 {
 		t.Error("unreachable node received data")
@@ -190,7 +190,7 @@ func TestBroadcastDedupInClique(t *testing.T) {
 	// Duplicates were suppressed somewhere.
 	var dups uint64
 	for _, r := range n.routers {
-		dups += r.Stats().BcastDup
+		dups += r.Stats().DupHits
 	}
 	if dups == 0 {
 		t.Error("no duplicate suppression in a clique flood")
@@ -208,7 +208,7 @@ func TestBroadcastInstallsReverseRoute(t *testing.T) {
 	if len(n.unicast[0]) != 1 || n.unicast[0][0].From != 3 {
 		t.Fatalf("reply not delivered: %v", n.unicast[0])
 	}
-	if got := n.routers[3].Stats().RREQSent; got != 0 {
+	if got := n.routers[3].Stats().CtrlOrig; got != 0 {
 		t.Errorf("responder sent %d RREQs; reverse route from bcast not used", got)
 	}
 }
@@ -229,7 +229,7 @@ func TestLinkBreakRecoversViaAlternatePath(t *testing.T) {
 	}
 	// Find which relay carried it and move that relay out of range.
 	relay := 1
-	if n.routers[2].Stats().DataRelayed > 0 {
+	if n.routers[2].Stats().DataForwarded > 0 {
 		relay = 2
 	}
 	n.med.SetPos(relay, geom.Point{X: 150, Y: 150})
@@ -255,7 +255,7 @@ func TestRERRPropagates(t *testing.T) {
 	n.s.Run(10 * sim.Second)
 	var rerrs uint64
 	for _, r := range n.routers[:3] {
-		rerrs += r.Stats().RERRSent
+		rerrs += r.Stats().CtrlOrig
 	}
 	if rerrs == 0 {
 		t.Error("no RERR emitted after next-hop loss")

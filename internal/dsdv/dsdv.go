@@ -14,6 +14,7 @@ import (
 
 	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
+	"manetp2p/internal/route"
 	"manetp2p/internal/sim"
 )
 
@@ -50,18 +51,8 @@ type data struct {
 	Payload  any
 }
 
-// bcast is the shared controlled broadcast.
-type bcast struct {
-	Origin   int
-	ID       uint32
-	HopCount int
-	TTL      int
-	Size     int
-	Payload  any
-}
-
-// route is one table row.
-type route struct {
+// tableRow is one routing-table entry.
+type tableRow struct {
 	nextHop int
 	metric  int
 	seq     uint32
@@ -70,22 +61,26 @@ type route struct {
 
 // Config tunes the DSDV layer.
 type Config struct {
-	UpdatePeriod sim.Time // full-dump advertisement interval
-	RouteTimeout sim.Time // routes unconfirmed for this long break
-	SettlingTime sim.Time // how long data waits for a route to appear
-	DataTTL      int
-	BufferCap    int
+	UpdatePeriod     sim.Time // full-dump advertisement interval
+	RouteTimeout     sim.Time // routes unconfirmed for this long break
+	SettlingTime     sim.Time // how long data waits for a route to appear
+	SeenCacheTimeout sim.Time // broadcast duplicate-suppression window
+	SeenCacheCap     int      // soft entry bound for the duplicate cache
+	DataTTL          int
+	BufferCap        int
 }
 
 // DefaultConfig mirrors the published DSDV parameters scaled to the
 // paper's mobility (updates every 15 s, routes stale after 45 s).
 func DefaultConfig() Config {
 	return Config{
-		UpdatePeriod: 15 * sim.Second,
-		RouteTimeout: 45 * sim.Second,
-		SettlingTime: 20 * sim.Second,
-		DataTTL:      30,
-		BufferCap:    16,
+		UpdatePeriod:     15 * sim.Second,
+		RouteTimeout:     45 * sim.Second,
+		SettlingTime:     20 * sim.Second,
+		SeenCacheTimeout: 30 * sim.Second,
+		SeenCacheCap:     route.DefaultSoftCap,
+		DataTTL:          30,
+		BufferCap:        16,
 	}
 }
 
@@ -100,6 +95,12 @@ func (c Config) withDefaults() Config {
 	if c.SettlingTime <= 0 {
 		c.SettlingTime = d.SettlingTime
 	}
+	if c.SeenCacheTimeout <= 0 {
+		c.SeenCacheTimeout = d.SeenCacheTimeout
+	}
+	if c.SeenCacheCap <= 0 {
+		c.SeenCacheCap = d.SeenCacheCap
+	}
 	if c.DataTTL <= 0 {
 		c.DataTTL = d.DataTTL
 	}
@@ -109,21 +110,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts DSDV activity.
-type Stats struct {
-	UpdatesSent  uint64
-	UpdatesRecv  uint64
-	DataSent     uint64
-	DataRelayed  uint64
-	DataDropped  uint64
-	BcastRelayed uint64
-}
-
-type seenKey struct {
-	origin int
-	id     uint32
-}
-
 // waiting is a packet parked until a route settles.
 type waiting struct {
 	pkt     data
@@ -131,27 +117,22 @@ type waiting struct {
 }
 
 // Router is the per-node DSDV instance; it satisfies netif.Protocol.
+// The shared control-plane mechanics come from internal/route; this
+// file is the distance-vector state machine proper.
 type Router struct {
-	id  int
+	*route.Core
 	sim *sim.Sim
 	med *radio.Medium
 	cfg Config
 
-	table     map[int]*route
-	seq       uint32 // own destination sequence number (even)
-	bcastID   uint32
-	seenBcast map[seenKey]sim.Time
-	parked    map[int][]waiting
-	stats     Stats
-	ticker    *sim.Ticker
+	table  map[int]*tableRow
+	seq    uint32 // own destination sequence number (even)
+	bcast  *route.Bcaster
+	parked *route.Pending[waiting]
+	ticker *sim.Ticker
 
-	onBroadcast  func(netif.Delivery)
-	onUnicast    func(netif.Delivery)
-	onSendFailed func(dst int, payload any)
-
-	// Callbacks for the typed scheduling API, bound once at construction
+	// Callback for the typed scheduling API, bound once at construction
 	// so the hot paths schedule without a per-call closure allocation.
-	selfDeliverFn  func(sim.Arg)
 	expireParkedFn func(sim.Arg)
 }
 
@@ -160,16 +141,18 @@ var _ netif.Protocol = (*Router)(nil)
 // NewRouter creates the DSDV layer for node id and starts its periodic
 // advertisements.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	core := route.NewCore(id, s)
+	cache := route.CacheConfig{Timeout: cfg.SeenCacheTimeout, SoftCap: cfg.SeenCacheCap}
 	r := &Router{
-		id:        id,
-		sim:       s,
-		med:       med,
-		cfg:       cfg.withDefaults(),
-		table:     make(map[int]*route),
-		seenBcast: make(map[seenKey]sim.Time),
-		parked:    make(map[int][]waiting),
+		Core:   core,
+		sim:    s,
+		med:    med,
+		cfg:    cfg,
+		table:  make(map[int]*tableRow),
+		bcast:  route.NewBcaster(core, med, sizeBcastHdr, 0, cache),
+		parked: route.NewPending[waiting](cfg.BufferCap),
 	}
-	r.selfDeliverFn = r.selfDeliver
 	r.expireParkedFn = r.expireParkedArg
 	// Stagger first advertisements by node id so a freshly built network
 	// does not emit all dumps in the same microsecond.
@@ -181,21 +164,6 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 	return r
 }
 
-// ID returns the node this router belongs to.
-func (r *Router) ID() int { return r.id }
-
-// Stats returns activity counters.
-func (r *Router) Stats() Stats { return r.stats }
-
-// OnBroadcast installs the flood delivery hook.
-func (r *Router) OnBroadcast(fn func(netif.Delivery)) { r.onBroadcast = fn }
-
-// OnUnicast installs the data delivery hook.
-func (r *Router) OnUnicast(fn func(netif.Delivery)) { r.onUnicast = fn }
-
-// OnSendFailed installs the undeliverable hook.
-func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
-
 // HopsTo reports the table's metric for dst.
 func (r *Router) HopsTo(dst int) (int, bool) {
 	rt, ok := r.valid(dst)
@@ -205,7 +173,7 @@ func (r *Router) HopsTo(dst int) (int, bool) {
 	return rt.metric, true
 }
 
-func (r *Router) valid(dst int) (*route, bool) {
+func (r *Router) valid(dst int) (*tableRow, bool) {
 	rt, ok := r.table[dst]
 	if !ok || rt.metric >= infinityMetric || r.sim.Now()-rt.heard > r.cfg.RouteTimeout {
 		return rt, false
@@ -215,12 +183,12 @@ func (r *Router) valid(dst int) (*route, bool) {
 
 // advertise broadcasts the full table to radio neighbors (single hop).
 func (r *Router) advertise() {
-	if !r.med.Up(r.id) {
+	if !r.med.Up(r.ID()) {
 		return
 	}
 	r.expireStale()
 	r.seq += 2
-	entries := []advEntry{{Dst: r.id, Metric: 0, Seq: r.seq}}
+	entries := []advEntry{{Dst: r.ID(), Metric: 0, Seq: r.seq}}
 	dsts := make([]int, 0, len(r.table))
 	for dst := range r.table {
 		dsts = append(dsts, dst)
@@ -230,9 +198,9 @@ func (r *Router) advertise() {
 		rt := r.table[dst]
 		entries = append(entries, advEntry{Dst: dst, Metric: rt.metric, Seq: rt.seq})
 	}
-	u := update{From: r.id, Entries: entries}
-	r.stats.UpdatesSent++
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: u.size(), Payload: u})
+	u := update{From: r.ID(), Entries: entries}
+	r.Count.CtrlOrig++
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: u.size(), Payload: u})
 }
 
 // expireStale marks routes unheard within the timeout as broken (odd
@@ -250,10 +218,9 @@ func (r *Router) expireStale() {
 
 // handleUpdate merges a neighbor's advertisement.
 func (r *Router) handleUpdate(u update) {
-	r.stats.UpdatesRecv++
 	now := r.sim.Now()
 	for _, e := range u.Entries {
-		if e.Dst == r.id {
+		if e.Dst == r.ID() {
 			continue
 		}
 		metric := e.Metric + 1
@@ -263,7 +230,7 @@ func (r *Router) handleUpdate(u update) {
 		rt, ok := r.table[e.Dst]
 		if !ok {
 			if metric < infinityMetric {
-				r.table[e.Dst] = &route{nextHop: u.From, metric: metric, seq: e.Seq, heard: now}
+				r.table[e.Dst] = &tableRow{nextHop: u.From, metric: metric, seq: e.Seq, heard: now}
 				r.unpark(e.Dst)
 			}
 			continue
@@ -294,27 +261,24 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 	if ttl <= 0 {
 		panic("dsdv: Broadcast with non-positive TTL")
 	}
-	if !r.med.Up(r.id) {
+	if !r.med.Up(r.ID()) {
 		return
 	}
-	r.bcastID++
-	pkt := bcast{Origin: r.id, ID: r.bcastID, TTL: ttl, Size: size, Payload: payload}
-	r.markSeen(seenKey{r.id, pkt.ID})
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: size + sizeBcastHdr, Payload: pkt})
+	r.bcast.Originate(ttl, size, payload, 0)
 }
 
 // Send routes payload to dst; with no route it parks the packet for the
 // settling time (proactive protocols have no discovery to kick).
 func (r *Router) Send(dst, size int, payload any) {
-	if dst == r.id {
-		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
+	if dst == r.ID() {
+		r.SelfDeliver(payload)
 		return
 	}
-	if !r.med.Up(r.id) {
+	r.Count.DataSent++
+	if !r.med.Up(r.ID()) {
 		return
 	}
-	r.stats.DataSent++
-	pkt := data{Origin: r.id, Dst: dst, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
+	pkt := data{Origin: r.ID(), Dst: dst, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
 	if _, ok := r.valid(dst); ok {
 		r.forward(pkt)
 		return
@@ -324,25 +288,17 @@ func (r *Router) Send(dst, size int, payload any) {
 
 // park holds a packet hoping an advertisement brings a route.
 func (r *Router) park(pkt data) {
-	q := r.parked[pkt.Dst]
-	if len(q) >= r.cfg.BufferCap {
-		r.stats.DataDropped++
-		if r.onSendFailed != nil {
-			r.onSendFailed(pkt.Dst, pkt.Payload)
-		}
-		return
+	d, ok := r.parked.Get(pkt.Dst)
+	if !ok {
+		d = r.parked.Start(pkt.Dst)
 	}
 	w := waiting{pkt: pkt, expires: r.sim.Now() + r.cfg.SettlingTime}
-	r.parked[pkt.Dst] = append(q, w)
-	r.sim.ScheduleArg(r.cfg.SettlingTime+sim.Millisecond, r.expireParkedFn, sim.Arg{I0: pkt.Dst})
-}
-
-// selfDeliver completes a Send addressed to this node on the next
-// event-loop turn.
-func (r *Router) selfDeliver(a sim.Arg) {
-	if r.onUnicast != nil {
-		r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: a.X})
+	if !r.parked.Push(d, w) {
+		r.Count.DataDropped++
+		r.FailSend(pkt.Dst, pkt.Payload)
+		return
 	}
+	r.sim.ScheduleArg(r.cfg.SettlingTime+sim.Millisecond, r.expireParkedFn, sim.Arg{I0: pkt.Dst})
 }
 
 // expireParkedArg unpacks the typed-arg timer payload for expireParked.
@@ -350,37 +306,35 @@ func (r *Router) expireParkedArg(a sim.Arg) { r.expireParked(a.I0) }
 
 // expireParked fails packets whose settling window lapsed routeless.
 func (r *Router) expireParked(dst int) {
-	q := r.parked[dst]
-	if len(q) == 0 {
+	d, ok := r.parked.Get(dst)
+	if !ok || len(d.Queue) == 0 {
 		return
 	}
 	now := r.sim.Now()
-	keep := q[:0]
-	for _, w := range q {
+	keep := d.Queue[:0]
+	for _, w := range d.Queue {
 		if w.expires <= now {
-			r.stats.DataDropped++
-			if r.onSendFailed != nil {
-				r.onSendFailed(dst, w.pkt.Payload)
-			}
+			r.Count.DataDropped++
+			r.FailSend(dst, w.pkt.Payload)
 			continue
 		}
 		keep = append(keep, w)
 	}
 	if len(keep) == 0 {
-		delete(r.parked, dst)
+		r.parked.Drop(dst)
 	} else {
-		r.parked[dst] = keep
+		d.Queue = keep
 	}
 }
 
 // unpark flushes parked packets once a route to dst appears.
 func (r *Router) unpark(dst int) {
-	q := r.parked[dst]
-	if len(q) == 0 {
+	d, ok := r.parked.Get(dst)
+	if !ok || len(d.Queue) == 0 {
 		return
 	}
-	delete(r.parked, dst)
-	for _, w := range q {
+	r.parked.Drop(dst)
+	for _, w := range d.Queue {
 		r.forward(w.pkt)
 	}
 }
@@ -389,28 +343,28 @@ func (r *Router) unpark(dst int) {
 func (r *Router) forward(pkt data) {
 	rt, ok := r.valid(pkt.Dst)
 	if !ok {
-		if pkt.Origin == r.id {
+		if pkt.Origin == r.ID() {
 			r.park(pkt)
 		} else {
-			r.stats.DataDropped++
+			r.Count.DataDropped++
 		}
 		return
 	}
-	if !r.med.InRange(r.id, rt.nextHop) {
+	if !r.med.InRange(r.ID(), rt.nextHop) {
 		// Link gone: break the route now rather than at the next timeout.
 		rt.metric = infinityMetric
 		rt.seq++
-		if pkt.Origin == r.id {
+		if pkt.Origin == r.ID() {
 			r.park(pkt)
 		} else {
-			r.stats.DataDropped++
+			r.Count.DataDropped++
 		}
 		return
 	}
-	if pkt.Origin != r.id {
-		r.stats.DataRelayed++
+	if pkt.Origin != r.ID() {
+		r.Count.DataForwarded++
 	}
-	r.med.Send(radio.Frame{Src: r.id, Dst: rt.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: rt.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
 }
 
 // HandleFrame dispatches radio arrivals.
@@ -420,8 +374,8 @@ func (r *Router) HandleFrame(f radio.Frame) {
 		r.handleUpdate(pkt)
 	case data:
 		r.handleData(pkt)
-	case bcast:
-		r.handleBcast(pkt)
+	case route.Bcast:
+		r.bcast.Handle(f.Src, pkt)
 	default:
 		panic(fmt.Sprintf("dsdv: unknown payload type %T", f.Payload))
 	}
@@ -429,49 +383,14 @@ func (r *Router) HandleFrame(f radio.Frame) {
 
 func (r *Router) handleData(pkt data) {
 	pkt.HopCount++
-	if pkt.Dst == r.id {
-		if r.onUnicast != nil {
-			r.onUnicast(netif.Delivery{From: pkt.Origin, Hops: pkt.HopCount, Payload: pkt.Payload})
-		}
+	if pkt.Dst == r.ID() {
+		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Payload)
 		return
 	}
 	if pkt.TTL <= 1 {
-		r.stats.DataDropped++
+		r.Count.DataDropped++
 		return
 	}
 	pkt.TTL--
 	r.forward(pkt)
-}
-
-func (r *Router) handleBcast(b bcast) {
-	if b.Origin == r.id || r.haveSeen(seenKey{b.Origin, b.ID}) {
-		return
-	}
-	r.markSeen(seenKey{b.Origin, b.ID})
-	b.HopCount++
-	if r.onBroadcast != nil {
-		r.onBroadcast(netif.Delivery{From: b.Origin, Hops: b.HopCount, Payload: b.Payload})
-	}
-	if b.TTL > 1 {
-		b.TTL--
-		r.stats.BcastRelayed++
-		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: b.Size + sizeBcastHdr, Payload: b})
-	}
-}
-
-func (r *Router) haveSeen(k seenKey) bool {
-	t, ok := r.seenBcast[k]
-	return ok && r.sim.Now()-t < 30*sim.Second
-}
-
-func (r *Router) markSeen(k seenKey) {
-	if len(r.seenBcast) > 4096 {
-		cutoff := r.sim.Now() - 30*sim.Second
-		for key, t := range r.seenBcast {
-			if t < cutoff {
-				delete(r.seenBcast, key)
-			}
-		}
-	}
-	r.seenBcast[k] = r.sim.Now()
 }

@@ -133,7 +133,7 @@ func TestBrokenRouteHealsViaNewAdvertisements(t *testing.T) {
 		t.Fatal("initial delivery failed")
 	}
 	relay := 1
-	if n.routers[2].Stats().DataRelayed > 0 {
+	if n.routers[2].Stats().DataForwarded > 0 {
 		relay = 2
 	}
 	n.med.Leave(relay)
@@ -165,11 +165,11 @@ func TestPeriodicOverheadAccrues(t *testing.T) {
 	n := newTestNet(t, 7, line(4), Config{})
 	n.s.Run(n.s.Now() + 5*sim.Minute)
 	for i, r := range n.routers {
-		if r.Stats().UpdatesSent < 10 {
-			t.Errorf("node %d sent %d updates in 5 min, want >= 10", i, r.Stats().UpdatesSent)
+		if r.Stats().CtrlOrig < 10 {
+			t.Errorf("node %d sent %d updates in 5 min, want >= 10", i, r.Stats().CtrlOrig)
 		}
-		if r.Stats().UpdatesRecv == 0 {
-			t.Errorf("node %d received no updates", i)
+		if _, ok := r.HopsTo((i + 1) % 4); !ok {
+			t.Errorf("node %d heard no updates (no route to neighbor)", i)
 		}
 	}
 }

@@ -1,0 +1,21 @@
+package dsr
+
+import (
+	"testing"
+
+	"manetp2p/internal/netif/conformance"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+// TestConformance runs the shared netif.Protocol contract suite. DSR
+// signals an abandoned payload once source-route discovery exhausts its
+// retries.
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Factory{
+		Name: "dsr",
+		New: func(id int, s *sim.Sim, med *radio.Medium) conformance.Router {
+			return NewRouter(id, s, med, Config{SeenCacheCap: 512})
+		},
+	})
+}

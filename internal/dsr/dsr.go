@@ -13,6 +13,7 @@ import (
 
 	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
+	"manetp2p/internal/route"
 	"manetp2p/internal/sim"
 )
 
@@ -63,17 +64,9 @@ type data struct {
 	Payload any
 }
 
-// bcast is the same controlled broadcast as the AODV substrate, but DSR
+// The controlled broadcast is the shared route.Bcast carrier; DSR
 // piggybacks the traversed path so receivers learn a source route back
-// to the origin for free.
-type bcast struct {
-	Origin  int
-	ID      uint32
-	TTL     int
-	Size    int
-	Path    []int
-	Payload any
-}
+// to the origin for free (see the Router's Accept/PrepRelay hooks).
 
 // cachedRoute is one known source route.
 type cachedRoute struct {
@@ -85,6 +78,7 @@ type cachedRoute struct {
 type Config struct {
 	RouteLifetime       sim.Time
 	SeenCacheTimeout    sim.Time
+	SeenCacheCap        int // soft entry bound per duplicate cache
 	MaxDiscoveryRetries int
 	DiscoveryTTL        int
 	HopTraversal        sim.Time
@@ -99,6 +93,7 @@ func DefaultConfig() Config {
 		// lifetime only bounds silent staleness.
 		RouteLifetime:       30 * sim.Second,
 		SeenCacheTimeout:    30 * sim.Second,
+		SeenCacheCap:        route.DefaultSoftCap,
 		MaxDiscoveryRetries: 2,
 		DiscoveryTTL:        20,
 		HopTraversal:        10 * sim.Millisecond,
@@ -113,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SeenCacheTimeout <= 0 {
 		c.SeenCacheTimeout = d.SeenCacheTimeout
+	}
+	if c.SeenCacheCap <= 0 {
+		c.SeenCacheCap = d.SeenCacheCap
 	}
 	if c.MaxDiscoveryRetries <= 0 {
 		c.MaxDiscoveryRetries = d.MaxDiscoveryRetries
@@ -129,52 +127,23 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts DSR activity for one node.
-type Stats struct {
-	RREQSent     uint64
-	RREQRelayed  uint64
-	RREPSent     uint64
-	RERRSent     uint64
-	DataSent     uint64
-	DataRelayed  uint64
-	DataDropped  uint64
-	Discoveries  uint64
-	DiscoverFail uint64
-}
-
-type seenKey struct {
-	origin int
-	id     uint32
-}
-
-type discovery struct {
-	retries int
-	timer   sim.Handle
-	queue   []data
-}
-
-// Router is the per-node DSR instance; it satisfies netif.Protocol.
+// Router is the per-node DSR instance; it satisfies netif.Protocol. The
+// shared control-plane mechanics come from internal/route; this file is
+// the source-routing state machine proper.
 type Router struct {
-	id  int
+	*route.Core
 	sim *sim.Sim
 	med *radio.Medium
 	cfg Config
 
-	cache     map[int]cachedRoute
-	rreqID    uint32
-	bcastID   uint32
-	seenRREQ  map[seenKey]sim.Time
-	seenBcast map[seenKey]sim.Time
-	pending   map[int]*discovery
-	stats     Stats
+	cache    map[int]cachedRoute
+	rreqID   uint32
+	seenRREQ *route.DupCache
+	bcast    *route.Bcaster
+	pending  *route.Pending[data]
 
-	onBroadcast  func(netif.Delivery)
-	onUnicast    func(netif.Delivery)
-	onSendFailed func(dst int, payload any)
-
-	// Callbacks for the typed scheduling API, bound once at construction
+	// Callback for the typed scheduling API, bound once at construction
 	// so the hot paths schedule without a per-call closure allocation.
-	selfDeliverFn func(sim.Arg)
 	discTimeoutFn func(sim.Arg)
 }
 
@@ -183,48 +152,43 @@ var _ netif.Protocol = (*Router)(nil)
 // NewRouter creates the DSR layer for node id; pass HandleFrame as the
 // node's radio receiver.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	core := route.NewCore(id, s)
+	cache := route.CacheConfig{Timeout: cfg.SeenCacheTimeout, SoftCap: cfg.SeenCacheCap}
 	r := &Router{
-		id:        id,
-		sim:       s,
-		med:       med,
-		cfg:       cfg.withDefaults(),
-		cache:     make(map[int]cachedRoute),
-		seenRREQ:  make(map[seenKey]sim.Time),
-		seenBcast: make(map[seenKey]sim.Time),
-		pending:   make(map[int]*discovery),
+		Core:     core,
+		sim:      s,
+		med:      med,
+		cfg:      cfg,
+		cache:    make(map[int]cachedRoute),
+		seenRREQ: route.NewDupCache(core, cache),
+		bcast:    route.NewBcaster(core, med, sizeBcastBase, sizePerHop, cache),
+		pending:  route.NewPending[data](cfg.BufferCap),
 	}
-	r.selfDeliverFn = r.selfDeliver
+	r.bcast.Accept = r.acceptBcast
+	r.bcast.PrepRelay = r.prepBcastRelay
 	r.discTimeoutFn = r.discTimeout
 	return r
 }
 
-// selfDeliver completes a Send addressed to this node on the next
-// event-loop turn.
-func (r *Router) selfDeliver(a sim.Arg) {
-	if r.onUnicast != nil {
-		r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: a.X})
-	}
+// acceptBcast learns the reverse source route a broadcast accumulated;
+// the delivered hop count is the path length, not the shared carrier's
+// hop counter.
+func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
+	r.learnRoute(b.Origin, reversed(b.Path))
+	return len(b.Path) + 1
+}
+
+// prepBcastRelay appends this node to the traversed path — after
+// delivery, so the reported path excludes the relaying node itself.
+func (r *Router) prepBcastRelay(b *route.Bcast) {
+	b.Path = append(append([]int(nil), b.Path...), r.ID())
 }
 
 // discTimeout unpacks the typed-arg timer payload for discoveryTimeout.
 func (r *Router) discTimeout(a sim.Arg) {
-	r.discoveryTimeout(a.I0, a.X.(*discovery))
+	r.discoveryTimeout(a.I0, a.X.(*route.Discovery[data]))
 }
-
-// ID returns the node this router belongs to.
-func (r *Router) ID() int { return r.id }
-
-// Stats returns activity counters.
-func (r *Router) Stats() Stats { return r.stats }
-
-// OnBroadcast installs the flood delivery hook.
-func (r *Router) OnBroadcast(fn func(netif.Delivery)) { r.onBroadcast = fn }
-
-// OnUnicast installs the data delivery hook.
-func (r *Router) OnUnicast(fn func(netif.Delivery)) { r.onUnicast = fn }
-
-// OnSendFailed installs the undeliverable hook.
-func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
 
 // HopsTo reports the cached route length to dst.
 func (r *Router) HopsTo(dst int) (int, bool) {
@@ -246,12 +210,12 @@ func (r *Router) route(dst int) (cachedRoute, bool) {
 // learnRoute caches a source route self -> dst (intermediates only),
 // preferring shorter paths and refreshing lifetimes.
 func (r *Router) learnRoute(dst int, path []int) {
-	if dst == r.id {
+	if dst == r.ID() {
 		return
 	}
 	// Routes through ourselves would loop.
 	for _, h := range path {
-		if h == r.id || h == dst {
+		if h == r.ID() || h == dst {
 			return
 		}
 	}
@@ -274,7 +238,7 @@ func (r *Router) learnRoute(dst int, path []int) {
 func (r *Router) dropRoutesVia(a, b int) {
 	var doomed []int
 	for dst, cr := range r.cache {
-		full := append(append([]int{r.id}, cr.path...), dst)
+		full := append(append([]int{r.ID()}, cr.path...), dst)
 		for i := 0; i+1 < len(full); i++ {
 			if full[i] == a && full[i+1] == b {
 				doomed = append(doomed, dst)
@@ -294,26 +258,23 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 	if ttl <= 0 {
 		panic("dsr: Broadcast with non-positive TTL")
 	}
-	if !r.med.Up(r.id) {
+	if !r.med.Up(r.ID()) {
 		return
 	}
-	r.bcastID++
-	pkt := bcast{Origin: r.id, ID: r.bcastID, TTL: ttl, Size: size, Payload: payload}
-	r.markSeen(r.seenBcast, seenKey{r.id, pkt.ID})
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: size + sizeBcastBase, Payload: pkt})
+	r.bcast.Originate(ttl, size, payload, 0)
 }
 
 // Send routes payload to dst, discovering a source route on demand.
 func (r *Router) Send(dst, size int, payload any) {
-	if dst == r.id {
-		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
+	if dst == r.ID() {
+		r.SelfDeliver(payload)
 		return
 	}
-	if !r.med.Up(r.id) {
+	r.Count.DataSent++
+	if !r.med.Up(r.ID()) {
 		return
 	}
-	r.stats.DataSent++
-	pkt := data{Origin: r.id, Dst: dst, Size: size, Payload: payload}
+	pkt := data{Origin: r.ID(), Dst: dst, Size: size, Payload: payload}
 	if cr, ok := r.route(dst); ok {
 		pkt.Path = cr.path
 		r.forward(pkt)
@@ -323,52 +284,43 @@ func (r *Router) Send(dst, size int, payload any) {
 }
 
 func (r *Router) enqueue(pkt data) {
-	d, inProgress := r.pending[pkt.Dst]
+	d, inProgress := r.pending.Get(pkt.Dst)
 	if !inProgress {
-		d = &discovery{}
-		r.pending[pkt.Dst] = d
+		d = r.pending.Start(pkt.Dst)
+		r.Count.Discoveries++
 		r.sendRREQ(pkt.Dst, d)
 	}
-	if len(d.queue) >= r.cfg.BufferCap {
-		r.stats.DataDropped++
-		r.failSend(pkt.Dst, pkt.Payload)
-		return
-	}
-	d.queue = append(d.queue, pkt)
-}
-
-func (r *Router) failSend(dst int, payload any) {
-	if r.onSendFailed != nil {
-		r.onSendFailed(dst, payload)
+	if !r.pending.Push(d, pkt) {
+		r.Count.DataDropped++
+		r.FailSend(pkt.Dst, pkt.Payload)
 	}
 }
 
-func (r *Router) sendRREQ(dst int, d *discovery) {
+func (r *Router) sendRREQ(dst int, d *route.Discovery[data]) {
 	r.rreqID++
-	q := rreq{Origin: r.id, ID: r.rreqID, Dst: dst, TTL: r.cfg.DiscoveryTTL}
-	r.markSeen(r.seenRREQ, seenKey{r.id, q.ID})
-	r.stats.RREQSent++
-	r.stats.Discoveries++
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: sizeRREQBase, Payload: q})
+	q := rreq{Origin: r.ID(), ID: r.rreqID, Dst: dst, TTL: r.cfg.DiscoveryTTL}
+	r.seenRREQ.Mark(route.Key{Origin: r.ID(), ID: q.ID})
+	r.Count.CtrlOrig++
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: sizeRREQBase, Payload: q})
 	wait := 2 * sim.Time(r.cfg.DiscoveryTTL) * r.cfg.HopTraversal
-	d.timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
+	d.Timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
 }
 
-func (r *Router) discoveryTimeout(dst int, d *discovery) {
-	if r.pending[dst] != d {
+func (r *Router) discoveryTimeout(dst int, d *route.Discovery[data]) {
+	if !r.pending.Current(dst, d) {
 		return
 	}
 	if _, ok := r.route(dst); ok {
 		r.completeDiscovery(dst)
 		return
 	}
-	d.retries++
-	if d.retries > r.cfg.MaxDiscoveryRetries {
-		delete(r.pending, dst)
-		r.stats.DiscoverFail++
-		for _, pkt := range d.queue {
-			r.stats.DataDropped++
-			r.failSend(dst, pkt.Payload)
+	d.Retries++
+	if d.Retries > r.cfg.MaxDiscoveryRetries {
+		r.pending.Drop(dst)
+		r.Count.DiscoverFailed++
+		for _, pkt := range d.Queue {
+			r.Count.DataDropped++
+			r.FailSend(dst, pkt.Payload)
 		}
 		return
 	}
@@ -376,7 +328,7 @@ func (r *Router) discoveryTimeout(dst int, d *discovery) {
 }
 
 func (r *Router) completeDiscovery(dst int) {
-	d, ok := r.pending[dst]
+	d, ok := r.pending.Get(dst)
 	if !ok {
 		return
 	}
@@ -384,9 +336,9 @@ func (r *Router) completeDiscovery(dst int) {
 	if !haveRoute {
 		return
 	}
-	delete(r.pending, dst)
-	d.timer.Cancel()
-	for _, pkt := range d.queue {
+	r.pending.Drop(dst)
+	d.Timer.Cancel()
+	for _, pkt := range d.Queue {
 		pkt.Path = cr.path
 		pkt.Pos = 0
 		r.forward(pkt)
@@ -400,53 +352,57 @@ func (r *Router) forward(pkt data) {
 	if pkt.Pos < len(pkt.Path) {
 		next = pkt.Path[pkt.Pos]
 	}
-	if !r.med.InRange(r.id, next) {
-		r.linkBroken(pkt.Origin, r.id, next, pkt.Path, pkt.Pos)
-		if pkt.Origin == r.id {
+	if !r.med.InRange(r.ID(), next) {
+		r.linkBroken(pkt.Origin, r.ID(), next, pkt.Path, pkt.Pos)
+		if pkt.Origin == r.ID() {
 			delete(r.cache, pkt.Dst)
 			pkt.Path = nil
 			pkt.Pos = 0
 			r.enqueue(pkt)
 		} else {
-			r.stats.DataDropped++
+			r.Count.DataDropped++
 		}
 		return
 	}
-	if pkt.Origin != r.id {
-		r.stats.DataRelayed++
+	if pkt.Origin != r.ID() {
+		r.Count.DataForwarded++
 	}
 	size := pkt.Size + sizeDataBase + sizePerHop*len(pkt.Path)
-	r.med.Send(radio.Frame{Src: r.id, Dst: next, Size: size, Payload: pkt})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: next, Size: size, Payload: pkt})
 }
 
 // linkBroken drops local routes over the dead link and notifies the
 // packet origin along the reversed traversed prefix.
 func (r *Router) linkBroken(origin, a, b int, path []int, pos int) {
 	r.dropRoutesVia(a, b)
-	if origin == r.id {
+	if origin == r.ID() {
 		return
 	}
 	// Reversed prefix back to the origin: the hops before us, reversed.
 	prefix := make([]int, 0, pos)
 	for i := pos - 1; i >= 0; i-- {
-		if path[i] != r.id {
+		if path[i] != r.ID() {
 			prefix = append(prefix, path[i])
 		}
 	}
 	e := rerr{Origin: origin, BadA: a, BadB: b, Path: prefix}
-	r.sendRERR(e)
+	r.sendRERR(e, false)
 }
 
-func (r *Router) sendRERR(e rerr) {
+func (r *Router) sendRERR(e rerr, relay bool) {
 	next := e.Origin
 	if e.Pos < len(e.Path) {
 		next = e.Path[e.Pos]
 	}
-	if !r.med.InRange(r.id, next) {
+	if !r.med.InRange(r.ID(), next) {
 		return // best-effort; the origin's own retry will discover
 	}
-	r.stats.RERRSent++
-	r.med.Send(radio.Frame{Src: r.id, Dst: next, Size: sizeRERR + sizePerHop*len(e.Path), Payload: e})
+	if relay {
+		r.Count.CtrlRelayed++
+	} else {
+		r.Count.CtrlOrig++
+	}
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: next, Size: sizeRERR + sizePerHop*len(e.Path), Payload: e})
 }
 
 // HandleFrame dispatches radio arrivals.
@@ -460,36 +416,40 @@ func (r *Router) HandleFrame(f radio.Frame) {
 		r.handleRERR(pkt)
 	case data:
 		r.handleData(pkt)
-	case bcast:
-		r.handleBcast(pkt)
+	case route.Bcast:
+		r.bcast.Handle(f.Src, pkt)
 	default:
 		panic(fmt.Sprintf("dsr: unknown payload type %T", f.Payload))
 	}
 }
 
 func (r *Router) handleRREQ(q rreq) {
-	if q.Origin == r.id || r.haveSeen(r.seenRREQ, seenKey{q.Origin, q.ID}) {
+	if q.Origin == r.ID() {
 		return
 	}
-	r.markSeen(r.seenRREQ, seenKey{q.Origin, q.ID})
+	k := route.Key{Origin: q.Origin, ID: q.ID}
+	if r.seenRREQ.Seen(k) {
+		r.Count.DupHits++
+		return
+	}
+	r.seenRREQ.Mark(k)
 	// Learn the reverse route from the accumulated path.
 	rev := reversed(q.Path)
 	r.learnRoute(q.Origin, rev)
-	if q.Dst == r.id {
+	if q.Dst == r.ID() {
 		// Answer along the reversed accumulated path.
-		p := rrep{Origin: q.Origin, Dst: r.id, Path: append([]int(nil), q.Path...)}
-		r.stats.RREPSent++
-		r.sendRREP(p)
+		p := rrep{Origin: q.Origin, Dst: r.ID(), Path: append([]int(nil), q.Path...)}
+		r.sendRREP(p, false)
 		return
 	}
 	if q.TTL <= 1 {
 		return
 	}
 	q.TTL--
-	q.Path = append(append([]int(nil), q.Path...), r.id)
-	r.stats.RREQRelayed++
+	q.Path = append(append([]int(nil), q.Path...), r.ID())
+	r.Count.CtrlRelayed++
 	r.med.Send(radio.Frame{
-		Src: r.id, Dst: radio.BroadcastAddr,
+		Src: r.ID(), Dst: radio.BroadcastAddr,
 		Size: sizeRREQBase + sizePerHop*len(q.Path), Payload: q,
 	})
 }
@@ -497,16 +457,21 @@ func (r *Router) handleRREQ(q rreq) {
 // sendRREP moves a route reply one hop backwards along the discovered
 // path (Path holds intermediates origin->dst; the reply walks it in
 // reverse: Pos counts how many reverse hops were taken).
-func (r *Router) sendRREP(p rrep) {
+func (r *Router) sendRREP(p rrep, relay bool) {
 	next := p.Origin
 	if idx := len(p.Path) - 1 - p.Pos; idx >= 0 {
 		next = p.Path[idx]
 	}
-	if !r.med.InRange(r.id, next) {
+	if !r.med.InRange(r.ID(), next) {
 		return // discovery retry handles it
 	}
+	if relay {
+		r.Count.CtrlRelayed++
+	} else {
+		r.Count.CtrlOrig++
+	}
 	r.med.Send(radio.Frame{
-		Src: r.id, Dst: next,
+		Src: r.ID(), Dst: next,
 		Size: sizeRREPBase + sizePerHop*len(p.Path), Payload: p,
 	})
 }
@@ -514,69 +479,47 @@ func (r *Router) sendRREP(p rrep) {
 func (r *Router) handleRREP(p rrep) {
 	// Everyone on the way back learns the route to the reply's subject.
 	idx := len(p.Path) - 1 - p.Pos // our position in the path
-	if p.Origin == r.id {
+	if p.Origin == r.ID() {
 		r.learnRoute(p.Dst, p.Path)
 		r.completeDiscovery(p.Dst)
 		return
 	}
-	if idx < 0 || idx >= len(p.Path) || p.Path[idx] != r.id {
+	if idx < 0 || idx >= len(p.Path) || p.Path[idx] != r.ID() {
 		return // stale or misrouted reply
 	}
 	r.learnRoute(p.Dst, p.Path[idx+1:])
 	p.Pos++
-	r.stats.RREPSent++
-	r.sendRREP(p)
+	r.sendRREP(p, true)
 }
 
 func (r *Router) handleRERR(e rerr) {
 	r.dropRoutesVia(e.BadA, e.BadB)
-	if e.Origin == r.id {
+	if e.Origin == r.ID() {
 		return
 	}
-	if e.Pos < len(e.Path) && e.Path[e.Pos] == r.id {
+	if e.Pos < len(e.Path) && e.Path[e.Pos] == r.ID() {
 		e.Pos++
-		r.sendRERR(e)
+		r.sendRERR(e, true)
 	}
 }
 
 func (r *Router) handleData(pkt data) {
-	if pkt.Dst == r.id {
+	if pkt.Dst == r.ID() {
 		// Learn the reverse route from the traversed prefix.
 		rev := make([]int, 0, len(pkt.Path))
 		for i := len(pkt.Path) - 1; i >= 0; i-- {
 			rev = append(rev, pkt.Path[i])
 		}
 		r.learnRoute(pkt.Origin, rev)
-		if r.onUnicast != nil {
-			r.onUnicast(netif.Delivery{From: pkt.Origin, Hops: len(pkt.Path) + 1, Payload: pkt.Payload})
-		}
+		r.DeliverUnicast(pkt.Origin, len(pkt.Path)+1, pkt.Payload)
 		return
 	}
-	if pkt.Pos >= len(pkt.Path) || pkt.Path[pkt.Pos] != r.id {
-		r.stats.DataDropped++
+	if pkt.Pos >= len(pkt.Path) || pkt.Path[pkt.Pos] != r.ID() {
+		r.Count.DataDropped++
 		return // not ours; stale source route
 	}
 	pkt.Pos++
 	r.forward(pkt)
-}
-
-func (r *Router) handleBcast(b bcast) {
-	if b.Origin == r.id || r.haveSeen(r.seenBcast, seenKey{b.Origin, b.ID}) {
-		return
-	}
-	r.markSeen(r.seenBcast, seenKey{b.Origin, b.ID})
-	r.learnRoute(b.Origin, reversed(b.Path))
-	if r.onBroadcast != nil {
-		r.onBroadcast(netif.Delivery{From: b.Origin, Hops: len(b.Path) + 1, Payload: b.Payload})
-	}
-	if b.TTL > 1 {
-		b.TTL--
-		b.Path = append(append([]int(nil), b.Path...), r.id)
-		r.med.Send(radio.Frame{
-			Src: r.id, Dst: radio.BroadcastAddr,
-			Size: b.Size + sizeBcastBase + sizePerHop*len(b.Path), Payload: b,
-		})
-	}
 }
 
 func reversed(path []int) []int {
@@ -585,21 +528,4 @@ func reversed(path []int) []int {
 		out = append(out, path[i])
 	}
 	return out
-}
-
-func (r *Router) haveSeen(cache map[seenKey]sim.Time, k seenKey) bool {
-	t, ok := cache[k]
-	return ok && r.sim.Now()-t < r.cfg.SeenCacheTimeout
-}
-
-func (r *Router) markSeen(cache map[seenKey]sim.Time, k seenKey) {
-	if len(cache) > 4096 {
-		cutoff := r.sim.Now() - r.cfg.SeenCacheTimeout
-		for key, t := range cache {
-			if t < cutoff {
-				delete(cache, key)
-			}
-		}
-	}
-	cache[k] = r.sim.Now()
 }

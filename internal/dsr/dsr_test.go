@@ -122,8 +122,8 @@ func TestDiscoveryFailureNotifies(t *testing.T) {
 	if len(n.failed[0]) != 1 || n.failed[0][0] != 2 {
 		t.Fatalf("failed = %v, want [2]", n.failed[0])
 	}
-	if n.routers[0].Stats().DiscoverFail != 1 {
-		t.Errorf("DiscoverFail = %d, want 1", n.routers[0].Stats().DiscoverFail)
+	if n.routers[0].Stats().DiscoverFailed != 1 {
+		t.Errorf("DiscoverFail = %d, want 1", n.routers[0].Stats().DiscoverFailed)
 	}
 }
 
@@ -142,7 +142,7 @@ func TestBrokenLinkRecoveryAtOrigin(t *testing.T) {
 		t.Fatal("first packet lost")
 	}
 	relay := 1
-	if n.routers[2].Stats().DataRelayed > 0 {
+	if n.routers[2].Stats().DataForwarded > 0 {
 		relay = 2
 	}
 	n.med.SetPos(relay, geom.Point{X: 150, Y: 150})
@@ -177,7 +177,7 @@ func TestRERRReachesOriginFromMidPath(t *testing.T) {
 	}
 	var rerrs uint64
 	for _, r := range n.routers {
-		rerrs += r.Stats().RERRSent
+		rerrs += r.Stats().CtrlOrig
 	}
 	if rerrs == 0 {
 		t.Error("no RERR emitted for the broken source route")

@@ -11,6 +11,7 @@ import (
 
 	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
+	"manetp2p/internal/route"
 	"manetp2p/internal/sim"
 )
 
@@ -18,12 +19,11 @@ const (
 	sizeHdr = 12
 )
 
-// packet is both the unicast and broadcast carrier: Dst < 0 means
-// deliver everywhere.
-type packet struct {
+// unicast is a flooded packet that only Dst delivers.
+type unicast struct {
 	Origin  int
 	ID      uint32
-	Dst     int // -1 = broadcast
+	Dst     int
 	TTL     int
 	Hops    int
 	Size    int
@@ -34,11 +34,16 @@ type packet struct {
 type Config struct {
 	UnicastTTL       int      // hop budget for unicast floods
 	SeenCacheTimeout sim.Time // duplicate suppression window
+	SeenCacheCap     int      // soft entry bound per duplicate cache
 }
 
 // DefaultConfig matches the other substrates' reach.
 func DefaultConfig() Config {
-	return Config{UnicastTTL: 20, SeenCacheTimeout: 30 * sim.Second}
+	return Config{
+		UnicastTTL:       20,
+		SeenCacheTimeout: 30 * sim.Second,
+		SeenCacheCap:     route.DefaultSoftCap,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -49,83 +54,49 @@ func (c Config) withDefaults() Config {
 	if c.SeenCacheTimeout <= 0 {
 		c.SeenCacheTimeout = d.SeenCacheTimeout
 	}
+	if c.SeenCacheCap <= 0 {
+		c.SeenCacheCap = d.SeenCacheCap
+	}
 	return c
-}
-
-// Stats counts flooding activity.
-type Stats struct {
-	Sent    uint64
-	Relayed uint64
-	Dup     uint64
-}
-
-type seenKey struct {
-	origin int
-	id     uint32
 }
 
 // Router is the per-node flooding instance; it satisfies netif.Protocol.
 type Router struct {
-	id   int
-	sim  *sim.Sim
-	med  *radio.Medium
-	cfg  Config
-	next uint32
-	seen map[seenKey]sim.Time
+	*route.Core
+	med    *radio.Medium
+	cfg    Config
+	bcast  *route.Bcaster
+	seen   *route.DupCache
+	nextID uint32
 	// lastHops remembers the hop distance of the last packet received
 	// from each origin — the only distance estimate flooding has.
 	lastHops map[int]int
-	stats    Stats
-
-	onBroadcast  func(netif.Delivery)
-	onUnicast    func(netif.Delivery)
-	onSendFailed func(dst int, payload any)
-
-	// Bound once at construction so self-delivery schedules without a
-	// per-call closure allocation.
-	selfDeliverFn func(sim.Arg)
 }
 
 var _ netif.Protocol = (*Router)(nil)
 
 // NewRouter creates the flooding layer for node id.
 func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	core := route.NewCore(id, s)
+	cache := route.CacheConfig{Timeout: cfg.SeenCacheTimeout, SoftCap: cfg.SeenCacheCap}
 	r := &Router{
-		id:       id,
-		sim:      s,
+		Core:     core,
 		med:      med,
-		cfg:      cfg.withDefaults(),
-		seen:     make(map[seenKey]sim.Time),
+		cfg:      cfg,
+		bcast:    route.NewBcaster(core, med, sizeHdr, 0, cache),
+		seen:     route.NewDupCache(core, cache),
 		lastHops: make(map[int]int),
 	}
-	r.selfDeliverFn = r.selfDeliver
+	r.bcast.Accept = r.acceptBcast
 	return r
 }
 
-// selfDeliver completes a Send addressed to this node on the next
-// event-loop turn.
-func (r *Router) selfDeliver(a sim.Arg) {
-	if r.onUnicast != nil {
-		r.onUnicast(netif.Delivery{From: r.id, Hops: 0, Payload: a.X})
-	}
+// acceptBcast records the hop distance broadcasts reveal.
+func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
+	r.lastHops[b.Origin] = b.HopCount
+	return b.HopCount
 }
-
-// ID returns the node this router belongs to.
-func (r *Router) ID() int { return r.id }
-
-// Stats returns activity counters.
-func (r *Router) Stats() Stats { return r.stats }
-
-// OnBroadcast installs the flood delivery hook.
-func (r *Router) OnBroadcast(fn func(netif.Delivery)) { r.onBroadcast = fn }
-
-// OnUnicast installs the data delivery hook.
-func (r *Router) OnUnicast(fn func(netif.Delivery)) { r.onUnicast = fn }
-
-// OnSendFailed installs the undeliverable hook. Flooding gets no
-// feedback, so it only fires for sends from a down node — silence is
-// the usual failure mode.
-func (r *Router) OnSendFailed(fn func(dst int, payload any)) { r.onSendFailed = fn }
 
 // HopsTo reports the hop distance of the most recent packet received
 // from dst, flooding's only distance estimate.
@@ -139,81 +110,62 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 	if ttl <= 0 {
 		panic("flood: Broadcast with non-positive TTL")
 	}
-	r.emit(packet{Dst: -1, TTL: ttl, Size: size, Payload: payload})
+	if !r.med.Up(r.ID()) {
+		return
+	}
+	r.bcast.Originate(ttl, size, payload, 0)
 }
 
 // Send floods payload with the unicast TTL; only dst delivers it.
+// Flooding gets no failure feedback, so OnSendFailed only fires for
+// sends from a down node — silence is the usual failure mode.
 func (r *Router) Send(dst, size int, payload any) {
-	if dst == r.id {
-		r.sim.ScheduleArg(0, r.selfDeliverFn, sim.Arg{X: payload})
+	if dst == r.ID() {
+		r.SelfDeliver(payload)
 		return
 	}
-	r.emit(packet{Dst: dst, TTL: r.cfg.UnicastTTL, Size: size, Payload: payload})
-}
-
-func (r *Router) emit(pkt packet) {
-	if !r.med.Up(r.id) {
-		if pkt.Dst >= 0 && r.onSendFailed != nil {
-			r.onSendFailed(pkt.Dst, pkt.Payload)
-		}
+	r.Count.DataSent++
+	if !r.med.Up(r.ID()) {
+		r.FailSend(dst, payload)
 		return
 	}
-	r.next++
-	pkt.Origin = r.id
-	pkt.ID = r.next
-	r.markSeen(seenKey{r.id, pkt.ID})
-	r.stats.Sent++
-	r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
+	r.nextID++
+	pkt := unicast{Origin: r.ID(), ID: r.nextID, Dst: dst, TTL: r.cfg.UnicastTTL, Size: size, Payload: payload}
+	r.seen.Mark(route.Key{Origin: r.ID(), ID: pkt.ID})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
 }
 
 // HandleFrame is the radio receive callback.
 func (r *Router) HandleFrame(f radio.Frame) {
-	pkt, ok := f.Payload.(packet)
-	if !ok {
+	switch pkt := f.Payload.(type) {
+	case route.Bcast:
+		r.bcast.Handle(f.Src, pkt)
+	case unicast:
+		r.handleUnicast(pkt)
+	default:
 		panic(fmt.Sprintf("flood: unknown payload type %T", f.Payload))
 	}
-	if pkt.Origin == r.id {
+}
+
+func (r *Router) handleUnicast(pkt unicast) {
+	if pkt.Origin == r.ID() {
 		return
 	}
-	k := seenKey{pkt.Origin, pkt.ID}
-	if r.haveSeen(k) {
-		r.stats.Dup++
+	k := route.Key{Origin: pkt.Origin, ID: pkt.ID}
+	if r.seen.Seen(k) {
+		r.Count.DupHits++
 		return
 	}
-	r.markSeen(k)
+	r.seen.Mark(k)
 	pkt.Hops++
 	r.lastHops[pkt.Origin] = pkt.Hops
-	switch {
-	case pkt.Dst < 0:
-		if r.onBroadcast != nil {
-			r.onBroadcast(netif.Delivery{From: pkt.Origin, Hops: pkt.Hops, Payload: pkt.Payload})
-		}
-	case pkt.Dst == r.id:
-		if r.onUnicast != nil {
-			r.onUnicast(netif.Delivery{From: pkt.Origin, Hops: pkt.Hops, Payload: pkt.Payload})
-		}
+	if pkt.Dst == r.ID() {
+		r.DeliverUnicast(pkt.Origin, pkt.Hops, pkt.Payload)
 		return // the destination need not keep relaying
 	}
 	if pkt.TTL > 1 {
 		pkt.TTL--
-		r.stats.Relayed++
-		r.med.Send(radio.Frame{Src: r.id, Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
+		r.Count.DataForwarded++
+		r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
 	}
-}
-
-func (r *Router) haveSeen(k seenKey) bool {
-	t, ok := r.seen[k]
-	return ok && r.sim.Now()-t < r.cfg.SeenCacheTimeout
-}
-
-func (r *Router) markSeen(k seenKey) {
-	if len(r.seen) > 8192 {
-		cutoff := r.sim.Now() - r.cfg.SeenCacheTimeout
-		for key, t := range r.seen {
-			if t < cutoff {
-				delete(r.seen, key)
-			}
-		}
-	}
-	r.seen[k] = r.sim.Now()
 }

@@ -121,7 +121,7 @@ func TestDuplicateSuppression(t *testing.T) {
 	}
 	var dups uint64
 	for _, r := range n.routers {
-		dups += r.Stats().Dup
+		dups += r.Stats().DupHits
 	}
 	if dups == 0 {
 		t.Error("no duplicates suppressed in a clique")
@@ -134,7 +134,7 @@ func TestDestinationDoesNotRelay(t *testing.T) {
 	n := newTestNet(t, 5, line(3), Config{})
 	n.routers[0].Send(1, 10, "stop-here")
 	n.s.Run(5 * sim.Second)
-	if got := n.routers[2].Stats().Dup + n.routers[2].Stats().Relayed; got != 0 {
+	if got := n.routers[2].Stats().DupHits + n.routers[2].Stats().DataForwarded; got != 0 {
 		t.Errorf("node past the destination saw traffic (dup+relay=%d)", got)
 	}
 }

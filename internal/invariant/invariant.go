@@ -5,7 +5,9 @@
 // integrity (event-time monotonicity, pooled-slot hygiene, an empty
 // queue at the horizon), radio/metrics conservation (every queued
 // delivery is received, lost to a down receiver, or still in flight),
-// and the per-algorithm protocol invariants of §6 (connection symmetry,
+// routing-layer counter conservation (frame reactions bounded by frames
+// on the air, failure counters bounded by their attempt counters), and
+// the per-algorithm protocol invariants of §6 (connection symmetry,
 // MAXNCONN/MAXNSLAVES caps, hybrid role consistency, handshake-state
 // legality).
 //
@@ -21,6 +23,7 @@ import (
 	"fmt"
 
 	"manetp2p/internal/metrics"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
@@ -61,7 +64,7 @@ func (c Config) Validate() error {
 // time and the node(s) involved so a report pinpoints the corruption.
 type Violation struct {
 	At     sim.Time
-	Layer  string // "sim", "radio", "metrics" or "p2p"
+	Layer  string // "sim", "radio", "metrics", "route" or "p2p"
 	Rule   string
 	Node   int // -1 when not node-specific
 	Peer   int // -1 when not pairwise
@@ -89,6 +92,9 @@ type Target struct {
 	Servents  []*p2p.Servent
 	Algorithm p2p.Algorithm
 	Params    p2p.Params
+	// RoutingStats returns node i's routing-effort counters
+	// (netif.Stats); nil disarms the route-layer rules.
+	RoutingStats func(i int) netif.Stats
 }
 
 // pairKey identifies one tracked cross-node observation.
@@ -111,13 +117,14 @@ type Checker struct {
 	cfg Config
 	t   Target
 
-	ticker   *sim.Ticker
-	lastNow  sim.Time
-	passes   uint64
-	views    []p2p.View // one reusable snapshot per node
-	inflight []uint64
-	lastRecv [metrics.NumClasses]uint64
-	pairs    map[pairKey]*pairState
+	ticker     *sim.Ticker
+	lastNow    sim.Time
+	passes     uint64
+	views      []p2p.View // one reusable snapshot per node
+	inflight   []uint64
+	lastRecv   [metrics.NumClasses]uint64
+	lastFrames uint64
+	pairs      map[pairKey]*pairState
 
 	violations []Violation
 	total      int
@@ -197,8 +204,52 @@ func (c *Checker) Check() {
 	})
 	c.checkRadioConservation()
 	c.checkMetrics()
+	c.checkRouting()
 	c.checkOverlay()
 	c.sweepPairs()
+}
+
+// checkRouting validates the routing layer's netif.Stats counter block:
+// per-node sanity bounds plus network-wide control-frame conservation.
+// Every duplicate-cache hit, control relay, broadcast relay and data
+// forward is triggered by receiving a frame, and any transmitted frame
+// is received by at most n-1 nodes — so the reaction counters can never
+// exceed (n-1) times the frames put on the air. Frames() may overcount
+// transmissions (DataSent includes attempts abandoned before the radio),
+// never undercount, keeping the bound sound.
+func (c *Checker) checkRouting() {
+	if c.t.RoutingStats == nil {
+		return
+	}
+	n := c.t.Medium.NumNodes()
+	var total netif.Stats
+	for i := 0; i < n; i++ {
+		st := c.t.RoutingStats(i)
+		if st.SendFailed > st.DataSent {
+			c.report("route", "sendfail-bound", i, -1,
+				"SendFailed %d exceeds DataSent %d", st.SendFailed, st.DataSent)
+		}
+		if st.DiscoverFailed > st.Discoveries {
+			c.report("route", "discovery-bound", i, -1,
+				"DiscoverFailed %d exceeds Discoveries %d", st.DiscoverFailed, st.Discoveries)
+		}
+		total.Add(st)
+	}
+	if n > 1 {
+		reactions := total.DupHits + total.CtrlRelayed + total.BcastRelayed + total.DataForwarded
+		if bound := uint64(n-1) * total.Frames(); reactions > bound {
+			c.report("route", "ctrl-conservation", -1, -1,
+				"frame reactions %d exceed (n-1)*frames %d (dup %d ctrl-relay %d bcast-relay %d fwd %d, frames %d)",
+				reactions, bound, total.DupHits, total.CtrlRelayed,
+				total.BcastRelayed, total.DataForwarded, total.Frames())
+		}
+	}
+	if f := total.Frames(); f < c.lastFrames {
+		c.report("route", "frames-monotonic", -1, -1,
+			"network frame total %d below earlier %d", f, c.lastFrames)
+	} else {
+		c.lastFrames = f
+	}
 }
 
 // Finalize runs the teardown checks after the replication's horizon: one

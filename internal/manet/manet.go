@@ -417,16 +417,27 @@ func Build(cfg Config) (*Network, error) {
 	}
 	if cfg.Invariants.Enabled {
 		n.Checker = invariant.New(cfg.Invariants, invariant.Target{
-			Sim:       s,
-			Medium:    med,
-			Collector: n.Collector,
-			Servents:  n.Servents,
-			Algorithm: cfg.Algorithm,
-			Params:    cfg.Params,
+			Sim:          s,
+			Medium:       med,
+			Collector:    n.Collector,
+			Servents:     n.Servents,
+			Algorithm:    cfg.Algorithm,
+			Params:       cfg.Params,
+			RoutingStats: func(i int) netif.Stats { return n.Routers[i].Stats() },
 		})
 		n.Checker.Attach()
 	}
 	return n, nil
+}
+
+// RoutingStats snapshots every node's routing-effort counters — the
+// unified netif.Stats contract all four substrates implement.
+func (n *Network) RoutingStats() []netif.Stats {
+	out := make([]netif.Stats, len(n.Routers))
+	for i, rt := range n.Routers {
+		out[i] = rt.Stats()
+	}
+	return out
 }
 
 // ForceDown crashes node i: its servent leaves the overlay and its

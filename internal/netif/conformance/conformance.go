@@ -1,0 +1,317 @@
+// Package conformance is the executable contract behind netif.Protocol:
+// a reusable suite of behavioral tests every routing substrate must
+// pass, run from a small per-package test file (see conformance_test.go
+// in aodv, dsr, dsdv and flood). The suite pins the semantics the p2p
+// overlay relies on but the interface alone cannot express —
+// controlled-broadcast TTL reach, asynchronous self-delivery, HopsTo
+// never triggering discovery, OnSendFailed firing exactly once per
+// abandoned payload, hooks that may reenter the router, and duplicate
+// caches that stay bounded under a broadcast storm.
+package conformance
+
+import (
+	"testing"
+
+	"manetp2p/internal/geom"
+	"manetp2p/internal/netif"
+	"manetp2p/internal/radio"
+	"manetp2p/internal/sim"
+)
+
+// Router is what the suite drives: the netif.Protocol surface plus the
+// radio receive path and the duplicate-cache observables every router
+// inherits from route.Core.
+type Router interface {
+	netif.Protocol
+	HandleFrame(f radio.Frame)
+	SeenEntries() int
+	SeenBound() int
+}
+
+// Factory describes one routing substrate to the suite.
+type Factory struct {
+	// Name labels failure output; use the package name.
+	Name string
+	// New builds node id's router on the shared simulator and medium.
+	// Configure small duplicate-cache caps here if the default storm
+	// test is too slow for the protocol.
+	New func(id int, s *sim.Sim, med *radio.Medium) Router
+	// SenderDownFails selects how the abandoned-payload test provokes a
+	// failure: true means a Send from a down node signals OnSendFailed
+	// (flood's semantics); false means a Send to an unreachable
+	// destination is signalled once discovery or settling gives up
+	// (aodv, dsr, dsdv).
+	SenderDownFails bool
+	// WarmUp is simulated time to run before the suite starts sending,
+	// so proactive protocols can advertise routes. Zero for reactive
+	// protocols.
+	WarmUp sim.Time
+	// FailDeadline bounds how long the substrate may take to signal an
+	// abandoned payload; 0 defaults to 120 s (covers DSDV settling and
+	// AODV/DSR full retry schedules with wide margin).
+	FailDeadline sim.Time
+}
+
+// net is one assembled test network: a simulator, a medium, and a
+// router per position with its deliveries recorded.
+type net struct {
+	s       *sim.Sim
+	med     *radio.Medium
+	routers []Router
+	unicast [][]netif.Delivery
+	bcasts  [][]netif.Delivery
+}
+
+// newNet builds the network. Positions closer than 10 m are in radio
+// range of each other; frames take 2 ms per hop.
+func newNet(t *testing.T, f Factory, seed int64, pts []geom.Point) *net {
+	t.Helper()
+	s := sim.New(seed)
+	med, err := radio.NewMedium(s, radio.Config{
+		Arena:    geom.Rect{W: 200, H: 200},
+		Range:    10,
+		NumNodes: len(pts),
+		Latency:  2 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &net{
+		s:       s,
+		med:     med,
+		routers: make([]Router, len(pts)),
+		unicast: make([][]netif.Delivery, len(pts)),
+		bcasts:  make([][]netif.Delivery, len(pts)),
+	}
+	for i, p := range pts {
+		i := i
+		r := f.New(i, s, med)
+		if r.ID() != i {
+			t.Fatalf("%s: NewRouter(%d).ID() = %d", f.Name, i, r.ID())
+		}
+		r.OnUnicast(func(d netif.Delivery) { n.unicast[i] = append(n.unicast[i], d) })
+		r.OnBroadcast(func(d netif.Delivery) { n.bcasts[i] = append(n.bcasts[i], d) })
+		med.Join(i, p, r.HandleFrame)
+		n.routers[i] = r
+	}
+	if f.WarmUp > 0 {
+		s.Run(f.WarmUp)
+	}
+	return n
+}
+
+// line places n nodes 8 m apart on a row: each node reaches exactly its
+// neighbors, so hop counts equal index distance.
+func line(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: 5 + 8*float64(i), Y: 50}
+	}
+	return pts
+}
+
+// clique places n nodes within mutual range.
+func clique(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: 50 + float64(i%3), Y: 50 + float64(i/3)}
+	}
+	return pts
+}
+
+// Run executes the full conformance suite against one substrate.
+func Run(t *testing.T, f Factory) {
+	t.Run("BroadcastTTL", func(t *testing.T) { testBroadcastTTL(t, f) })
+	t.Run("SelfDelivery", func(t *testing.T) { testSelfDelivery(t, f) })
+	t.Run("HopsToNoDiscovery", func(t *testing.T) { testHopsToNoDiscovery(t, f) })
+	t.Run("SendFailedOnce", func(t *testing.T) { testSendFailedOnce(t, f) })
+	t.Run("HookReentrancy", func(t *testing.T) { testHookReentrancy(t, f) })
+	t.Run("DupCacheBounded", func(t *testing.T) { testDupCacheBounded(t, f) })
+}
+
+// testBroadcastTTL pins the controlled-broadcast reach contract: a
+// Broadcast with ttl t reaches every node within t hops exactly once,
+// with Hops equal to the chain distance, and nothing beyond — and the
+// origin never delivers its own broadcast to itself.
+func testBroadcastTTL(t *testing.T, f Factory) {
+	n := newNet(t, f, 1, line(6))
+	base := make([]int, 6)
+	for i := range base {
+		base[i] = len(n.bcasts[i]) // proactive warm-up traffic, if any
+	}
+	n.routers[0].Broadcast(2, 10, "two-hops")
+	n.s.Run(n.s.Now() + 5*sim.Second)
+	for i := 1; i <= 2; i++ {
+		got := n.bcasts[i][base[i]:]
+		if len(got) != 1 || got[0].Hops != i || got[0].From != 0 {
+			t.Errorf("node %d broadcast deliveries = %+v, want one from 0 at %d hops", i, got, i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if got := n.bcasts[i][base[i]:]; len(got) != 0 {
+			t.Errorf("node %d beyond ttl=2 reached: %+v", i, got)
+		}
+	}
+	if got := n.bcasts[0][base[0]:]; len(got) != 0 {
+		t.Errorf("origin delivered its own broadcast: %+v", got)
+	}
+
+	for i := range base {
+		base[i] = len(n.bcasts[i])
+	}
+	n.routers[0].Broadcast(1, 10, "one-hop")
+	n.s.Run(n.s.Now() + 5*sim.Second)
+	if got := n.bcasts[1][base[1]:]; len(got) != 1 || got[0].Hops != 1 {
+		t.Errorf("ttl=1 neighbor deliveries = %+v, want one at 1 hop", got)
+	}
+	for i := 2; i < 6; i++ {
+		if got := n.bcasts[i][base[i]:]; len(got) != 0 {
+			t.Errorf("ttl=1 broadcast relayed to node %d: %+v", i, got)
+		}
+	}
+}
+
+// testSelfDelivery pins that a Send addressed to the local node arrives
+// like any other delivery: asynchronously (never from inside Send), as
+// a unicast from self at zero hops, exactly once.
+func testSelfDelivery(t *testing.T, f Factory) {
+	n := newNet(t, f, 2, line(2))
+	before := len(n.unicast[0])
+	n.routers[0].Send(0, 10, "loopback")
+	if got := len(n.unicast[0]); got != before {
+		t.Fatal("self delivery dispatched synchronously from inside Send")
+	}
+	n.s.Run(n.s.Now() + sim.Second)
+	got := n.unicast[0][before:]
+	if len(got) != 1 || got[0].From != 0 || got[0].Hops != 0 {
+		t.Fatalf("self deliveries = %+v, want one from 0 at 0 hops", got)
+	}
+}
+
+// testHopsToNoDiscovery pins that HopsTo is a passive table lookup: it
+// reports no estimate on a freshly built node, changes no counter, and
+// never starts a route discovery.
+func testHopsToNoDiscovery(t *testing.T, f Factory) {
+	s := sim.New(3)
+	med, err := radio.NewMedium(s, radio.Config{
+		Arena:    geom.Rect{W: 200, H: 200},
+		Range:    10,
+		NumNodes: 3,
+		Latency:  2 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joined but never run: no traffic has populated any table.
+	var routers []Router
+	for i, p := range line(3) {
+		r := f.New(i, s, med)
+		med.Join(i, p, r.HandleFrame)
+		routers = append(routers, r)
+	}
+	r0 := routers[0]
+	before := r0.Stats()
+	if h, ok := r0.HopsTo(2); ok {
+		t.Errorf("fresh node has a distance estimate: (%d, true)", h)
+	}
+	if after := r0.Stats(); after != before {
+		t.Errorf("HopsTo changed counters: %+v -> %+v", before, after)
+	}
+	s.Run(5 * sim.Second)
+	if got := r0.Stats().Discoveries; got != 0 {
+		t.Errorf("HopsTo triggered %d route discoveries", got)
+	}
+}
+
+// testSendFailedOnce pins the abandoned-payload contract: a payload
+// that cannot be delivered is reported through OnSendFailed exactly
+// once, with the destination and payload the caller passed, and counted
+// once in SendFailed.
+func testSendFailedOnce(t *testing.T, f Factory) {
+	deadline := f.FailDeadline
+	if deadline <= 0 {
+		deadline = 120 * sim.Second
+	}
+	// Two nodes out of range of each other.
+	pts := []geom.Point{{X: 10, Y: 50}, {X: 150, Y: 50}}
+	n := newNet(t, f, 4, pts)
+	type failure struct {
+		dst     int
+		payload any
+	}
+	var fails []failure
+	n.routers[0].OnSendFailed(func(dst int, payload any) {
+		fails = append(fails, failure{dst, payload})
+	})
+	if f.SenderDownFails {
+		n.med.Leave(0)
+	}
+	n.routers[0].Send(1, 10, "doomed")
+	n.s.Run(n.s.Now() + deadline)
+	if len(fails) != 1 {
+		t.Fatalf("OnSendFailed fired %d times, want exactly 1 (%+v)", len(fails), fails)
+	}
+	if fails[0].dst != 1 || fails[0].payload != "doomed" {
+		t.Errorf("failure = %+v, want dst=1 payload=%q", fails[0], "doomed")
+	}
+	if got := n.routers[0].Stats().SendFailed; got != 1 {
+		t.Errorf("SendFailed = %d, want 1", got)
+	}
+	if len(n.unicast[1]) != 0 {
+		t.Error("abandoned payload was also delivered")
+	}
+}
+
+// testHookReentrancy pins that delivery hooks may call back into the
+// router: an OnUnicast handler that immediately Sends a reply must not
+// corrupt dispatch, and the reply must arrive.
+func testHookReentrancy(t *testing.T, f Factory) {
+	n := newNet(t, f, 5, line(2))
+	replied := false
+	n.routers[1].OnUnicast(func(d netif.Delivery) {
+		n.unicast[1] = append(n.unicast[1], d)
+		if !replied { // reply to the first arrival only
+			replied = true
+			n.routers[1].Send(d.From, 10, "pong")
+		}
+	})
+	n.routers[0].Send(1, 10, "ping")
+	n.s.Run(n.s.Now() + 60*sim.Second)
+	if len(n.unicast[1]) != 1 || n.unicast[1][0].Payload != "ping" {
+		t.Fatalf("request deliveries = %+v", n.unicast[1])
+	}
+	if len(n.unicast[0]) != 1 || n.unicast[0][0].Payload != "pong" {
+		t.Fatalf("reply sent from inside the delivery hook never arrived: %+v", n.unicast[0])
+	}
+}
+
+// testDupCacheBounded pins satellite invariant of the shared DupCache:
+// after a 10k-broadcast storm from one origin, every node's duplicate
+// caches hold no more than their configured hard caps, and the storm
+// was actually delivered (the cap evicts history, not live traffic).
+func testDupCacheBounded(t *testing.T, f Factory) {
+	const storm = 10_000
+	n := newNet(t, f, 6, clique(4))
+	bound := n.routers[0].SeenBound()
+	if bound <= 0 {
+		t.Fatalf("SeenBound() = %d, want positive", bound)
+	}
+	base := len(n.bcasts[1])
+	for i := 0; i < storm; i++ {
+		n.routers[0].Broadcast(2, 8, i)
+		// Drain in slices so in-flight frames do not accumulate without
+		// bound inside the medium.
+		if i%500 == 499 {
+			n.s.Run(n.s.Now() + 100*sim.Millisecond)
+		}
+	}
+	n.s.Run(n.s.Now() + 5*sim.Second)
+	for i, r := range n.routers {
+		if got := r.SeenEntries(); got > r.SeenBound() {
+			t.Errorf("node %d duplicate caches hold %d entries, bound %d", i, got, r.SeenBound())
+		}
+	}
+	if got := len(n.bcasts[1]) - base; got != storm {
+		t.Errorf("neighbor delivered %d of %d storm broadcasts", got, storm)
+	}
+}

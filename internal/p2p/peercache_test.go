@@ -16,7 +16,7 @@ func TestPeerCacheReconnectsWithoutBroadcast(t *testing.T) {
 	if w.svs[0].ConnCount() != 1 {
 		t.Fatal("precondition: pair not connected")
 	}
-	bcastBefore := w.rts[0].Stats().BcastSent + w.rts[1].Stats().BcastSent
+	bcastBefore := w.rts[0].Stats().BcastOrig + w.rts[1].Stats().BcastOrig
 	// Tear the link down gracefully; both sides should reconnect via
 	// their caches without a single new discovery broadcast.
 	w.svs[0].closeConn(1, true)
@@ -24,7 +24,7 @@ func TestPeerCacheReconnectsWithoutBroadcast(t *testing.T) {
 	if w.svs[0].ConnCount() != 1 {
 		t.Fatal("pair did not reconnect")
 	}
-	bcastAfter := w.rts[0].Stats().BcastSent + w.rts[1].Stats().BcastSent
+	bcastAfter := w.rts[0].Stats().BcastOrig + w.rts[1].Stats().BcastOrig
 	// Allow pings' route discoveries etc. — but no p2p solicit floods.
 	// Router-level broadcasts also include RREQs, so compare solicit
 	// deliveries instead: broadcast count must not grow by more than

@@ -1,0 +1,121 @@
+package route
+
+import (
+	"manetp2p/internal/radio"
+)
+
+// Bcast is the shared controlled-broadcast carrier. Every protocol's
+// broadcast frame decodes into one of these; protocol-specific extras
+// ride in the optional fields (OriginSeq for AODV's table piggyback,
+// Path for DSR's route accumulation).
+type Bcast struct {
+	Origin    int
+	OriginSeq uint32 // AODV: origin's sequence number, for table updates
+	ID        uint32
+	HopCount  int
+	TTL       int
+	Size      int   // upper-layer payload size
+	Path      []int // DSR: nodes traversed so far, excluding the origin
+	Payload   any
+}
+
+// Bcaster is the paper's controlled broadcast (§5/§7): a TTL-limited
+// flood where each node relays a given (origin, id) at most once,
+// enforced by a duplicate cache. The four protocols differ only in
+// framing overhead and in small per-hop side effects, which plug in as
+// hooks; the relay discipline itself lives here exactly once.
+type Bcaster struct {
+	core  *Core
+	med   *radio.Medium
+	cache *DupCache
+
+	// HdrSize is the broadcast framing overhead added to the payload
+	// size; PerHop is the additional per-recorded-hop overhead (DSR's
+	// 4 bytes per path entry, 0 elsewhere).
+	hdrSize int
+	perHop  int
+
+	// Disable turns off duplicate suppression (the AODV ablation flag):
+	// re-arrivals still count as cache hits but are processed anyway.
+	Disable bool
+
+	// Accept runs on every first arrival, before delivery: table
+	// updates, route learning. It returns the hop count to report
+	// upward (DSR derives it from the path). Nil means use b.HopCount.
+	Accept func(prev int, b *Bcast) int
+
+	// PrepRelay mutates b just before the relay transmission (DSR
+	// appends this node to the path here — after delivery, so the
+	// reported path excludes the relaying node itself).
+	PrepRelay func(b *Bcast)
+
+	nextID uint32
+}
+
+// NewBcaster creates the broadcast relay for core's node with the given
+// framing overheads and duplicate-cache bounds.
+func NewBcaster(core *Core, med *radio.Medium, hdrSize, perHop int, cfg CacheConfig) *Bcaster {
+	return &Bcaster{
+		core:    core,
+		med:     med,
+		cache:   NewDupCache(core, cfg),
+		hdrSize: hdrSize,
+		perHop:  perHop,
+	}
+}
+
+// Cache exposes the duplicate cache (the AODV RREQ path shares its
+// pruning policy but keeps a separate cache; tests inspect bounds).
+func (bc *Bcaster) Cache() *DupCache { return bc.cache }
+
+// frameSize is the on-air size of b.
+func (bc *Bcaster) frameSize(b *Bcast) int {
+	return b.Size + bc.hdrSize + bc.perHop*len(b.Path)
+}
+
+// Originate floods a new broadcast from this node.
+func (bc *Bcaster) Originate(ttl, size int, payload any, originSeq uint32) {
+	bc.nextID++
+	b := Bcast{
+		Origin:    bc.core.id,
+		OriginSeq: originSeq,
+		ID:        bc.nextID,
+		TTL:       ttl,
+		Size:      size,
+		Payload:   payload,
+	}
+	bc.cache.Mark(Key{Origin: b.Origin, ID: b.ID})
+	bc.core.Count.BcastOrig++
+	bc.med.Send(radio.Frame{Src: bc.core.id, Dst: radio.BroadcastAddr, Size: bc.frameSize(&b), Payload: b})
+}
+
+// Handle processes a broadcast arrival from neighbor prev: suppress
+// duplicates, deliver upward, relay while TTL remains.
+func (bc *Bcaster) Handle(prev int, b Bcast) {
+	if b.Origin == bc.core.id {
+		return
+	}
+	k := Key{Origin: b.Origin, ID: b.ID}
+	if bc.cache.Seen(k) {
+		bc.core.Count.DupHits++
+		if !bc.Disable {
+			return
+		}
+	}
+	bc.cache.Mark(k)
+	b.HopCount++
+	hops := b.HopCount
+	if bc.Accept != nil {
+		hops = bc.Accept(prev, &b)
+	}
+	bc.core.DeliverBroadcast(b.Origin, hops, b.Payload)
+	if b.TTL <= 1 {
+		return
+	}
+	b.TTL--
+	bc.core.Count.BcastRelayed++
+	if bc.PrepRelay != nil {
+		bc.PrepRelay(&b)
+	}
+	bc.med.Send(radio.Frame{Src: bc.core.id, Dst: radio.BroadcastAddr, Size: bc.frameSize(&b), Payload: b})
+}

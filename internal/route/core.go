@@ -1,0 +1,135 @@
+// Package route is the shared control-plane core under the four routing
+// substrates (aodv, dsr, dsdv, flood). Before it existed each router
+// privately reimplemented the same four mechanisms; they now live here
+// exactly once:
+//
+//   - Core: the delivery-dispatch path — upper-layer hooks, asynchronous
+//     self-delivery, send-failure reporting — plus the netif.Stats
+//     counter block.
+//   - DupCache: the TTL-bounded duplicate-suppression cache with one
+//     uniform pruning policy (age sweep past a soft cap, deterministic
+//     oldest-first eviction past a hard cap).
+//   - Bcaster: the paper's controlled broadcast (§5/§7): TTL-limited
+//     flood relay with per-node duplicate suppression, protocol side
+//     effects delegated to small hooks.
+//   - Pending: the per-destination pending-send buffer that parks
+//     payloads while a route is discovered (or, for DSDV, settles).
+//
+// Everything here is deterministic and draws no randomness: map
+// iteration only ever deletes provably-stale entries or feeds a sorted
+// eviction, so a replication built on this package is bit-identical to
+// one built on the four private copies it replaced (golden fixtures
+// prove it).
+package route
+
+import (
+	"manetp2p/internal/netif"
+	"manetp2p/internal/sim"
+)
+
+// Core is the per-node dispatch half of the control plane. Routers embed
+// *Core and inherit the netif.Protocol hook surface (ID, OnUnicast,
+// OnBroadcast, OnSendFailed, Stats) plus the delivery helpers.
+type Core struct {
+	id  int
+	sim *sim.Sim
+
+	// Count is the unified routing-effort counter block. Shared
+	// mechanisms (dispatch, duplicate caches) maintain their counters
+	// here; protocol code increments the protocol-specific ones.
+	Count netif.Stats
+
+	caches []*DupCache // registered for SeenEntries/SeenBound
+
+	onUnicast    func(netif.Delivery)
+	onBroadcast  func(netif.Delivery)
+	onSendFailed func(dst int, payload any)
+
+	// Bound once at construction so self-delivery schedules without a
+	// per-call closure allocation.
+	selfDeliverFn func(sim.Arg)
+}
+
+// NewCore creates the dispatch core for node id.
+func NewCore(id int, s *sim.Sim) *Core {
+	c := &Core{id: id, sim: s}
+	c.selfDeliverFn = c.selfDeliver
+	return c
+}
+
+// ID returns the node this control plane belongs to.
+func (c *Core) ID() int { return c.id }
+
+// Now returns the current simulated time.
+func (c *Core) Now() sim.Time { return c.sim.Now() }
+
+// Stats returns the routing-effort counters accumulated so far.
+func (c *Core) Stats() netif.Stats { return c.Count }
+
+// OnUnicast installs the hook for data addressed to this node.
+func (c *Core) OnUnicast(fn func(netif.Delivery)) { c.onUnicast = fn }
+
+// OnBroadcast installs the hook for controlled-broadcast deliveries.
+func (c *Core) OnBroadcast(fn func(netif.Delivery)) { c.onBroadcast = fn }
+
+// OnSendFailed installs the hook invoked when a payload is abandoned
+// undeliverable.
+func (c *Core) OnSendFailed(fn func(dst int, payload any)) { c.onSendFailed = fn }
+
+// DeliverUnicast dispatches a unicast arrival to the upper layer.
+func (c *Core) DeliverUnicast(from, hops int, payload any) {
+	c.Count.Delivered++
+	if c.onUnicast != nil {
+		c.onUnicast(netif.Delivery{From: from, Hops: hops, Payload: payload})
+	}
+}
+
+// DeliverBroadcast dispatches a controlled-broadcast arrival.
+func (c *Core) DeliverBroadcast(from, hops int, payload any) {
+	c.Count.Delivered++
+	if c.onBroadcast != nil {
+		c.onBroadcast(netif.Delivery{From: from, Hops: hops, Payload: payload})
+	}
+}
+
+// FailSend reports a payload abandoned undeliverable. Every fail path in
+// every protocol funnels through here, which is what makes the
+// fires-exactly-once conformance property and the SendFailed counter
+// trustworthy.
+func (c *Core) FailSend(dst int, payload any) {
+	c.Count.SendFailed++
+	if c.onSendFailed != nil {
+		c.onSendFailed(dst, payload)
+	}
+}
+
+// SelfDeliver completes a Send addressed to this node on the next
+// event-loop turn, like every remote delivery: asynchronously.
+func (c *Core) SelfDeliver(payload any) {
+	c.sim.ScheduleArg(0, c.selfDeliverFn, sim.Arg{X: payload})
+}
+
+func (c *Core) selfDeliver(a sim.Arg) {
+	c.DeliverUnicast(c.id, 0, a.X)
+}
+
+// SeenEntries sums the live entry counts of every duplicate cache this
+// node registered — the observable the cache-bounding tests assert on.
+func (c *Core) SeenEntries() int {
+	n := 0
+	for _, dc := range c.caches {
+		n += len(dc.seen)
+	}
+	return n
+}
+
+// SeenBound returns the summed hard entry cap across the node's
+// duplicate caches (0 with no caches registered) — the ceiling
+// SeenEntries can never exceed, whatever traffic arrives.
+func (c *Core) SeenBound() int {
+	b := 0
+	for _, dc := range c.caches {
+		b += dc.cfg.HardCap
+	}
+	return b
+}

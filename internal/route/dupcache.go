@@ -1,0 +1,126 @@
+package route
+
+import (
+	"sort"
+
+	"manetp2p/internal/sim"
+)
+
+// Key identifies one broadcast (or one discovery round) in a duplicate
+// cache: who originated it and its per-origin sequence number.
+type Key struct {
+	Origin int
+	ID     uint32
+}
+
+// CacheConfig bounds one duplicate cache. An entry is a duplicate while
+// it is younger than Timeout. Past SoftCap entries, Mark sweeps out
+// expired entries; past HardCap live entries, Mark deterministically
+// evicts the oldest down to three quarters of the hard cap, so memory
+// stays bounded even under a broadcast storm that never lets anything
+// expire.
+type CacheConfig struct {
+	Timeout sim.Time
+	SoftCap int
+	HardCap int
+}
+
+// Default pruning bounds, shared by every protocol. The soft cap only
+// triggers an expired-entry sweep (behavior-neutral by construction:
+// expired entries already fail Seen's freshness check), so one value
+// fits all; the hard cap is sized above anything the paper-scale
+// scenarios reach, making fresh-entry eviction a storm-only safety net.
+const (
+	DefaultSoftCap = 4096
+	DefaultHardCap = 2 * DefaultSoftCap
+)
+
+// withDefaults fills unset bounds.
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.SoftCap == 0 {
+		c.SoftCap = DefaultSoftCap
+	}
+	if c.HardCap == 0 {
+		c.HardCap = 2 * c.SoftCap
+	}
+	return c
+}
+
+// DupCache is the per-node duplicate-suppression cache behind the
+// paper's controlled broadcast (§5): remember each (origin, id) for a
+// while, drop re-arrivals. One cache, one pruning policy, shared by all
+// four protocols — previously each router grew (or failed to bound) its
+// own copy.
+type DupCache struct {
+	cfg  CacheConfig
+	sim  *sim.Sim
+	seen map[Key]sim.Time
+}
+
+// NewDupCache creates a cache owned by core's node and registers it for
+// the core's SeenEntries/SeenBound accounting.
+func NewDupCache(core *Core, cfg CacheConfig) *DupCache {
+	dc := &DupCache{
+		cfg:  cfg.withDefaults(),
+		sim:  core.sim,
+		seen: make(map[Key]sim.Time),
+	}
+	core.caches = append(core.caches, dc)
+	return dc
+}
+
+// Seen reports whether k was marked within the cache timeout.
+func (dc *DupCache) Seen(k Key) bool {
+	t, ok := dc.seen[k]
+	return ok && dc.sim.Now()-t < dc.cfg.Timeout
+}
+
+// Mark records k as seen now, pruning first if the cache has grown past
+// its bounds.
+func (dc *DupCache) Mark(k Key) {
+	if len(dc.seen) > dc.cfg.SoftCap {
+		dc.prune()
+	}
+	dc.seen[k] = dc.sim.Now()
+}
+
+// prune drops expired entries, then — only if the cache is still at the
+// hard cap, i.e. under a storm of still-fresh broadcasts — evicts the
+// oldest live entries down to 3/4 of the cap. Eviction sorts candidates
+// by (time, origin, id) so it is deterministic despite map iteration.
+func (dc *DupCache) prune() {
+	now := dc.sim.Now()
+	for k, t := range dc.seen {
+		if now-t >= dc.cfg.Timeout {
+			delete(dc.seen, k)
+		}
+	}
+	if len(dc.seen) < dc.cfg.HardCap {
+		return
+	}
+	type entry struct {
+		k Key
+		t sim.Time
+	}
+	live := make([]entry, 0, len(dc.seen))
+	for k, t := range dc.seen {
+		live = append(live, entry{k, t})
+	}
+	sort.Slice(live, func(i, j int) bool {
+		a, b := live[i], live[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.k.Origin != b.k.Origin {
+			return a.k.Origin < b.k.Origin
+		}
+		return a.k.ID < b.k.ID
+	})
+	for _, e := range live[:len(live)-dc.cfg.HardCap*3/4] {
+		delete(dc.seen, e.k)
+	}
+}
+
+// Len returns the number of entries currently held (live or expired but
+// not yet swept).
+func (dc *DupCache) Len() int { return len(dc.seen) }

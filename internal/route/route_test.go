@@ -1,0 +1,135 @@
+package route
+
+import (
+	"testing"
+
+	"manetp2p/internal/netif"
+	"manetp2p/internal/sim"
+)
+
+func testCore(seed int64) (*Core, *sim.Sim) {
+	s := sim.New(seed)
+	return NewCore(0, s), s
+}
+
+func TestDupCacheSeenRespectsTimeout(t *testing.T) {
+	c, s := testCore(1)
+	dc := NewDupCache(c, CacheConfig{Timeout: 10 * sim.Second})
+	k := Key{Origin: 3, ID: 7}
+	if dc.Seen(k) {
+		t.Fatal("unmarked key reported seen")
+	}
+	dc.Mark(k)
+	if !dc.Seen(k) {
+		t.Fatal("fresh mark not seen")
+	}
+	s.Run(10 * sim.Second) // clock stands at the horizon even with no events
+	if dc.Seen(k) {
+		t.Fatal("entry still seen at exactly its timeout")
+	}
+}
+
+func TestDupCacheSoftCapSweepsExpiredOnly(t *testing.T) {
+	c, s := testCore(2)
+	dc := NewDupCache(c, CacheConfig{Timeout: 5 * sim.Second, SoftCap: 8, HardCap: 1 << 20})
+	for i := 0; i < 8; i++ {
+		dc.Mark(Key{Origin: 1, ID: uint32(i)})
+	}
+	s.Run(6 * sim.Second)
+	dc.Mark(Key{Origin: 2, ID: 0}) // 9th entry: no sweep yet (len was at cap)
+	dc.Mark(Key{Origin: 2, ID: 1}) // len now past SoftCap: sweeps expired
+	if got := dc.Len(); got != 2 {
+		t.Fatalf("Len = %d after sweep, want 2 (only the fresh marks)", got)
+	}
+	if !dc.Seen(Key{Origin: 2, ID: 0}) || !dc.Seen(Key{Origin: 2, ID: 1}) {
+		t.Fatal("sweep evicted a fresh entry")
+	}
+}
+
+func TestDupCacheHardCapEvictsOldestDeterministically(t *testing.T) {
+	c, _ := testCore(3)
+	dc := NewDupCache(c, CacheConfig{Timeout: 60 * sim.Minute, SoftCap: 4, HardCap: 8})
+	// All marks at t=0: nothing ever expires, so crossing the hard cap
+	// must evict fresh entries down to 3/4 of the cap.
+	for i := 0; i < 100; i++ {
+		dc.Mark(Key{Origin: 1, ID: uint32(i)})
+	}
+	if got := dc.Len(); got > 8 {
+		t.Fatalf("Len = %d, want <= HardCap 8", got)
+	}
+	// Same-timestamp eviction breaks ties by (origin, id), so the
+	// surviving set is exactly the highest IDs — rerunning is identical.
+	if !dc.Seen(Key{Origin: 1, ID: 99}) {
+		t.Fatal("newest-ranked entry evicted")
+	}
+	if dc.Seen(Key{Origin: 1, ID: 0}) {
+		t.Fatal("oldest-ranked entry survived eviction")
+	}
+}
+
+func TestPendingPushRespectsCap(t *testing.T) {
+	p := NewPending[int](2)
+	d := p.Start(5)
+	if !p.Push(d, 10) || !p.Push(d, 11) {
+		t.Fatal("pushes under cap rejected")
+	}
+	if p.Push(d, 12) {
+		t.Fatal("push over cap accepted")
+	}
+	if len(d.Queue) != 2 {
+		t.Fatalf("queue = %v, want 2 entries", d.Queue)
+	}
+}
+
+func TestPendingCurrentDetectsSupersession(t *testing.T) {
+	p := NewPending[int](4)
+	d1 := p.Start(5)
+	if !p.Current(5, d1) {
+		t.Fatal("live entry not current")
+	}
+	p.Drop(5)
+	d2 := p.Start(5)
+	if p.Current(5, d1) {
+		t.Fatal("dropped entry still current")
+	}
+	if !p.Current(5, d2) {
+		t.Fatal("replacement entry not current")
+	}
+}
+
+func TestPendingTakeCancelsTimer(t *testing.T) {
+	c, s := testCore(4)
+	_ = c
+	p := NewPending[int](4)
+	d := p.Start(5)
+	fired := false
+	d.Timer = s.ScheduleArg(sim.Second, func(sim.Arg) { fired = true }, sim.Arg{})
+	got, ok := p.Take(5)
+	if !ok || got != d {
+		t.Fatal("Take did not return the live entry")
+	}
+	s.Run(2 * sim.Second)
+	if fired {
+		t.Fatal("Take left the retry timer armed")
+	}
+	if _, ok := p.Get(5); ok {
+		t.Fatal("entry still registered after Take")
+	}
+}
+
+func TestCoreSelfDeliverIsAsynchronous(t *testing.T) {
+	c, s := testCore(5)
+	var got []int
+	c.OnUnicast(func(d netif.Delivery) { got = append(got, d.Hops) })
+	c.SelfDeliver("x")
+	if len(got) != 0 {
+		t.Fatal("self delivery ran synchronously")
+	}
+	s.Run(sim.Second)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("deliveries = %v, want one at 0 hops", got)
+	}
+	if c.Stats().Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1", c.Stats().Delivered)
+	}
+}

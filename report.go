@@ -229,6 +229,12 @@ func WriteSummary(w io.Writer, r *Result) {
 		r.Totals[metrics.Connect], r.Totals[metrics.Ping],
 		r.Totals[metrics.Pong], r.Totals[metrics.Query])
 	fmt.Fprintf(w, "radio frames per node: rx %s, tx %s\n", r.RxFrames, r.TxFrames)
+	if rt := r.Routing; rt != nil {
+		fmt.Fprintf(w, "routing (%s): ctrl %.1f+%.1f, bcast %.1f+%.1f per node (orig+relay), %.2f ctrl/delivered, %.1f%% send failures\n",
+			rt.Protocol, rt.CtrlOrig.Mean, rt.CtrlRelayed.Mean,
+			rt.BcastOrig.Mean, rt.BcastRelayed.Mean,
+			rt.ControlPerDelivered(), 100*rt.SendFailRate())
+	}
 	if r.Overlay.Samples > 0 {
 		fmt.Fprintf(w, "overlay: clustering %s, pathlength %s, largest component %s, degree %s\n",
 			r.Overlay.Clustering, r.Overlay.PathLength,

@@ -1,0 +1,76 @@
+package manetp2p
+
+// Tests for the unified routing-effort telemetry: every routing
+// substrate must populate Result.Routing from the shared netif.Stats
+// counter block, and the derived overhead ratios must stay sane.
+
+import (
+	"strings"
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+func routingTelemetryScenario(kind RoutingKind) Scenario {
+	sc := DefaultScenario(30, Regular)
+	sc.Duration = 200 * sim.Second
+	sc.Replications = 2
+	sc.Seed = 23
+	sc.Routing = kind
+	return sc
+}
+
+// TestRoutingTelemetry runs each substrate and asserts the pooled
+// counter block is present and plausible: frames were put on the air,
+// payloads were delivered, and no derived ratio degenerates.
+func TestRoutingTelemetry(t *testing.T) {
+	kinds := []RoutingKind{RoutingAODV, RoutingDSR, RoutingFlood, RoutingDSDV}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(routingTelemetryScenario(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := res.Routing
+			if rt == nil {
+				t.Fatal("Result.Routing not populated")
+			}
+			if !strings.EqualFold(rt.Protocol, kind.String()) {
+				t.Errorf("Protocol = %q, want %q", rt.Protocol, kind.String())
+			}
+			if rt.DataSent.Mean <= 0 {
+				t.Error("no data sends recorded")
+			}
+			if rt.Delivered.Mean <= 0 {
+				t.Error("no deliveries recorded")
+			}
+			if rt.BcastOrig.Mean <= 0 {
+				t.Error("no broadcast originations recorded (overlay pings ride Broadcast)")
+			}
+			if cpd := rt.ControlPerDelivered(); cpd < 0 {
+				t.Errorf("ControlPerDelivered = %v, want >= 0", cpd)
+			}
+			if fr := rt.SendFailRate(); fr < 0 || fr > 1 {
+				t.Errorf("SendFailRate = %v, want within [0,1]", fr)
+			}
+			if rt.SendFailed.Mean > rt.DataSent.Mean {
+				t.Errorf("mean SendFailed %v exceeds mean DataSent %v",
+					rt.SendFailed.Mean, rt.DataSent.Mean)
+			}
+		})
+	}
+}
+
+// TestRoutingRatioGuards pins the zero-guard behavior of the derived
+// ratios so report columns never render NaN for an idle run.
+func TestRoutingRatioGuards(t *testing.T) {
+	var rt RoutingStats
+	if got := rt.ControlPerDelivered(); got != 0 {
+		t.Errorf("zero-value ControlPerDelivered = %v, want 0", got)
+	}
+	if got := rt.SendFailRate(); got != 0 {
+		t.Errorf("zero-value SendFailRate = %v, want 0", got)
+	}
+}

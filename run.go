@@ -7,6 +7,7 @@ import (
 	"manetp2p/internal/graphs"
 	"manetp2p/internal/manet"
 	"manetp2p/internal/metrics"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
 	"manetp2p/internal/stats"
 )
@@ -30,6 +31,47 @@ type OverlayStats struct {
 	PathLength       stats.Summary
 	LargestComponent stats.Summary // fraction of members
 	MeanDegree       stats.Summary
+}
+
+// RoutingStats pools the per-node routing-effort counters — the unified
+// netif.Stats contract every routing substrate implements — over all
+// replications: one Summary per counter, with NumNodes × Replications
+// samples behind each. This is what lets `sweep -axis routing` compare
+// what the routing layer spent, not just what the overlay received.
+type RoutingStats struct {
+	Protocol       string        // routing substrate name (AODV, DSR, ...)
+	CtrlOrig       stats.Summary // protocol control frames originated per node
+	CtrlRelayed    stats.Summary // protocol control frames re-forwarded
+	BcastOrig      stats.Summary // controlled broadcasts originated
+	BcastRelayed   stats.Summary // controlled broadcasts re-forwarded
+	DataSent       stats.Summary // locally originated data attempts
+	DataForwarded  stats.Summary // transit data relayed
+	DataDropped    stats.Summary // data abandoned
+	Delivered      stats.Summary // upper-layer deliveries dispatched
+	Discoveries    stats.Summary // route discoveries started
+	DiscoverFailed stats.Summary // discoveries abandoned
+	SendFailed     stats.Summary // payloads reported undeliverable
+	DupHits        stats.Summary // duplicate-cache suppressions
+}
+
+// ControlPerDelivered derives the headline overhead ratio: control-plane
+// frames (protocol signalling + controlled-broadcast relays) per
+// upper-layer delivery. Zero when nothing was delivered.
+func (r *RoutingStats) ControlPerDelivered() float64 {
+	if r == nil || r.Delivered.Mean == 0 {
+		return 0
+	}
+	ctrl := r.CtrlOrig.Mean + r.CtrlRelayed.Mean + r.BcastOrig.Mean + r.BcastRelayed.Mean
+	return ctrl / r.Delivered.Mean
+}
+
+// SendFailRate derives the fraction of locally originated data attempts
+// reported undeliverable. Zero when nothing was sent.
+func (r *RoutingStats) SendFailRate() float64 {
+	if r == nil || r.DataSent.Mean == 0 {
+		return 0
+	}
+	return r.SendFailed.Mean / r.DataSent.Mean
 }
 
 // Result aggregates a scenario's replications.
@@ -76,6 +118,12 @@ type Result struct {
 	// sampling is off — no Faults plan and no HealthEvery).
 	Resilience *Resilience
 
+	// Routing pools the routing-layer effort counters of every node
+	// over all replications. Omitted from fixtures generated before the
+	// unified netif.Stats contract existed (goldenMarshal strips it);
+	// populated for every routing substrate since.
+	Routing *RoutingStats `json:",omitempty"`
+
 	// Invariants reports the runtime invariant checker's findings (nil
 	// when Scenario.Invariants is off).
 	Invariants *InvariantReport `json:",omitempty"`
@@ -100,6 +148,7 @@ type repResult struct {
 	energy     []float64
 	lifetimes  []float64
 	health     []metrics.HealthSample // resilience telemetry samples
+	routing    []netif.Stats          // per-node routing-effort counters
 	members    int                    // overlay membership size
 	checked    bool                   // the invariant checker validated this replication
 	violTotal  int                    // invariant breaches detected (including past the cap)
@@ -195,6 +244,7 @@ func runReplication(sc Scenario, rep int) repResult {
 	rr.requests = net.Collector.Requests()
 	rr.lifetimes = net.Collector.Lifetimes()
 	rr.health = net.Collector.Health()
+	rr.routing = net.RoutingStats()
 	members := net.Members()
 	rr.members = len(members)
 	counts := make([]uint64, 0, len(members)) // reused across classes
@@ -349,7 +399,37 @@ func aggregate(sc Scenario, reps []repResult) *Result {
 	}
 	res.ConnectTraffic = stats.MeanSeries(connRates)
 	res.QueryTraffic = stats.MeanSeries(queryRates)
+	res.Routing = aggregateRouting(sc, reps)
 	res.Resilience = computeResilience(sc, reps)
 	res.Invariants = invariantReport(sc, reps)
 	return res
+}
+
+// aggregateRouting pools every node's routing counters over all
+// replications into one Summary per counter.
+func aggregateRouting(sc Scenario, reps []repResult) *RoutingStats {
+	pool := func(pick func(netif.Stats) uint64) stats.Summary {
+		var vals []float64
+		for _, rr := range reps {
+			for _, st := range rr.routing {
+				vals = append(vals, float64(pick(st)))
+			}
+		}
+		return stats.Summarize(vals)
+	}
+	return &RoutingStats{
+		Protocol:       sc.Routing.String(),
+		CtrlOrig:       pool(func(s netif.Stats) uint64 { return s.CtrlOrig }),
+		CtrlRelayed:    pool(func(s netif.Stats) uint64 { return s.CtrlRelayed }),
+		BcastOrig:      pool(func(s netif.Stats) uint64 { return s.BcastOrig }),
+		BcastRelayed:   pool(func(s netif.Stats) uint64 { return s.BcastRelayed }),
+		DataSent:       pool(func(s netif.Stats) uint64 { return s.DataSent }),
+		DataForwarded:  pool(func(s netif.Stats) uint64 { return s.DataForwarded }),
+		DataDropped:    pool(func(s netif.Stats) uint64 { return s.DataDropped }),
+		Delivered:      pool(func(s netif.Stats) uint64 { return s.Delivered }),
+		Discoveries:    pool(func(s netif.Stats) uint64 { return s.Discoveries }),
+		DiscoverFailed: pool(func(s netif.Stats) uint64 { return s.DiscoverFailed }),
+		SendFailed:     pool(func(s netif.Stats) uint64 { return s.SendFailed }),
+		DupHits:        pool(func(s netif.Stats) uint64 { return s.DupHits }),
+	}
 }
