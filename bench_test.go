@@ -414,6 +414,10 @@ func BenchmarkAODVDiscovery(b *testing.B) { benchAODVDiscovery(b) }
 // the shared route.Bcaster relay path.
 func BenchmarkBcastRelay(b *testing.B) { benchBcastRelay(b) }
 
+// Cost of the workload engine's per-query hot path (NextGap + PickFile)
+// with every feature armed; must report 0 allocs/op.
+func BenchmarkWorkloadArrivals(b *testing.B) { benchWorkloadArrivals(b) }
+
 // BenchmarkFullReplication measures one end-to-end paper replication
 // (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
 func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b, false) }

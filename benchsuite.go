@@ -17,6 +17,7 @@ import (
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/workload"
 )
 
 // BenchSpec names one tracked benchmark.
@@ -33,6 +34,7 @@ func TrackedBenchmarks() []BenchSpec {
 		{Name: "GridNear", Fn: benchGridNear},
 		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
 		{Name: "BcastRelay", Fn: benchBcastRelay},
+		{Name: "WorkloadArrivals", Fn: benchWorkloadArrivals},
 		{Name: "FullReplication", Fn: func(b *testing.B) { benchFullReplication(b, false) }},
 		{Name: "FullReplicationChecked", Fn: func(b *testing.B) { benchFullReplication(b, true) }},
 	}
@@ -129,6 +131,34 @@ func benchBcastRelay(b *testing.B) {
 	}
 	if delivered != b.N {
 		b.Fatalf("far end delivered %d of %d broadcasts", delivered, b.N)
+	}
+}
+
+// benchWorkloadArrivals measures the workload engine's per-query hot
+// path — one NextGap draw plus one PickFile draw — under the busiest
+// configuration (bursty arrivals, rotating Zipf popularity, session
+// classes, an active flash-crowd phase). The engine is called once per
+// query per servent for the whole horizon, so this path must stay at
+// zero allocations per operation.
+func benchWorkloadArrivals(b *testing.B) {
+	plan := workload.Plan{
+		Arrival:    workload.Arrival{Process: workload.OnOff, Rate: 0.2},
+		Popularity: workload.Popularity{Skew: 1.2, DriftPerHour: -0.4, RotateEvery: 120 * sim.Second},
+		Sessions:   workload.DefaultSessions(),
+		Phases: []workload.Phase{
+			{Name: "flash", Start: 0, RateScale: 3, HotFiles: 3, HotBoost: 0.8},
+		},
+	}
+	s := sim.New(1)
+	e := workload.New(s, s.NewRand(), plan, 50, 20, nil)
+	held := make([]bool, 20)
+	held[3] = true
+	e.NextGap(0) // cross the phase transition before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.NextGap(i % 50)
+		e.PickFile(i%50, held)
 	}
 }
 

@@ -6,9 +6,11 @@
 # the second argument to override the default BENCH.json.
 #
 # `./check.sh selfcheck` runs the runtime invariant suite and the
-# determinism self-audit (p2psim -selfcheck) across all four algorithms,
-# fault-free and under the scripted partition+crash plan in
-# testdata/selfcheck_faults.json. Exits nonzero on any violation.
+# determinism self-audit (p2psim -selfcheck) across all four algorithms:
+# fault-free, under the scripted partition+crash plan in
+# testdata/selfcheck_faults.json, and under the full workload plan in
+# testdata/selfcheck_workload.json (which arms the demand-conservation
+# rules). Exits nonzero on any violation.
 set -e
 cd "$(dirname "$0")"
 
@@ -26,6 +28,9 @@ if [ "$1" = "selfcheck" ]; then
 		echo "== selfcheck $alg (partition + crash) =="
 		go run ./cmd/p2psim -selfcheck -alg "$alg" -nodes 30 -duration 600 -reps 2 \
 			-faults testdata/selfcheck_faults.json
+		echo "== selfcheck $alg (scripted workload) =="
+		go run ./cmd/p2psim -selfcheck -alg "$alg" -nodes 30 -duration 600 -reps 2 \
+			-workload testdata/selfcheck_workload.json
 	done
 	echo "selfcheck passed"
 	exit 0
@@ -51,8 +56,8 @@ echo ok
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (sim core, fault injection, root) =="
-go test -race ./internal/sim ./internal/fault .
+echo "== go test -race (sim core, fault injection, workload, root) =="
+go test -race ./internal/sim ./internal/fault ./internal/workload .
 
 echo "== bench smoke (micro benches only) =="
 go test -run xxx -bench 'Table1|GridNear|SimEventQueue|AODVDiscovery' -benchtime 10x .

@@ -44,6 +44,7 @@ func main() {
 		routing   = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
 		traffic   = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
 		faults    = flag.String("faults", "", "load a fault-injection plan from this JSON file ('-' = stdin) and print recovery metrics")
+		workload  = flag.String("workload", "", "load a workload plan from this JSON file ('-' = stdin) and print demand telemetry")
 		health    = flag.Float64("health", 0, "resilience-telemetry sampling period in seconds (default 10 when -faults is set)")
 		config    = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
 		saveCfg   = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
@@ -117,6 +118,14 @@ func main() {
 		}
 		sc.Faults = plan
 	}
+	if *workload != "" {
+		plan, err := manetp2p.LoadWorkloadPlan(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.Workload = plan
+	}
 	if *health > 0 {
 		sc.HealthEvery = manetp2p.Seconds(*health)
 	}
@@ -146,6 +155,13 @@ func main() {
 	if res.Resilience != nil {
 		fmt.Println()
 		if err := manetp2p.WriteResilience(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if res.Workload != nil {
+		fmt.Println()
+		if err := manetp2p.WriteWorkload(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,11 +1,10 @@
 // Command sweep runs the parameter studies from the paper's future-work
 // list (§8): node density, wireless coverage (radio range), mobility
-// speed, death/birth churn, energy budget and scripted fault regimes.
-// Each sweep prints one TSV row per parameter point with the headline
-// metrics for the selected algorithms; the faults axis adds
-// time-to-reheal and residual-disconnect columns, and the routing axis
-// adds control-overhead columns (control frames per delivered payload
-// and the send-failure rate) from the unified netif.Stats telemetry.
+// speed, death/birth churn, energy budget, scripted fault regimes and
+// scripted workload regimes. Each sweep prints one TSV row per
+// parameter point with the headline metrics for the selected
+// algorithms; axes registered with extra columns (faults, routing,
+// workload) append them to every row.
 //
 // Usage:
 //
@@ -13,6 +12,7 @@
 //	sweep -axis range -algs basic,regular
 //	sweep -axis energy -reps 10
 //	sweep -axis faults -seed 7
+//	sweep -axis workload -reps 3 -duration 1200
 package main
 
 import (
@@ -32,27 +32,37 @@ type point struct {
 	mod   func(*manetp2p.Scenario)
 }
 
-func axes() map[string][]point {
-	return map[string][]point{
-		"density": {
+// axisSpec is one registered sweep axis: its parameter points plus the
+// axis-specific extra columns (nil cells = none). All axis knowledge —
+// the flag help, the unknown-axis error, the per-row extras — derives
+// from this registry, so adding an axis is one map entry.
+type axisSpec struct {
+	points  []point
+	headers []string
+	cells   func(*manetp2p.Result) []string
+}
+
+func registry() map[string]axisSpec {
+	return map[string]axisSpec{
+		"density": {points: []point{
 			{"25", func(sc *manetp2p.Scenario) { sc.NumNodes = 25 }},
 			{"50", func(sc *manetp2p.Scenario) { sc.NumNodes = 50 }},
 			{"100", func(sc *manetp2p.Scenario) { sc.NumNodes = 100 }},
 			{"150", func(sc *manetp2p.Scenario) { sc.NumNodes = 150 }},
-		},
-		"range": {
+		}},
+		"range": {points: []point{
 			{"5m", func(sc *manetp2p.Scenario) { sc.Range = 5 }},
 			{"10m", func(sc *manetp2p.Scenario) { sc.Range = 10 }},
 			{"20m", func(sc *manetp2p.Scenario) { sc.Range = 20 }},
 			{"30m", func(sc *manetp2p.Scenario) { sc.Range = 30 }},
-		},
-		"speed": {
+		}},
+		"speed": {points: []point{
 			{"0.5m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 0.5 }},
 			{"1m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 1.0 }},
 			{"2m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 2.0 }},
 			{"5m/s", func(sc *manetp2p.Scenario) { sc.MaxSpeed = 5.0 }},
-		},
-		"churn": {
+		}},
+		"churn": {points: []point{
 			{"none", func(sc *manetp2p.Scenario) {}},
 			{"mild", func(sc *manetp2p.Scenario) {
 				sc.Churn = manetp2p.ChurnConfig{MeanUptime: manetp2p.Seconds(1200), MeanDowntime: manetp2p.Seconds(120)}
@@ -63,54 +73,108 @@ func axes() map[string][]point {
 			{"heavy", func(sc *manetp2p.Scenario) {
 				sc.Churn = manetp2p.ChurnConfig{MeanUptime: manetp2p.Seconds(300), MeanDowntime: manetp2p.Seconds(120)}
 			}},
-		},
-		"energy": {
+		}},
+		"energy": {points: []point{
 			{"infinite", func(sc *manetp2p.Scenario) {}},
 			{"5J", func(sc *manetp2p.Scenario) { sc.Energy = manetp2p.DefaultEnergy(5) }},
 			{"2J", func(sc *manetp2p.Scenario) { sc.Energy = manetp2p.DefaultEnergy(2) }},
 			{"1J", func(sc *manetp2p.Scenario) { sc.Energy = manetp2p.DefaultEnergy(1) }},
-		},
-		"mobility": {
+		}},
+		"mobility": {points: []point{
 			{"stationary", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityStationary }},
 			{"waypoint", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityWaypoint }},
 			{"walk", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityWalk }},
 			{"direction", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityDirection }},
 			{"gaussmarkov", func(sc *manetp2p.Scenario) { sc.Mobility = manetp2p.MobilityGaussMarkov }},
-		},
+		}},
 		"routing": {
-			{"aodv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingAODV }},
-			{"dsr", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSR }},
-			{"flood", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingFlood }},
-			{"dsdv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSDV }},
+			points: []point{
+				{"aodv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingAODV }},
+				{"dsr", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSR }},
+				{"flood", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingFlood }},
+				{"dsdv", func(sc *manetp2p.Scenario) { sc.Routing = manetp2p.RoutingDSDV }},
+			},
+			headers: []string{"ctrl/delivered", "sendfail%"},
+			cells:   routingCells,
 		},
 		// Fault regimes: scripted failures relative to the run length,
 		// executed by internal/fault. Telemetry (10 s sampling) switches
 		// on automatically with a non-empty plan.
 		"faults": {
-			{"none", func(sc *manetp2p.Scenario) {}},
-			{"partition", func(sc *manetp2p.Scenario) {
-				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
-					manetp2p.PartitionFault(sc.Duration/3, manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
-				}}
-			}},
-			{"jam", func(sc *manetp2p.Scenario) {
-				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
-					manetp2p.JamFault(sc.Duration/3, manetp2p.Seconds(180),
-						sc.AreaSide/2, sc.AreaSide/2, sc.AreaSide/4, 0.9),
-				}}
-			}},
-			{"crash", func(sc *manetp2p.Scenario) {
-				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
-					manetp2p.CrashFractionFault(sc.Duration/3, manetp2p.Seconds(180), 0.25),
-				}}
-			}},
-			{"combined", func(sc *manetp2p.Scenario) {
-				sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
-					manetp2p.PartitionFault(sc.Duration/4, manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
-					manetp2p.CrashFractionFault(sc.Duration/2, manetp2p.Seconds(180), 0.25),
-					manetp2p.LossBurstFault(3*sc.Duration/4, manetp2p.Seconds(60), 0.5),
-				}}
-			}},
+			points: []point{
+				{"none", func(sc *manetp2p.Scenario) {}},
+				{"partition", func(sc *manetp2p.Scenario) {
+					sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+						manetp2p.PartitionFault(sc.Duration/3, manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
+					}}
+				}},
+				{"jam", func(sc *manetp2p.Scenario) {
+					sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+						manetp2p.JamFault(sc.Duration/3, manetp2p.Seconds(180),
+							sc.AreaSide/2, sc.AreaSide/2, sc.AreaSide/4, 0.9),
+					}}
+				}},
+				{"crash", func(sc *manetp2p.Scenario) {
+					sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+						manetp2p.CrashFractionFault(sc.Duration/3, manetp2p.Seconds(180), 0.25),
+					}}
+				}},
+				{"combined", func(sc *manetp2p.Scenario) {
+					sc.Faults = manetp2p.FaultPlan{Events: []manetp2p.FaultEvent{
+						manetp2p.PartitionFault(sc.Duration/4, manetp2p.Seconds(120), manetp2p.AxisX, sc.AreaSide/2),
+						manetp2p.CrashFractionFault(sc.Duration/2, manetp2p.Seconds(180), 0.25),
+						manetp2p.LossBurstFault(3*sc.Duration/4, manetp2p.Seconds(60), 0.5),
+					}}
+				}},
+			},
+			headers: []string{"reheal-s", "residual-disc"},
+			cells:   resilienceCells,
+		},
+		// Workload regimes: scripted demand executed by
+		// internal/workload. "none" keeps the paper's built-in query
+		// loop as the baseline row.
+		"workload": {
+			points: []point{
+				{"none", func(sc *manetp2p.Scenario) {}},
+				{"uniform", func(sc *manetp2p.Scenario) {
+					sc.Workload = &manetp2p.WorkloadPlan{} // defaults = paper's 15-45 s gaps
+				}},
+				{"poisson", func(sc *manetp2p.Scenario) {
+					sc.Workload = &manetp2p.WorkloadPlan{
+						Arrival:    manetp2p.WorkloadArrival{Process: manetp2p.ArrivalPoisson, Rate: 1.0 / 30},
+						Popularity: manetp2p.WorkloadPopularity{Skew: 1.0},
+					}
+				}},
+				{"bursty", func(sc *manetp2p.Scenario) {
+					sc.Workload = &manetp2p.WorkloadPlan{
+						Arrival:    manetp2p.WorkloadArrival{Process: manetp2p.ArrivalOnOff, Rate: 0.1},
+						Popularity: manetp2p.WorkloadPopularity{Skew: 1.0},
+					}
+				}},
+				{"diurnal", func(sc *manetp2p.Scenario) {
+					sc.Workload = &manetp2p.WorkloadPlan{
+						Arrival: manetp2p.WorkloadArrival{
+							Process: manetp2p.ArrivalDiurnal, Rate: 1.0 / 30,
+							Period: sc.Duration / 2, Amplitude: 0.8,
+						},
+						Popularity: manetp2p.WorkloadPopularity{Skew: 1.0},
+					}
+				}},
+				{"flash", func(sc *manetp2p.Scenario) {
+					sc.Workload = &manetp2p.WorkloadPlan{
+						Popularity: manetp2p.WorkloadPopularity{Skew: 1.2},
+						Sessions:   manetp2p.DefaultWorkloadSessions(),
+						Phases: []manetp2p.WorkloadPhase{
+							{Name: "ramp", Start: 0, RateScale: 0.5},
+							{Name: "steady", Start: sc.Duration / 4},
+							{Name: "flash", Start: sc.Duration / 2, RateScale: 3, HotFiles: 3, HotBoost: 0.8},
+							{Name: "drain", Start: 3 * sc.Duration / 4, RateScale: 0.25},
+						},
+					}
+				}},
+			},
+			headers: []string{"offered", "success%", "ttfr-s"},
+			cells:   workloadCells,
 		},
 	}
 }
@@ -118,10 +182,10 @@ func axes() map[string][]point {
 // resilienceCells renders the faults-axis extra columns: mean
 // time-to-reheal and residual disconnect over the regime's events, "-"
 // when the regime injected nothing.
-func resilienceCells(res *manetp2p.Result) (reheal, residual string) {
+func resilienceCells(res *manetp2p.Result) []string {
 	r := res.Resilience
 	if r == nil || len(r.Events) == 0 {
-		return "-", "-"
+		return []string{"-", "-"}
 	}
 	rehealSum, residualSum, n := 0.0, 0.0, 0
 	for _, ev := range r.Events {
@@ -130,27 +194,57 @@ func resilienceCells(res *manetp2p.Result) (reheal, residual string) {
 		n++
 	}
 	if n == 0 || math.IsNaN(rehealSum) {
-		return "-", "-"
+		return []string{"-", "-"}
 	}
-	return fmt.Sprintf("%.1f", rehealSum/float64(n)),
-		fmt.Sprintf("%.3f", residualSum/float64(n))
+	return []string{
+		fmt.Sprintf("%.1f", rehealSum/float64(n)),
+		fmt.Sprintf("%.3f", residualSum/float64(n)),
+	}
 }
 
 // routingCells renders the routing-axis extra columns: control frames
 // spent per delivered payload and the percentage of locally originated
 // sends that were abandoned, "-" when telemetry is absent.
-func routingCells(res *manetp2p.Result) (ctrlPerDelivered, sendFail string) {
+func routingCells(res *manetp2p.Result) []string {
 	rt := res.Routing
 	if rt == nil {
-		return "-", "-"
+		return []string{"-", "-"}
 	}
-	return fmt.Sprintf("%.2f", rt.ControlPerDelivered()),
-		fmt.Sprintf("%.1f", 100*rt.SendFailRate())
+	return []string{
+		fmt.Sprintf("%.2f", rt.ControlPerDelivered()),
+		fmt.Sprintf("%.1f", 100*rt.SendFailRate()),
+	}
+}
+
+// workloadCells renders the workload-axis extra columns: offered demand
+// per replication, the success rate and mean time-to-first-result, "-"
+// for the built-in baseline row (no engine, no telemetry).
+func workloadCells(res *manetp2p.Result) []string {
+	ws := res.Workload
+	if ws == nil {
+		return []string{"-", "-", "-"}
+	}
+	return []string{
+		fmt.Sprintf("%.0f", ws.Offered.Mean),
+		fmt.Sprintf("%.1f", 100*ws.SuccessRate),
+		fmt.Sprintf("%.2f", ws.TTFR.Mean),
+	}
+}
+
+// axisNames returns the registered axis names, sorted.
+func axisNames(reg map[string]axisSpec) []string {
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func main() {
+	reg := registry()
 	var (
-		axis  = flag.String("axis", "density", "sweep axis: density|range|speed|churn|energy|routing|mobility|faults")
+		axis  = flag.String("axis", "density", "sweep axis: "+strings.Join(axisNames(reg), "|"))
 		algsF = flag.String("algs", "basic,regular,random,hybrid", "comma-separated algorithms")
 		reps  = flag.Int("reps", 5, "replications per point")
 		nodes = flag.Int("nodes", 50, "base node count (non-density sweeps)")
@@ -160,14 +254,9 @@ func main() {
 	flag.Parse()
 
 	axisName := strings.ToLower(*axis)
-	points, ok := axes()[axisName]
+	spec, ok := reg[axisName]
 	if !ok {
-		valid := make([]string, 0, len(axes()))
-		for name := range axes() {
-			valid = append(valid, name)
-		}
-		sort.Strings(valid)
-		fmt.Fprintf(os.Stderr, "unknown axis %q (valid: %s)\n", *axis, strings.Join(valid, "|"))
+		fmt.Fprintf(os.Stderr, "unknown axis %q (valid: %s)\n", *axis, strings.Join(axisNames(reg), "|"))
 		os.Exit(2)
 	}
 	var algs []manetp2p.Algorithm
@@ -187,14 +276,11 @@ func main() {
 
 	fmt.Printf("# sweep axis=%s, %d reps/point, %gs simulated\n", axisName, *reps, *dur)
 	header := "point\talg\tconnect/node\tping/node\tquery/node\tfound%\tdist\tanswers\tdeaths\tlargest-comp"
-	if axisName == "faults" {
-		header += "\treheal-s\tresidual-disc"
-	}
-	if axisName == "routing" {
-		header += "\tctrl/delivered\tsendfail%"
+	for _, h := range spec.headers {
+		header += "\t" + h
 	}
 	fmt.Println(header)
-	for _, pt := range points {
+	for _, pt := range spec.points {
 		for _, alg := range algs {
 			sc := manetp2p.DefaultScenario(*nodes, alg)
 			sc.Duration = manetp2p.Seconds(*dur)
@@ -235,13 +321,10 @@ func main() {
 				foundPct, dist, answ,
 				res.Deaths.Mean,
 				res.Overlay.LargestComponent.Mean)
-			if axisName == "faults" {
-				reheal, residual := resilienceCells(res)
-				row += "\t" + reheal + "\t" + residual
-			}
-			if axisName == "routing" {
-				cpd, sf := routingCells(res)
-				row += "\t" + cpd + "\t" + sf
+			if spec.cells != nil {
+				for _, cell := range spec.cells(res) {
+					row += "\t" + cell
+				}
 			}
 			fmt.Println(row)
 		}

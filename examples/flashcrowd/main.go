@@ -1,0 +1,60 @@
+// Flashcrowd: the paper's query model assumes every servent asks at a
+// steady uniform pace (§7.1, one query every 15–45 s). Real file-sharing
+// demand is nothing like that: arrivals are bursty, popularity follows a
+// drifting Zipf law, and a release event can point most of the network
+// at a handful of hot files at once — while free-riders query hard and
+// contribute little, and transient peers churn through the overlay.
+//
+// This example scripts exactly that with a workload plan — bursty OnOff
+// arrivals, rotating Zipf popularity, the seeder/free-rider/transient
+// session mix, and a mid-run flash crowd onto three hot keys — and
+// compares how the four (re)configuration algorithms hold up: offered
+// vs resolved demand, success rate, time-to-first-result, and the
+// connect-message cost of repairing the overlay after each churn event.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manetp2p"
+)
+
+func main() {
+	fmt.Println("flash crowd: 50 peers, bursty arrivals, Zipf popularity, session churn;")
+	fmt.Println("  t=0s     ramp at half rate while the overlay forms")
+	fmt.Println("  t=600s   steady state")
+	fmt.Println("  t=1800s  flash crowd: 3x rate, 80% of queries hit 3 hot files")
+	fmt.Println("  t=3000s  drain at quarter rate")
+	fmt.Println()
+	fmt.Println("alg      offered  resolved  success%  ttfr-s  churn/rep  repair-msgs/event")
+	for _, alg := range manetp2p.Algorithms() {
+		sc := manetp2p.DefaultScenario(50, alg)
+		sc.Replications = 5
+		sc.Workload = &manetp2p.WorkloadPlan{
+			Arrival:    manetp2p.WorkloadArrival{Process: manetp2p.ArrivalOnOff, Rate: 0.1},
+			Popularity: manetp2p.WorkloadPopularity{Skew: 1.2, RotateEvery: manetp2p.Seconds(600)},
+			Sessions:   manetp2p.DefaultWorkloadSessions(),
+			Phases: []manetp2p.WorkloadPhase{
+				{Name: "ramp", RateScale: 0.5},
+				{Name: "steady", Start: manetp2p.Seconds(600)},
+				{Name: "flash", Start: manetp2p.Seconds(1800), RateScale: 3, HotFiles: 3, HotBoost: 0.8},
+				{Name: "drain", Start: manetp2p.Seconds(3000), RateScale: 0.25},
+			},
+		}
+		res, err := manetp2p.Run(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := res.Workload
+		fmt.Printf("%-8s %7.0f  %8.0f  %7.1f%%  %6.2f  %9.1f  %17.1f\n",
+			alg, ws.Offered.Mean, ws.Resolved.Mean, 100*ws.SuccessRate,
+			ws.TTFR.Mean, ws.ChurnEvents.Mean, ws.RepairPerChurn)
+	}
+	fmt.Println()
+	fmt.Println("The flash crowd concentrates demand on files many peers already hold,")
+	fmt.Println("so hit rates rise even as transient peers churn; the repair column is")
+	fmt.Println("what each departure costs the overlay in connect traffic to re-heal.")
+}

@@ -148,6 +148,42 @@ func TestGoldenRouting(t *testing.T) {
 	}
 }
 
+// goldenWorkloadScenario layers the full workload engine — bursty
+// arrivals, drifting Zipf popularity, session classes with their own
+// churn, and a flash-crowd phase timeline — on top of the busy golden
+// scenario, pinning the demand telemetry byte-for-byte.
+func goldenWorkloadScenario() Scenario {
+	sc := goldenScenario(Regular)
+	sc.Workload = &WorkloadPlan{
+		Arrival:    WorkloadArrival{Process: ArrivalOnOff, Rate: 0.1},
+		Popularity: WorkloadPopularity{Skew: 1.2, DriftPerHour: -0.4, RotateEvery: 120 * sim.Second},
+		Sessions:   DefaultWorkloadSessions(),
+		Phases: []WorkloadPhase{
+			{Name: "ramp", RateScale: 0.5},
+			{Name: "steady", Start: 120 * sim.Second},
+			{Name: "flash", Start: 240 * sim.Second, RateScale: 3, HotFiles: 3, HotBoost: 0.8},
+			{Name: "drain", Start: 480 * sim.Second, RateScale: 0.25},
+		},
+	}
+	return sc
+}
+
+// TestGoldenWorkload pins a fixed-seed workload-driven run: the ledger,
+// latency summaries and per-class stats in Result.Workload must stay
+// byte-identical across refactors of the arrival/popularity engine.
+func TestGoldenWorkload(t *testing.T) {
+	t.Parallel()
+	res, err := Run(goldenWorkloadScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload == nil {
+		t.Fatal("workload scenario produced no workload telemetry")
+	}
+	path := filepath.Join("testdata", "golden", "workload.json")
+	checkGolden(t, path, goldenMarshal(t, res))
+}
+
 // TestGoldenRunRepeatable guards the weaker property independently of
 // the fixtures: two in-process runs of the same scenario are identical,
 // whatever the fixture says.

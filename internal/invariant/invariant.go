@@ -27,6 +27,7 @@ import (
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/workload"
 )
 
 // Config enables and tunes the checker. The zero value is "off".
@@ -64,7 +65,7 @@ func (c Config) Validate() error {
 // time and the node(s) involved so a report pinpoints the corruption.
 type Violation struct {
 	At     sim.Time
-	Layer  string // "sim", "radio", "metrics", "route" or "p2p"
+	Layer  string // "sim", "radio", "metrics", "route", "p2p" or "workload"
 	Rule   string
 	Node   int // -1 when not node-specific
 	Peer   int // -1 when not pairwise
@@ -95,6 +96,9 @@ type Target struct {
 	// RoutingStats returns node i's routing-effort counters
 	// (netif.Stats); nil disarms the route-layer rules.
 	RoutingStats func(i int) netif.Stats
+	// Demand is the scripted workload engine; nil disarms the
+	// demand-conservation rules.
+	Demand *workload.Engine
 }
 
 // pairKey identifies one tracked cross-node observation.
@@ -124,6 +128,7 @@ type Checker struct {
 	inflight   []uint64
 	lastRecv   [metrics.NumClasses]uint64
 	lastFrames uint64
+	lastBounds uint64
 	pairs      map[pairKey]*pairState
 
 	violations []Violation
@@ -206,7 +211,52 @@ func (c *Checker) Check() {
 	c.checkMetrics()
 	c.checkRouting()
 	c.checkOverlay()
+	c.checkWorkload()
 	c.sweepPairs()
+}
+
+// checkWorkload audits the demand engine's conservation ledger: every
+// offered demand is resolved, expired, aborted or still pending; every
+// issued query is resolved, expired, aborted or still in flight; the
+// in-flight count matches the number of servents holding an open query
+// window; queries cannot outnumber demand arrivals; and every drawn
+// inter-query gap honored its configured process bounds.
+func (c *Checker) checkWorkload() {
+	if c.t.Demand == nil {
+		return
+	}
+	ct := c.t.Demand.Counters()
+	settled := ct.Resolved + ct.Expired + ct.Aborted
+	if ct.Offered != settled+ct.Pending {
+		c.report("workload", "offered-conservation", -1, -1,
+			"offered %d != resolved %d + expired %d + aborted %d + pending %d",
+			ct.Offered, ct.Resolved, ct.Expired, ct.Aborted, ct.Pending)
+	}
+	if ct.Issued != settled+ct.InFlight {
+		c.report("workload", "issued-conservation", -1, -1,
+			"issued %d != resolved %d + expired %d + aborted %d + in-flight %d",
+			ct.Issued, ct.Resolved, ct.Expired, ct.Aborted, ct.InFlight)
+	}
+	if ct.Issued > ct.Offered+ct.Retries {
+		c.report("workload", "issued-bound", -1, -1,
+			"issued %d exceeds demand arrivals %d (offered %d + retries %d)",
+			ct.Issued, ct.Offered+ct.Retries, ct.Offered, ct.Retries)
+	}
+	var open uint64
+	for _, sv := range c.t.Servents {
+		if sv != nil && sv.OpenQuery() {
+			open++
+		}
+	}
+	if ct.InFlight != open {
+		c.report("workload", "inflight-open-queries", -1, -1,
+			"engine in-flight %d != servents with open query windows %d", ct.InFlight, open)
+	}
+	if b := ct.BoundsViol; b > c.lastBounds {
+		c.report("workload", "arrival-bounds", -1, -1,
+			"%d gap draws escaped the configured process bounds (%d new)", b, b-c.lastBounds)
+		c.lastBounds = b
+	}
 }
 
 // checkRouting validates the routing layer's netif.Stats counter block:

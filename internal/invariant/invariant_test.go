@@ -11,6 +11,7 @@ import (
 	"manetp2p/internal/manet"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/workload"
 )
 
 // testConfig builds a dense-enough network that overlay links actually
@@ -114,6 +115,58 @@ func TestDetectsSuppressedClose(t *testing.T) {
 			t.Logf("violation: %s", v.String())
 		}
 		t.Fatalf("no violation names the mutated pair node=%d peer=%d after t=%v", i, j, mutatedAt)
+	}
+}
+
+// TestWorkloadLedgerDrift seeds the canonical workload-accounting
+// mutation — an in-flight count bumped with no matching query — and
+// requires the checker's conservation rules to flag it. A clean
+// workload-driven run of the same scenario must stay green, so the
+// rules themselves are also exercised against honest ledgers.
+func TestWorkloadLedgerDrift(t *testing.T) {
+	build := func() *manet.Network {
+		cfg := testConfig(5, p2p.Regular)
+		cfg.NoQueries = false
+		cfg.Workload = &workload.Plan{
+			Arrival:  workload.Arrival{Process: workload.Poisson, Rate: 0.1},
+			Sessions: workload.DefaultSessions(),
+		}
+		net, err := manet.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+
+	clean := build()
+	clean.Run(600 * sim.Second)
+	clean.Checker.Finalize()
+	if !clean.Checker.OK() {
+		for _, v := range clean.Checker.Violations() {
+			t.Errorf("violation: %s", v.String())
+		}
+		t.Fatal("clean workload-driven run reported violations")
+	}
+
+	drifted := build()
+	drifted.Run(300 * sim.Second)
+	drifted.Demand.DriftForTest()
+	drifted.Run(600 * sim.Second)
+	drifted.Checker.Finalize()
+	if drifted.Checker.OK() {
+		t.Fatal("in-flight drift injected but no workload violation reported")
+	}
+	found := false
+	for _, v := range drifted.Checker.Violations() {
+		if strings.Contains(v.String(), "workload") {
+			found = true
+		}
+	}
+	if !found {
+		for _, v := range drifted.Checker.Violations() {
+			t.Logf("violation: %s", v.String())
+		}
+		t.Fatal("no violation names the workload layer")
 	}
 }
 

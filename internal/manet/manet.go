@@ -24,6 +24,7 @@ import (
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
 	"manetp2p/internal/trace"
+	"manetp2p/internal/workload"
 )
 
 // RoutingKind selects the network-layer protocol under the overlay.
@@ -195,6 +196,15 @@ type Config struct {
 	// reproduce the same failures.
 	Faults fault.Plan
 
+	// Workload optionally replaces the paper's built-in per-servent
+	// query loop (uniform 15–45 s gaps, uniform picks) with the
+	// scriptable demand engine: pluggable arrival processes, evolving
+	// Zipf popularity, session classes composing with Churn, and a
+	// phase timeline. Nil keeps runs bit-identical to older builds with
+	// the same seed (the engine's RNG stream is gated on the plan, like
+	// the fault injector's).
+	Workload *workload.Plan
+
 	// HealthEvery > 0 samples overlay health (largest-component
 	// fraction, link count, cumulative per-class message totals) into
 	// the Collector at this period — the resilience telemetry the
@@ -247,6 +257,11 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("manet: fault plan: %w", err)
 	}
+	if c.Workload != nil {
+		if err := c.Workload.Validate(); err != nil {
+			return fmt.Errorf("manet: workload plan: %w", err)
+		}
+	}
 	if err := c.Params.Validate(); err != nil {
 		return err
 	}
@@ -267,12 +282,14 @@ type Network struct {
 	Tracer    *trace.Tracer      // nil unless Config.TraceCapacity > 0
 	Injector  *fault.Injector    // nil unless Config.Faults has events
 	Checker   *invariant.Checker // nil unless Config.Invariants.Enabled
+	Demand    *workload.Engine   // nil unless Config.Workload is set
 
-	models    []mobility.Model
-	member    []bool
-	dead      []bool // battery-exhausted, never comes back
-	churnRNG  *rand.Rand
-	posTicker *sim.Ticker
+	models      []mobility.Model
+	member      []bool
+	dead        []bool // battery-exhausted, never comes back
+	churnRNG    *rand.Rand
+	posTicker   *sim.Ticker
+	churnEvents uint64 // churn departures executed (overlay repair-cost basis)
 
 	// Churn callbacks bound once so re-arming allocates nothing.
 	churnDownFn func(sim.Arg)
@@ -339,6 +356,12 @@ func Build(cfg Config) (*Network, error) {
 	// Qualifiers.
 	quals := assignQualifiers(cfg.Qualifiers, cfg.NumNodes, setupRNG)
 
+	// Scripted demand. Gated on the plan (like the fault injector) so
+	// plan-free runs create no extra RNG stream and stay bit-identical.
+	if cfg.Workload != nil {
+		n.Demand = workload.New(s, s.NewRand(), *cfg.Workload, cfg.NumNodes, cfg.Files.NumFiles, n.Tracer)
+	}
+
 	memberIdx := 0
 	for i := 0; i < cfg.NumNodes; i++ {
 		start := cfg.Arena.RandomPoint(setupRNG)
@@ -366,6 +389,11 @@ func Build(cfg Config) (*Network, error) {
 			NoQueries: cfg.NoQueries,
 			Tracer:    n.Tracer,
 		}
+		if n.Demand != nil {
+			// Guarded: assigning a nil *Engine would make a non-nil
+			// interface and disable the built-in model.
+			opt.Demand = n.Demand
+		}
 		if held != nil {
 			opt.Files = held[memberIdx]
 		}
@@ -392,7 +420,7 @@ func Build(cfg Config) (*Network, error) {
 	for i := 0; i < cfg.NumNodes; i++ {
 		if sv := n.Servents[i]; sv != nil {
 			sv.Join()
-			if cfg.Churn.MeanUptime > 0 {
+			if n.churnEnabled(i) {
 				n.scheduleChurnDown(i)
 			}
 		}
@@ -424,6 +452,7 @@ func Build(cfg Config) (*Network, error) {
 			Algorithm:    cfg.Algorithm,
 			Params:       cfg.Params,
 			RoutingStats: func(i int) netif.Stats { return n.Routers[i].Stats() },
+			Demand:       n.Demand,
 		})
 		n.Checker.Attach()
 	}
@@ -534,10 +563,35 @@ func (n *Network) tickPositions() {
 	}
 }
 
+// churnEnabled reports whether member i alternates up/down periods:
+// either the scenario configures global churn, or the node's workload
+// session class carries its own absolute churn means.
+func (n *Network) churnEnabled(i int) bool {
+	if n.Cfg.Churn.MeanUptime > 0 {
+		return true
+	}
+	return n.Demand != nil && n.Demand.SessionChurn(i)
+}
+
+// churnMeans composes the scenario's churn means with member i's
+// workload session class (absolute class means win; otherwise the class
+// scales the base).
+func (n *Network) churnMeans(i int) (up, down sim.Time) {
+	up, down = n.Cfg.Churn.MeanUptime, n.Cfg.Churn.MeanDowntime
+	if n.Demand != nil {
+		up, down = n.Demand.ChurnMeans(i, up, down)
+	}
+	return up, down
+}
+
+// ChurnEvents counts churn departures executed so far — the
+// denominator of the overlay repair-cost-per-churn-event telemetry.
+func (n *Network) ChurnEvents() uint64 { return n.churnEvents }
+
 // scheduleChurnDown arms the next departure for member i.
 func (n *Network) scheduleChurnDown(i int) {
-	d := expDuration(n.churnRNG, n.Cfg.Churn.MeanUptime)
-	n.Sim.ScheduleArg(d, n.churnDownFn, sim.Arg{I0: i})
+	up, _ := n.churnMeans(i)
+	n.Sim.ScheduleArg(expDuration(n.churnRNG, up), n.churnDownFn, sim.Arg{I0: i})
 }
 
 func (n *Network) churnDown(a sim.Arg) {
@@ -545,6 +599,7 @@ func (n *Network) churnDown(a sim.Arg) {
 	if n.dead[i] || !n.Medium.Up(i) {
 		return
 	}
+	n.churnEvents++
 	n.Tracer.Emit(trace.KindNode, i, -1, "churn down")
 	if sv := n.Servents[i]; sv != nil {
 		sv.Leave(false)
@@ -555,8 +610,8 @@ func (n *Network) churnDown(a sim.Arg) {
 
 // scheduleChurnUp arms the next return for member i.
 func (n *Network) scheduleChurnUp(i int) {
-	d := expDuration(n.churnRNG, n.Cfg.Churn.MeanDowntime)
-	n.Sim.ScheduleArg(d, n.churnUpFn, sim.Arg{I0: i})
+	_, down := n.churnMeans(i)
+	n.Sim.ScheduleArg(expDuration(n.churnRNG, down), n.churnUpFn, sim.Arg{I0: i})
 }
 
 func (n *Network) churnUp(a sim.Arg) {

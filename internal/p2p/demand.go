@@ -1,0 +1,26 @@
+package p2p
+
+import "manetp2p/internal/sim"
+
+// Demand is the pluggable workload engine behind the query loop
+// (implemented by internal/workload.Engine; defined here so p2p does
+// not depend on it). With Options.Demand nil the servent keeps the
+// paper's built-in model — uniform 15–45 s gaps and uniform picks among
+// unheld files — byte-identically to builds before this interface
+// existed.
+//
+// NextGap and PickFile replace the built-in draws; the remaining hooks
+// are telemetry, called at well-defined points of the query lifecycle:
+// Offered when a demand arrival fires (including retries while demand
+// is unserved), Issued when a query is actually sent, FirstAnswer on
+// the first hit of the open window, Done when the collection window
+// closes, and Aborted when leaving the overlay cuts a window short.
+type Demand interface {
+	NextGap(node int) sim.Time
+	PickFile(node int, held []bool) int
+	Offered(node int)
+	Issued(node int)
+	FirstAnswer(node int)
+	Done(node int, found bool)
+	Aborted(node int)
+}

@@ -14,18 +14,26 @@ import (
 // A node holding the file answers the requirer directly (ad-hoc unicast)
 // and still forwards the query.
 
-// queryGap draws the paper's 15–45 s inter-query pause.
+// queryGap draws the inter-query pause: the scripted workload engine's
+// when one is attached, else the paper's uniform 15–45 s.
 func (sv *Servent) queryGap() sim.Time {
+	if d := sv.opt.Demand; d != nil {
+		return d.NextGap(sv.id)
+	}
 	return sim.UniformDuration(sv.opt.RNG, sv.par.QueryGapMin, sv.par.QueryGapMax)
 }
 
-// pickFile chooses a file to request, uniformly among files this node
-// does not hold (a peer does not search for content it already has).
-// Returns -1 if there is nothing to request.
+// pickFile chooses a file to request: the workload engine's popularity
+// model when one is attached, else uniformly among files this node does
+// not hold (a peer does not search for content it already has). Returns
+// -1 if there is nothing to request.
 func (sv *Servent) pickFile() int {
 	n := len(sv.opt.Files)
 	if n == 0 {
 		return -1
+	}
+	if d := sv.opt.Demand; d != nil {
+		return d.PickFile(sv.id, sv.opt.Files)
 	}
 	// Count misses first so the draw is exact, not rejection-sampled.
 	missing := 0
@@ -56,6 +64,9 @@ func (sv *Servent) runQuery() {
 	if !sv.joined {
 		return
 	}
+	if d := sv.opt.Demand; d != nil {
+		d.Offered(sv.id)
+	}
 	file := sv.pickFile()
 	if file < 0 || len(sv.conns) == 0 {
 		// Nothing to ask or no one to ask: try again later.
@@ -82,6 +93,9 @@ func (sv *Servent) runQuery() {
 			sv.send(peer, q)
 		}
 	}
+	if d := sv.opt.Demand; d != nil {
+		d.Issued(sv.id)
+	}
 	sv.queryEv = sv.s.Schedule(sv.par.QueryCollect, sv.finishQueryFn)
 }
 
@@ -105,6 +119,11 @@ func (sv *Servent) finishQuery() {
 	}
 	r := sv.curReq
 	sv.curReq = nil
+	if r != nil {
+		if d := sv.opt.Demand; d != nil {
+			d.Done(sv.id, r.answers > 0)
+		}
+	}
 	if !sv.joined {
 		return
 	}
@@ -191,6 +210,11 @@ func (sv *Servent) onQueryHit(_ int, h msgQueryHit, adhocHops int) {
 		return // late answer: the window closed
 	}
 	r.answers++
+	if r.answers == 1 {
+		if d := sv.opt.Demand; d != nil {
+			d.FirstAnswer(sv.id)
+		}
+	}
 	if r.minP2P == 0 || h.P2PHops < r.minP2P {
 		r.minP2P = h.P2PHops
 		r.holder = h.Holder

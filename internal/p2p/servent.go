@@ -85,6 +85,7 @@ type Options struct {
 	NoQueries   bool          // disable the query workload (protocol-only tests)
 	NoEstablish bool          // disable the establishment cycle (query-only tests)
 	Tracer      *trace.Tracer // optional event tracing; nil = off
+	Demand      Demand        // scripted workload engine; nil = the paper's built-in model
 }
 
 // Servent is one peer of the overlay: it runs one of the four
@@ -289,6 +290,11 @@ func (sv *Servent) HasFile(r int) bool {
 	return sv.opt.Files != nil && r >= 0 && r < len(sv.opt.Files) && sv.opt.Files[r]
 }
 
+// OpenQuery reports whether a query collection window is currently open
+// (the invariant checker cross-checks this against the workload engine's
+// in-flight count).
+func (sv *Servent) OpenQuery() bool { return sv.curReq != nil }
+
 // Established returns how many connections this servent has formed.
 func (sv *Servent) Established() uint64 { return sv.established }
 
@@ -335,6 +341,11 @@ func (sv *Servent) Leave(graceful bool) {
 	sv.cycleRunning = false
 	sv.queryEv.Cancel()
 	sv.queryEv = sim.Handle{}
+	if sv.curReq != nil {
+		if d := sv.opt.Demand; d != nil {
+			d.Aborted(sv.id)
+		}
+	}
 	sv.curReq = nil
 	if sv.xfer != nil {
 		sv.xfer.timeout.Stop()

@@ -28,6 +28,11 @@ const (
 	KindRoute
 	// KindNode marks node lifecycle (join, leave, death).
 	KindNode
+	// KindWorkload marks workload-engine demand events (class assignment,
+	// flash-crowd targeting).
+	KindWorkload
+	// KindPhase marks workload phase-timeline transitions.
+	KindPhase
 )
 
 // String names the kind for renderers.
@@ -43,6 +48,10 @@ func (k Kind) String() string {
 		return "route"
 	case KindNode:
 		return "node"
+	case KindWorkload:
+		return "wload"
+	case KindPhase:
+		return "phase"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -28,6 +28,7 @@ import (
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/workload"
 )
 
 // Algorithm selects one of the paper's four (re)configuration
@@ -164,6 +165,43 @@ func LinkFlapFault(at, dur, period, downFor Duration) FaultEvent {
 	return fault.LinkFlapEvent(at, dur, period, downFor)
 }
 
+// WorkloadPlan re-exports the scriptable demand model
+// (internal/workload): arrival process, evolving content popularity,
+// session classes and a phase timeline. A nil plan keeps the paper's
+// built-in query loop byte-identically.
+type WorkloadPlan = workload.Plan
+
+// WorkloadArrival configures the demand arrival process.
+type WorkloadArrival = workload.Arrival
+
+// WorkloadProcess identifies an arrival process.
+type WorkloadProcess = workload.Process
+
+// The arrival processes.
+const (
+	ArrivalUniform = workload.Uniform
+	ArrivalPoisson = workload.Poisson
+	ArrivalOnOff   = workload.OnOff
+	ArrivalDiurnal = workload.Diurnal
+)
+
+// WorkloadPopularity configures the evolving Zipf content popularity.
+type WorkloadPopularity = workload.Popularity
+
+// WorkloadSessions configures the per-node session-class mix.
+type WorkloadSessions = workload.Sessions
+
+// WorkloadSessionClass is one session class (seeder, free-rider, ...).
+type WorkloadSessionClass = workload.SessionClass
+
+// WorkloadPhase is one entry of the phase timeline (ramp, steady,
+// flash crowd, drain).
+type WorkloadPhase = workload.Phase
+
+// DefaultWorkloadSessions returns the seeder / free-rider / transient
+// population mix.
+func DefaultWorkloadSessions() WorkloadSessions { return workload.DefaultSessions() }
+
 // InvariantConfig re-exports the runtime invariant checker
 // configuration (internal/invariant): sampling period, grace window for
 // in-flight cross-node inconsistencies, and the violation recording cap.
@@ -230,6 +268,12 @@ type Scenario struct {
 	// traces from 33 replications are rarely what anyone wants.
 	TraceCapacity int
 
+	// Workload optionally replaces the paper's built-in query loop with
+	// the scriptable demand engine (internal/workload). Nil (the
+	// default) keeps every existing scenario bit-identical; a set plan
+	// adds the Result.Workload telemetry block.
+	Workload *WorkloadPlan `json:",omitempty"`
+
 	// Invariants optionally arms the runtime invariant checker in every
 	// replication; findings land in Result.Invariants. Nil (the default)
 	// disables it entirely — the checker is strictly opt-in and costs
@@ -294,6 +338,11 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("manetp2p: %w", err)
 		}
 	}
+	if sc.Workload != nil {
+		if err := sc.Workload.Validate(); err != nil {
+			return fmt.Errorf("manetp2p: workload plan: %w", err)
+		}
+	}
 	return sc.Files.Validate()
 }
 
@@ -334,6 +383,7 @@ func (sc Scenario) manetConfig(rep int) manet.Config {
 	if sc.Invariants != nil {
 		cfg.Invariants = *sc.Invariants
 	}
+	cfg.Workload = sc.Workload
 	return cfg
 }
 

@@ -186,6 +186,46 @@ func WriteResilience(w io.Writer, r *Result) error {
 	return nil
 }
 
+// WriteWorkload emits the demand telemetry of a workload-driven run as
+// TSV: the conservation ledger per replication, the derived success
+// rate, the pooled latency distributions, the churn-repair cost and the
+// per-class breakdown. No-op for runs without a workload plan.
+func WriteWorkload(w io.Writer, r *Result) error {
+	ws := r.Workload
+	if ws == nil {
+		return nil
+	}
+	fmt.Fprintf(w, "# demand telemetry (%s): per-replication ledger\n", r.Scenario.Algorithm)
+	fmt.Fprintln(w, "counter\tmean\tstddev\tmin\tmax")
+	for _, row := range []struct {
+		name               string
+		mean, sd, min, max float64
+	}{
+		{"offered", ws.Offered.Mean, ws.Offered.StdDev, ws.Offered.Min, ws.Offered.Max},
+		{"retries", ws.Retries.Mean, ws.Retries.StdDev, ws.Retries.Min, ws.Retries.Max},
+		{"issued", ws.Issued.Mean, ws.Issued.StdDev, ws.Issued.Min, ws.Issued.Max},
+		{"resolved", ws.Resolved.Mean, ws.Resolved.StdDev, ws.Resolved.Min, ws.Resolved.Max},
+		{"expired", ws.Expired.Mean, ws.Expired.StdDev, ws.Expired.Min, ws.Expired.Max},
+		{"aborted", ws.Aborted.Mean, ws.Aborted.StdDev, ws.Aborted.Min, ws.Aborted.Max},
+		{"in-flight", ws.InFlight.Mean, ws.InFlight.StdDev, ws.InFlight.Min, ws.InFlight.Max},
+	} {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.0f\t%.0f\n", row.name, row.mean, row.sd, row.min, row.max)
+	}
+	fmt.Fprintf(w, "\nsuccess-rate\t%.3f\n", ws.SuccessRate)
+	fmt.Fprintf(w, "ttfr-s\t%s\t(n=%d)\n", ws.TTFR, ws.TTFR.N)
+	fmt.Fprintf(w, "completion-s\t%s\t(n=%d)\n", ws.Completion, ws.Completion.N)
+	fmt.Fprintf(w, "churn-events/rep\t%.1f\n", ws.ChurnEvents.Mean)
+	fmt.Fprintf(w, "repair-msgs/churn\t%.1f\n", ws.RepairPerChurn)
+	if len(ws.Classes) > 0 {
+		fmt.Fprintln(w, "\n# session classes")
+		fmt.Fprintln(w, "class\tnodes\tissued")
+		for _, c := range ws.Classes {
+			fmt.Fprintf(w, "%s\t%.1f\t%.1f\n", c.Name, c.Nodes.Mean, c.Issued.Mean)
+		}
+	}
+	return nil
+}
+
 // WriteTable1 renders the paper's Table 1.
 func WriteTable1(w io.Writer) {
 	fmt.Fprintln(w, "# Table 1: topologies and their characteristics")
@@ -253,6 +293,15 @@ func WriteSummary(w io.Writer, r *Result) {
 				ev.Label, ev.Baseline.Mean, ev.Trough.Mean,
 				ev.RehealSeconds.Mean, 100*ev.RehealedFraction,
 				ev.ResidualDisconnect.Mean, ev.RecoveryMessages.Mean)
+		}
+	}
+	if ws := r.Workload; ws != nil {
+		fmt.Fprintf(w, "workload: offered %.0f/rep, issued %.0f, %.1f%% success, ttfr %.2f s, completion %.2f s\n",
+			ws.Offered.Mean, ws.Issued.Mean, 100*ws.SuccessRate,
+			ws.TTFR.Mean, ws.Completion.Mean)
+		if ws.ChurnEvents.Mean > 0 {
+			fmt.Fprintf(w, "workload churn: %.1f departures/rep, repair cost %.1f connect msgs/event\n",
+				ws.ChurnEvents.Mean, ws.RepairPerChurn)
 		}
 	}
 	found, reqs := 0.0, 0

@@ -1,0 +1,50 @@
+package manetp2p
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRatiosFiniteOnDegenerateResults is the regression test for the
+// report-layer division guards: a replication set where nothing was
+// delivered, sent, offered, or churned must yield 0 for every derived
+// ratio — never NaN or ±Inf — both in the accessors and in the
+// rendered reports.
+func TestRatiosFiniteOnDegenerateResults(t *testing.T) {
+	rt := &RoutingStats{Protocol: "aodv"} // all counters zero
+	if got := rt.ControlPerDelivered(); got != 0 {
+		t.Errorf("ControlPerDelivered with zero delivered = %v, want 0", got)
+	}
+	if got := rt.SendFailRate(); got != 0 {
+		t.Errorf("SendFailRate with zero sent = %v, want 0", got)
+	}
+	var nilStats *RoutingStats
+	if nilStats.ControlPerDelivered() != 0 || nilStats.SendFailRate() != 0 {
+		t.Error("nil RoutingStats ratios not 0")
+	}
+
+	r := &Result{
+		Scenario: DefaultScenario(10, Regular),
+		Routing:  rt,
+		Workload: &WorkloadStats{}, // zero offered, zero churn
+	}
+	for _, v := range []float64{r.Workload.SuccessRate, r.Workload.RepairPerChurn} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("degenerate workload ratio is %v, want finite", v)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteSummary(&buf, r)
+	if err := WriteWorkload(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("degenerate result renders %s:\n%s", bad, out)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
 	"manetp2p/internal/stats"
+	"manetp2p/internal/workload"
 )
 
 // FileCurve is one point of Figures 5–6: per file rank, the average
@@ -54,24 +55,71 @@ type RoutingStats struct {
 	DupHits        stats.Summary // duplicate-cache suppressions
 }
 
+// safeRatio divides a by b, returning 0 for a zero denominator so every
+// derived ratio stays finite — no NaN or ±Inf ever reaches a report,
+// however degenerate the replications (nothing delivered, nothing
+// offered, no churn).
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
 // ControlPerDelivered derives the headline overhead ratio: control-plane
 // frames (protocol signalling + controlled-broadcast relays) per
 // upper-layer delivery. Zero when nothing was delivered.
 func (r *RoutingStats) ControlPerDelivered() float64 {
-	if r == nil || r.Delivered.Mean == 0 {
+	if r == nil {
 		return 0
 	}
 	ctrl := r.CtrlOrig.Mean + r.CtrlRelayed.Mean + r.BcastOrig.Mean + r.BcastRelayed.Mean
-	return ctrl / r.Delivered.Mean
+	return safeRatio(ctrl, r.Delivered.Mean)
 }
 
 // SendFailRate derives the fraction of locally originated data attempts
 // reported undeliverable. Zero when nothing was sent.
 func (r *RoutingStats) SendFailRate() float64 {
-	if r == nil || r.DataSent.Mean == 0 {
+	if r == nil {
 		return 0
 	}
-	return r.SendFailed.Mean / r.DataSent.Mean
+	return safeRatio(r.SendFailed.Mean, r.DataSent.Mean)
+}
+
+// WorkloadClassStats is one session class's pooled outcome.
+type WorkloadClassStats struct {
+	Name   string
+	Nodes  stats.Summary // class population per replication
+	Issued stats.Summary // queries issued by the class per replication
+}
+
+// WorkloadStats aggregates the demand engine's telemetry over all
+// replications: the conservation ledger (one Summary per counter, one
+// sample per replication), the derived success rate, pooled latency
+// distributions, and the churn-repair cost.
+type WorkloadStats struct {
+	Offered  stats.Summary // demand arrivals (first offers, not retries)
+	Retries  stats.Summary // arrivals while earlier demand was unserved
+	Issued   stats.Summary // queries actually sent
+	Resolved stats.Summary // demands answered
+	Expired  stats.Summary // query windows closed unanswered
+	Aborted  stats.Summary // windows cut short by churn/crash/death
+	InFlight stats.Summary // windows still open at the horizon
+
+	// SuccessRate is resolved demand over offered demand across all
+	// replications — the success rate under churn.
+	SuccessRate float64
+
+	TTFR       stats.Summary // seconds from query issue to first answer
+	Completion stats.Summary // seconds from demand arrival to first answer
+
+	ChurnEvents stats.Summary // churn departures per replication
+	// RepairPerChurn is the overlay repair cost: connect-class messages
+	// received per churn departure, across all replications. Zero when
+	// nothing churned.
+	RepairPerChurn float64
+
+	Classes []WorkloadClassStats
 }
 
 // Result aggregates a scenario's replications.
@@ -127,6 +175,10 @@ type Result struct {
 	// Invariants reports the runtime invariant checker's findings (nil
 	// when Scenario.Invariants is off).
 	Invariants *InvariantReport `json:",omitempty"`
+
+	// Workload reports the demand engine's telemetry (nil when
+	// Scenario.Workload is unset, keeping older fixtures byte-identical).
+	Workload *WorkloadStats `json:",omitempty"`
 }
 
 // repResult carries one replication's raw measurements to aggregation.
@@ -153,6 +205,8 @@ type repResult struct {
 	checked    bool                   // the invariant checker validated this replication
 	violTotal  int                    // invariant breaches detected (including past the cap)
 	violations []InvariantViolation   // recorded breaches, detection order
+	workload   *workload.Telemetry    // demand telemetry (nil without a plan)
+	churnit    float64                // churn departures executed
 	err        error
 }
 
@@ -241,6 +295,11 @@ func runReplication(sc Scenario, rep int) repResult {
 		rr.violations = net.Checker.Violations()
 	}
 
+	if net.Demand != nil {
+		t := net.Demand.Snapshot()
+		rr.workload = &t
+	}
+	rr.churnit = float64(net.ChurnEvents())
 	rr.requests = net.Collector.Requests()
 	rr.lifetimes = net.Collector.Lifetimes()
 	rr.health = net.Collector.Health()
@@ -402,7 +461,82 @@ func aggregate(sc Scenario, reps []repResult) *Result {
 	res.Routing = aggregateRouting(sc, reps)
 	res.Resilience = computeResilience(sc, reps)
 	res.Invariants = invariantReport(sc, reps)
+	res.Workload = aggregateWorkload(reps)
 	return res
+}
+
+// aggregateWorkload pools the demand telemetry: one sample per
+// replication for each ledger counter, pooled latency distributions,
+// and the repair-cost-per-churn-event ratio derived from connect-class
+// message totals. Nil when no replication ran a workload plan.
+func aggregateWorkload(reps []repResult) *WorkloadStats {
+	var any bool
+	for _, rr := range reps {
+		if rr.workload != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	var offered, retries, issued, resolved, expired, aborted, inflight []float64
+	var ttfr, completion, churn []float64
+	var totOffered, totResolved, totConnect, totChurn float64
+	classNodes := map[string][]float64{}
+	classIssued := map[string][]float64{}
+	var classOrder []string
+	for _, rr := range reps {
+		t := rr.workload
+		if t == nil {
+			continue
+		}
+		offered = append(offered, float64(t.Offered))
+		retries = append(retries, float64(t.Retries))
+		issued = append(issued, float64(t.Issued))
+		resolved = append(resolved, float64(t.Resolved))
+		expired = append(expired, float64(t.Expired))
+		aborted = append(aborted, float64(t.Aborted))
+		inflight = append(inflight, float64(t.InFlight))
+		ttfr = append(ttfr, t.TTFR...)
+		completion = append(completion, t.Completion...)
+		churn = append(churn, rr.churnit)
+		totOffered += float64(t.Offered)
+		totResolved += float64(t.Resolved)
+		totChurn += rr.churnit
+		for _, v := range rr.totals[metrics.Connect] {
+			totConnect += v
+		}
+		for _, c := range t.Classes {
+			if _, seen := classNodes[c.Name]; !seen {
+				classOrder = append(classOrder, c.Name)
+			}
+			classNodes[c.Name] = append(classNodes[c.Name], float64(c.Nodes))
+			classIssued[c.Name] = append(classIssued[c.Name], float64(c.Issued))
+		}
+	}
+	ws := &WorkloadStats{
+		Offered:        stats.Summarize(offered),
+		Retries:        stats.Summarize(retries),
+		Issued:         stats.Summarize(issued),
+		Resolved:       stats.Summarize(resolved),
+		Expired:        stats.Summarize(expired),
+		Aborted:        stats.Summarize(aborted),
+		InFlight:       stats.Summarize(inflight),
+		SuccessRate:    safeRatio(totResolved, totOffered),
+		TTFR:           stats.Summarize(ttfr),
+		Completion:     stats.Summarize(completion),
+		ChurnEvents:    stats.Summarize(churn),
+		RepairPerChurn: safeRatio(totConnect, totChurn),
+	}
+	for _, name := range classOrder {
+		ws.Classes = append(ws.Classes, WorkloadClassStats{
+			Name:   name,
+			Nodes:  stats.Summarize(classNodes[name]),
+			Issued: stats.Summarize(classIssued[name]),
+		})
+	}
+	return ws
 }
 
 // aggregateRouting pools every node's routing counters over all

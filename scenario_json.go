@@ -1,6 +1,7 @@
 package manetp2p
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,12 +26,18 @@ func MarshalJSONScenario(sc Scenario) ([]byte, error) {
 	return json.MarshalIndent(sc, "", "  ")
 }
 
-// UnmarshalJSONScenario parses a scenario, filling unset fields from
+// UnmarshalJSONScenario parses a scenario strictly — unknown fields are
+// rejected rather than silently dropped, so a typoed key cannot
+// masquerade as "configured" — filling unset fields from
 // DefaultScenario(50, Regular) so partial files stay usable, and
-// validates the result.
+// validates the result. (Strictness does not recurse into types with
+// custom unmarshalers, like fault events and workload arrivals; those
+// validate their own tagged shapes.)
 func UnmarshalJSONScenario(data []byte) (Scenario, error) {
 	sc := DefaultScenario(50, Regular)
-	if err := json.Unmarshal(data, &sc); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
 		return Scenario{}, fmt.Errorf("manetp2p: parsing scenario: %w", err)
 	}
 	if err := sc.Validate(); err != nil {
@@ -76,6 +83,35 @@ func LoadFaultPlan(path string) (FaultPlan, error) {
 
 // SaveFaultPlan writes a fault plan to path as JSON.
 func SaveFaultPlan(path string, plan FaultPlan) error {
+	data, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadWorkloadPlan reads a standalone workload plan from a JSON file
+// ("-" = stdin) and validates it, e.g. for cmd/p2psim -workload. Like
+// fault plans, workload plans are hand-authored: times are float
+// seconds and the arrival block carries a "process" tag (see
+// internal/workload, json.go).
+func LoadWorkloadPlan(path string) (*WorkloadPlan, error) {
+	data, err := readPath(path)
+	if err != nil {
+		return nil, fmt.Errorf("manetp2p: reading workload plan: %w", err)
+	}
+	var plan WorkloadPlan
+	if err := json.Unmarshal(data, &plan); err != nil {
+		return nil, fmt.Errorf("manetp2p: parsing workload plan: %w", err)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("manetp2p: workload plan: %w", err)
+	}
+	return &plan, nil
+}
+
+// SaveWorkloadPlan writes a workload plan to path as JSON.
+func SaveWorkloadPlan(path string, plan *WorkloadPlan) error {
 	data, err := json.MarshalIndent(plan, "", "  ")
 	if err != nil {
 		return err

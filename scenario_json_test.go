@@ -105,6 +105,104 @@ func TestScenarioJSONRejectsInvalidFaultPlan(t *testing.T) {
 	}
 }
 
+func TestScenarioJSONWorkloadRoundTrip(t *testing.T) {
+	sc := DefaultScenario(50, Regular)
+	sc.Workload = &WorkloadPlan{
+		Arrival:    WorkloadArrival{Process: ArrivalDiurnal, Rate: 0.05, Period: 1200 * sim.Second, Amplitude: 0.6},
+		Popularity: WorkloadPopularity{Skew: 1.3, DriftPerHour: -0.2, RotateEvery: 300 * sim.Second, RotateStep: 2},
+		Sessions:   DefaultWorkloadSessions(),
+		Phases: []WorkloadPhase{
+			{Name: "steady"},
+			{Name: "flash", Start: 900 * sim.Second, RateScale: 4, HotFiles: 2, HotBoost: 0.9},
+		},
+	}
+	data, err := MarshalJSONScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSONScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload == nil {
+		t.Fatal("workload plan dropped in round trip")
+	}
+	if !reflect.DeepEqual(got.Workload, sc.Workload) {
+		t.Errorf("workload plan changed in round trip:\n got %+v\nwant %+v", got.Workload, sc.Workload)
+	}
+}
+
+func TestScenarioJSONAbsentWorkloadStaysNil(t *testing.T) {
+	got, err := UnmarshalJSONScenario([]byte(`{"NumNodes": 40}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != nil {
+		t.Fatalf("absent workload decoded as %+v, want nil (built-in demand model)", got.Workload)
+	}
+	data, err := MarshalJSONScenario(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Workload") {
+		t.Error("nil workload plan serialized instead of being omitted")
+	}
+}
+
+func TestScenarioJSONRejectsUnknownWorkloadProcess(t *testing.T) {
+	_, err := UnmarshalJSONScenario([]byte(
+		`{"Workload": {"arrival": {"process": "pareto"}}}`))
+	if err == nil {
+		t.Fatal("unknown arrival process accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"pareto", "uniform", "poisson", "onoff", "diurnal"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestScenarioJSONRejectsInvalidWorkload(t *testing.T) {
+	// Well-formed JSON, semantically invalid plan: poisson with no rate.
+	_, err := UnmarshalJSONScenario([]byte(
+		`{"Workload": {"arrival": {"process": "poisson"}}}`))
+	if err == nil {
+		t.Fatal("invalid workload plan accepted")
+	}
+}
+
+func TestScenarioJSONRejectsUnknownField(t *testing.T) {
+	_, err := UnmarshalJSONScenario([]byte(`{"NumNodes": 40, "NumNodez": 50}`))
+	if err == nil {
+		t.Fatal("misspelled scenario field silently ignored")
+	}
+	if !strings.Contains(err.Error(), "NumNodez") {
+		t.Errorf("error %q does not name the unknown field", err)
+	}
+}
+
+func TestSaveAndLoadWorkloadPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	plan := &WorkloadPlan{
+		Arrival:  WorkloadArrival{Process: ArrivalPoisson, Rate: 0.1},
+		Sessions: DefaultWorkloadSessions(),
+	}
+	if err := SaveWorkloadPlan(path, plan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWorkloadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plan) {
+		t.Errorf("plan changed in save/load:\n got %+v\nwant %+v", got, plan)
+	}
+	if _, err := LoadWorkloadPlan(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing plan file accepted")
+	}
+}
+
 func TestScenarioJSONPartialFillsDefaults(t *testing.T) {
 	got, err := UnmarshalJSONScenario([]byte(`{"NumNodes": 80, "Replications": 7}`))
 	if err != nil {
