@@ -418,6 +418,18 @@ func BenchmarkBcastRelay(b *testing.B) { benchBcastRelay(b) }
 // with every feature armed; must report 0 allocs/op.
 func BenchmarkWorkloadArrivals(b *testing.B) { benchWorkloadArrivals(b) }
 
+// Cost of the naive all-pairs BFS pathlength on a fixed 256-node random
+// graph (tracks the bfsFrom queue-reuse fix).
+func BenchmarkPathLength(b *testing.B) { benchPathLength(b) }
+
+// Cost of one full overlay snapshot through the allocation-free
+// analytics engine; must report 0 allocs/op.
+func BenchmarkOverlaySnapshot(b *testing.B) { benchOverlaySnapshot(b) }
+
+// The same snapshot through the reference graphs.Graph path — the
+// baseline BenchmarkOverlaySnapshot is compared against.
+func BenchmarkOverlaySnapshotNaive(b *testing.B) { benchOverlaySnapshotNaive(b) }
+
 // BenchmarkFullReplication measures one end-to-end paper replication
 // (50 nodes, 3600 s, Regular): the unit of work the runner parallelizes.
 func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b, false) }

@@ -12,6 +12,7 @@ import (
 	"manetp2p/internal/aodv"
 	"manetp2p/internal/flood"
 	"manetp2p/internal/geom"
+	"manetp2p/internal/graphs"
 	"manetp2p/internal/manet"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/p2p"
@@ -35,6 +36,9 @@ func TrackedBenchmarks() []BenchSpec {
 		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
 		{Name: "BcastRelay", Fn: benchBcastRelay},
 		{Name: "WorkloadArrivals", Fn: benchWorkloadArrivals},
+		{Name: "PathLength", Fn: benchPathLength},
+		{Name: "OverlaySnapshot", Fn: benchOverlaySnapshot},
+		{Name: "OverlaySnapshotNaive", Fn: benchOverlaySnapshotNaive},
 		{Name: "FullReplication", Fn: func(b *testing.B) { benchFullReplication(b, false) }},
 		{Name: "FullReplicationChecked", Fn: func(b *testing.B) { benchFullReplication(b, true) }},
 	}
@@ -160,6 +164,92 @@ func benchWorkloadArrivals(b *testing.B) {
 		e.NextGap(i % 50)
 		e.PickFile(i%50, held)
 	}
+}
+
+// benchSink keeps the compiler from eliding benchmarked metric math.
+var benchSink float64
+
+// benchSnapshotNetwork builds the shared overlay-snapshot workload: a
+// 150-node Regular overlay run to steady state, the densest
+// configuration the paper's snapshot ticker faces.
+func benchSnapshotNetwork(b *testing.B) *manet.Network {
+	cfg := manet.DefaultConfig(150, p2p.Regular)
+	cfg.Seed = 42
+	cfg.NoQueries = true
+	net, err := manet.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Run(900 * sim.Second)
+	return net
+}
+
+// benchOverlaySnapshot measures one full overlay snapshot through the
+// analytics engine — adjacency fill plus clustering, pathlength,
+// components and edge count — exactly what the SnapshotEvery ticker and
+// the health sampler run. Must report 0 allocs/op at steady state.
+func benchOverlaySnapshot(b *testing.B) {
+	net := benchSnapshotNetwork(b)
+	an := new(graphs.Analyzer)
+	isMember := net.IsMember
+	net.AppendOverlayAdjacency(&an.S)
+	an.Analyze(isMember) // warm the scratch before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		net.AppendOverlayAdjacency(&an.S)
+		m := an.Analyze(isMember)
+		sink += m.Clustering + m.PathLength + m.Largest + float64(m.Edges)
+	}
+	benchSink = sink
+}
+
+// benchOverlaySnapshotNaive is the same snapshot through the reference
+// graphs.Graph path (rebuild adjacency slices, maps, per-source
+// allocations) — the baseline BenchmarkOverlaySnapshot is compared
+// against.
+func benchOverlaySnapshotNaive(b *testing.B) {
+	net := benchSnapshotNetwork(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		g := graphs.New(net.OverlayAdjacency())
+		c := g.ClusteringCoefficient()
+		l, _ := g.CharacteristicPathLength()
+		f := g.LargestComponentFraction(net.IsMember)
+		sink += c + l + f + float64(g.NumEdges())
+	}
+	benchSink = sink
+}
+
+// benchPathLength measures the naive all-pairs BFS on a fixed 256-node
+// random graph — it tracks the Graph.bfsFrom queue-reuse behavior that
+// the analytics work depends on.
+func benchPathLength(b *testing.B) {
+	const n = 256
+	s := sim.New(9)
+	rng := s.NewRand()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	g := graphs.New(adj)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		l, pairs := g.CharacteristicPathLength()
+		sink += l + float64(pairs)
+	}
+	benchSink = sink
 }
 
 // benchFullReplication measures one end-to-end paper replication

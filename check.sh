@@ -1,9 +1,12 @@
 #!/bin/sh
 # Repository health check: format, vet, full tests, quick bench smoke.
 #
-# `./check.sh bench` instead runs the tracked benchmark suite and writes
-# the machine-readable baseline (see cmd/bench); pass an output path as
-# the second argument to override the default BENCH.json.
+# `./check.sh bench` instead runs the tracked benchmark suite, writes
+# the machine-readable report (see cmd/bench), and gates it against the
+# committed baseline (BENCH_7.json): >20% ns/op regressions on
+# comparable hardware or any allocs/op increase on a 0-alloc benchmark
+# fail. Pass an output path as the second argument to override the
+# default BENCH.json; writing the baseline path itself skips the gate.
 #
 # `./check.sh selfcheck` runs the runtime invariant suite and the
 # determinism self-audit (p2psim -selfcheck) across all four algorithms:
@@ -16,8 +19,8 @@ cd "$(dirname "$0")"
 
 if [ "$1" = "bench" ]; then
 	out="${2:-BENCH.json}"
-	echo "== tracked benchmarks -> $out =="
-	go run ./cmd/bench -o "$out"
+	echo "== tracked benchmarks -> $out (gated against BENCH_7.json) =="
+	go run ./cmd/bench -o "$out" -baseline BENCH_7.json
 	exit 0
 fi
 

@@ -7,6 +7,15 @@
 //	bench                      # writes BENCH.json
 //	bench -o BENCH_2.json      # explicit output path ('-' = stdout)
 //	bench -benchtime 3s -run FullReplication
+//	bench -baseline BENCH_7.json   # gate against the committed baseline
+//
+// With -baseline, the run is compared against the committed baseline
+// after writing the report: any allocs/op increase on a benchmark the
+// baseline holds at 0 allocs/op fails, and a >20% ns/op regression
+// fails when the baseline was recorded on comparable hardware (same
+// GOOS/GOARCH/CPU count — ns/op across different machines is noise, so
+// those comparisons are skipped with a warning). A missing baseline
+// file or -o equal to the baseline (regenerating it) skips the gate.
 package main
 
 import (
@@ -50,6 +59,7 @@ func main() {
 		out       = flag.String("o", "BENCH.json", "output path for the JSON report ('-' = stdout)")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark time budget (forwarded to the testing package)")
 		run       = flag.String("run", "", "only run benchmarks whose name contains this substring")
+		baseline  = flag.String("baseline", "", "baseline JSON to gate against: fail on >20% ns/op regression (comparable hardware only) or any allocs/op increase on 0-alloc benchmarks")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -98,4 +108,64 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *baseline != "" && *baseline != *out {
+		if !gate(rep, *baseline) {
+			os.Exit(1)
+		}
+	}
+}
+
+// maxRegression is the ns/op slack against the baseline before the
+// gate fails: 20% absorbs run-to-run noise while still catching real
+// hot-path regressions.
+const maxRegression = 1.20
+
+// gate compares the fresh report against the committed baseline and
+// reports whether it passes. Allocation counts are machine-independent
+// and gate unconditionally: a benchmark the baseline holds at 0
+// allocs/op must stay at 0. ns/op gates only when the baseline was
+// recorded in a comparable environment.
+func gate(rep report, path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gate: no baseline %s (%v); skipping comparison\n", path, err)
+		return true
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "gate: unreadable baseline %s: %v\n", path, err)
+		return false
+	}
+	comparable := base.GOOS == rep.GOOS && base.GOARCH == rep.GOARCH && base.NumCPU == rep.NumCPU
+	if !comparable {
+		fmt.Fprintf(os.Stderr, "gate: baseline environment %s/%s/%d CPUs differs from %s/%s/%d; ns/op not compared\n",
+			base.GOOS, base.GOARCH, base.NumCPU, rep.GOOS, rep.GOARCH, rep.NumCPU)
+	}
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	ok := true
+	for _, cur := range rep.Benchmarks {
+		b, found := byName[cur.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "gate: %s has no baseline entry (new benchmark); skipping\n", cur.Name)
+			continue
+		}
+		if b.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "gate: FAIL %s allocates %d/op; baseline holds it at 0\n",
+				cur.Name, cur.AllocsPerOp)
+			ok = false
+		}
+		if comparable && cur.NsPerOp > b.NsPerOp*maxRegression {
+			fmt.Fprintf(os.Stderr, "gate: FAIL %s %.1f ns/op exceeds baseline %.1f by more than %d%%\n",
+				cur.Name, cur.NsPerOp, b.NsPerOp, int(maxRegression*100)-100)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "gate: pass against %s\n", path)
+	}
+	return ok
 }

@@ -6,10 +6,14 @@
 // algorithms; axes registered with extra columns (faults, routing,
 // workload) append them to every row.
 //
+// All scenario points run concurrently under one shared
+// replication-worker budget (-jobs, default GOMAXPROCS); rows print in
+// grid order, so the output matches a sequential sweep byte for byte.
+//
 // Usage:
 //
 //	sweep -axis density
-//	sweep -axis range -algs basic,regular
+//	sweep -axis range -algs basic,regular -jobs 4
 //	sweep -axis energy -reps 10
 //	sweep -axis faults -seed 7
 //	sweep -axis workload -reps 3 -duration 1200
@@ -250,6 +254,7 @@ func main() {
 		nodes = flag.Int("nodes", 50, "base node count (non-density sweeps)")
 		dur   = flag.Float64("duration", 3600, "simulated seconds")
 		seed  = flag.Int64("seed", 1, "base random seed")
+		jobs  = flag.Int("jobs", 0, "shared replication-worker budget across all scenario points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -280,6 +285,16 @@ func main() {
 		header += "\t" + h
 	}
 	fmt.Println(header)
+	// Every (point, algorithm) cell of the grid runs concurrently, all
+	// drawing replication slots from one shared pool so the whole sweep
+	// never exceeds the -jobs budget. Replications are deterministic
+	// (fixed seeds, one result slot each) and rows print in grid order,
+	// so the output is byte-identical to a sequential sweep.
+	type cell struct {
+		label string
+		sc    manetp2p.Scenario
+	}
+	var cells []cell
 	for _, pt := range spec.points {
 		for _, alg := range algs {
 			sc := manetp2p.DefaultScenario(*nodes, alg)
@@ -287,46 +302,68 @@ func main() {
 			sc.Replications = *reps
 			sc.Seed = *seed
 			pt.mod(&sc)
-			res, err := manetp2p.Run(sc)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			found, reqs, answers := 0.0, 0, 0.0
-			var dists []float64
-			for _, fc := range res.PerFile {
-				reqs += fc.Requests
-				found += fc.FoundRate * float64(fc.Requests)
-				answers += fc.Answers.Mean * float64(fc.Requests)
-				if fc.Distance.N > 0 {
-					dists = append(dists, fc.Distance.Mean)
-				}
-			}
-			foundPct, dist, answ := 0.0, 0.0, 0.0
-			if reqs > 0 {
-				foundPct = 100 * found / float64(reqs)
-				answ = answers / float64(reqs)
-			}
-			if len(dists) > 0 {
-				for _, d := range dists {
-					dist += d
-				}
-				dist /= float64(len(dists))
-			}
-			row := fmt.Sprintf("%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.2f",
-				pt.label, alg,
-				res.Totals[metrics.Connect].Mean,
-				res.Totals[metrics.Ping].Mean,
-				res.Totals[metrics.Query].Mean,
-				foundPct, dist, answ,
-				res.Deaths.Mean,
-				res.Overlay.LargestComponent.Mean)
-			if spec.cells != nil {
-				for _, cell := range spec.cells(res) {
-					row += "\t" + cell
-				}
-			}
-			fmt.Println(row)
+			cells = append(cells, cell{label: pt.label, sc: sc})
 		}
 	}
+	pool := manetp2p.NewPool(*jobs)
+	type outcome struct {
+		res *manetp2p.Result
+		err error
+	}
+	results := make([]chan outcome, len(cells))
+	for i := range cells {
+		results[i] = make(chan outcome, 1)
+		go func(i int) {
+			res, err := pool.Run(cells[i].sc)
+			results[i] <- outcome{res: res, err: err}
+		}(i)
+	}
+	for i := range cells {
+		out := <-results[i]
+		if out.err != nil {
+			fmt.Fprintln(os.Stderr, out.err)
+			os.Exit(1)
+		}
+		fmt.Println(formatRow(cells[i].label, cells[i].sc.Algorithm, out.res, spec))
+	}
+}
+
+// formatRow renders one TSV result row: the headline metrics plus the
+// axis-specific extra cells.
+func formatRow(label string, alg manetp2p.Algorithm, res *manetp2p.Result, spec axisSpec) string {
+	found, reqs, answers := 0.0, 0, 0.0
+	var dists []float64
+	for _, fc := range res.PerFile {
+		reqs += fc.Requests
+		found += fc.FoundRate * float64(fc.Requests)
+		answers += fc.Answers.Mean * float64(fc.Requests)
+		if fc.Distance.N > 0 {
+			dists = append(dists, fc.Distance.Mean)
+		}
+	}
+	foundPct, dist, answ := 0.0, 0.0, 0.0
+	if reqs > 0 {
+		foundPct = 100 * found / float64(reqs)
+		answ = answers / float64(reqs)
+	}
+	if len(dists) > 0 {
+		for _, d := range dists {
+			dist += d
+		}
+		dist /= float64(len(dists))
+	}
+	row := fmt.Sprintf("%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.2f",
+		label, alg,
+		res.Totals[metrics.Connect].Mean,
+		res.Totals[metrics.Ping].Mean,
+		res.Totals[metrics.Query].Mean,
+		foundPct, dist, answ,
+		res.Deaths.Mean,
+		res.Overlay.LargestComponent.Mean)
+	if spec.cells != nil {
+		for _, cell := range spec.cells(res) {
+			row += "\t" + cell
+		}
+	}
+	return row
 }

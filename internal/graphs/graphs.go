@@ -90,26 +90,25 @@ func (g *Graph) ClusteringCoefficient() float64 {
 }
 
 // bfsFrom fills dist (pre-sized, -1 initialized) from src; returns the
-// number of reached nodes including src.
-func (g *Graph) bfsFrom(src int, dist []int, queue []int) int {
+// number of reached nodes including src, plus the queue so callers keep
+// its capacity growth across sources. The frontier advances by index
+// rather than popping the head, so the backing array never shrinks.
+func (g *Graph) bfsFrom(src int, dist []int, queue []int) ([]int, int) {
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
 	queue = append(queue[:0], src)
-	reached := 1
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.Adj[u] {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
-				reached++
 				queue = append(queue, v)
 			}
 		}
 	}
-	return reached
+	return queue, len(queue)
 }
 
 // CharacteristicPathLength returns the mean shortest-path length over
@@ -124,7 +123,7 @@ func (g *Graph) CharacteristicPathLength() (float64, int) {
 		if len(g.Adj[s]) == 0 {
 			continue
 		}
-		g.bfsFrom(s, dist, queue)
+		queue, _ = g.bfsFrom(s, dist, queue)
 		for t, d := range dist {
 			if t != s && d > 0 {
 				sum += float64(d)
@@ -152,7 +151,7 @@ func (g *Graph) Components(member func(int) bool) []int {
 		if visited[s] || (member != nil && !member(s)) {
 			continue
 		}
-		g.bfsFrom(s, dist, queue)
+		queue, _ = g.bfsFrom(s, dist, queue)
 		size := 0
 		for v, d := range dist {
 			if d >= 0 {

@@ -22,6 +22,7 @@ package invariant
 import (
 	"fmt"
 
+	"manetp2p/internal/graphs"
 	"manetp2p/internal/metrics"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/p2p"
@@ -65,7 +66,7 @@ func (c Config) Validate() error {
 // time and the node(s) involved so a report pinpoints the corruption.
 type Violation struct {
 	At     sim.Time
-	Layer  string // "sim", "radio", "metrics", "route", "p2p" or "workload"
+	Layer  string // "sim", "radio", "metrics", "route", "p2p", "overlay" or "workload"
 	Rule   string
 	Node   int // -1 when not node-specific
 	Peer   int // -1 when not pairwise
@@ -99,6 +100,10 @@ type Target struct {
 	// Demand is the scripted workload engine; nil disarms the
 	// demand-conservation rules.
 	Demand *workload.Engine
+	// Adjacency fills the member-restricted overlay adjacency into the
+	// scratch (manet.Network.AppendOverlayAdjacency); nil disarms the
+	// overlay connectivity rules (connectivity.go).
+	Adjacency func(*graphs.Scratch)
 }
 
 // pairKey identifies one tracked cross-node observation.
@@ -125,6 +130,8 @@ type Checker struct {
 	lastNow    sim.Time
 	passes     uint64
 	views      []p2p.View // one reusable snapshot per node
+	an         graphs.Analyzer
+	memberFn   func(int) bool
 	inflight   []uint64
 	lastRecv   [metrics.NumClasses]uint64
 	lastFrames uint64
@@ -211,6 +218,7 @@ func (c *Checker) Check() {
 	c.checkMetrics()
 	c.checkRouting()
 	c.checkOverlay()
+	c.checkConnectivity()
 	c.checkWorkload()
 	c.sweepPairs()
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"manetp2p/internal/geom"
+	"manetp2p/internal/graphs"
 	"manetp2p/internal/invariant"
 	"manetp2p/internal/manet"
 	"manetp2p/internal/p2p"
@@ -209,5 +210,60 @@ func TestCheckerDrawsNoRandomness(t *testing.T) {
 		if with[k] != without[k] {
 			t.Fatalf("overlay state diverges at servent %d: checked=%q unchecked=%q", k, with[k], without[k])
 		}
+	}
+}
+
+// TestDetectsCorruptAdjacency seeds the canonical connectivity
+// mutation: an Adjacency feed that reports a ring over every node,
+// joined or not. The overlay rules must flag it — ghost degrees on
+// non-joined nodes, degrees past the inspected connection counts, and
+// (for symmetric algorithms) broken edge conservation. A clean feed on
+// the same network must stay green, which
+// TestCleanNetworksPassAllAlgorithms already covers via the wired-in
+// checker.
+func TestDetectsCorruptAdjacency(t *testing.T) {
+	cfg := testConfig(5, p2p.Regular)
+	cfg.Invariants.Enabled = false // standalone checker below
+	net, err := manet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(300 * sim.Second)
+
+	chk := invariant.New(invariant.Config{Enabled: true}, invariant.Target{
+		Sim:       net.Sim,
+		Medium:    net.Medium,
+		Collector: net.Collector,
+		Servents:  net.Servents,
+		Algorithm: cfg.Algorithm,
+		Params:    cfg.Params,
+		Adjacency: func(sc *graphs.Scratch) {
+			n := len(net.Servents)
+			sc.Reset(n)
+			for i := 0; i < n; i++ {
+				sc.AppendNeighbor((i + 1) % n)
+				sc.EndRow()
+			}
+		},
+	})
+	chk.Check()
+
+	if chk.OK() {
+		t.Fatal("corrupt adjacency feed not detected")
+	}
+	rules := map[string]bool{}
+	for _, v := range chk.Violations() {
+		if v.Layer == "overlay" {
+			rules[v.Rule] = true
+		}
+	}
+	if len(rules) == 0 {
+		for _, v := range chk.Violations() {
+			t.Logf("violation: %s", v.String())
+		}
+		t.Fatal("no violation on the overlay layer")
+	}
+	if !rules["adjacency-ghost"] {
+		t.Errorf("ghost degree on non-joined nodes not flagged; overlay rules hit: %v", rules)
 	}
 }

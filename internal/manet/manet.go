@@ -286,10 +286,19 @@ type Network struct {
 
 	models      []mobility.Model
 	member      []bool
+	membersList []int  // member ids in id order, fixed at Build (see Members)
 	dead        []bool // battery-exhausted, never comes back
 	churnRNG    *rand.Rand
 	posTicker   *sim.Ticker
 	churnEvents uint64 // churn departures executed (overlay repair-cost basis)
+
+	// Overlay-snapshot scratch: the health sampler's analytics engine,
+	// the peer-id buffer AppendOverlayAdjacency fills rows from, and the
+	// member predicate bound once so per-tick sampling allocates nothing.
+	analyzer graphs.Analyzer
+	peerBuf  []int
+	peerOff  []int32
+	memberFn func(int) bool
 
 	// Churn callbacks bound once so re-arming allocates nothing.
 	churnDownFn func(sim.Arg)
@@ -346,6 +355,13 @@ func Build(cfg Config) (*Network, error) {
 	for _, i := range perm[:numMembers] {
 		n.member[i] = true
 	}
+	n.membersList = make([]int, 0, numMembers)
+	for i, m := range n.member {
+		if m {
+			n.membersList = append(n.membersList, i)
+		}
+	}
+	n.memberFn = n.IsMember
 
 	// File placement over members only (ranks map member order).
 	var held [][]bool
@@ -453,6 +469,7 @@ func Build(cfg Config) (*Network, error) {
 			Params:       cfg.Params,
 			RoutingStats: func(i int) netif.Stats { return n.Routers[i].Stats() },
 			Demand:       n.Demand,
+			Adjacency:    n.AppendOverlayAdjacency,
 		})
 		n.Checker.Attach()
 	}
@@ -497,14 +514,17 @@ func (n *Network) ForceUp(i int) {
 }
 
 // sampleHealth records one resilience telemetry point: overlay
-// connectivity plus the cumulative message totals, cheap enough to run
-// every few seconds.
+// connectivity plus the cumulative message totals. It serves both the
+// HealthEvery telemetry and the fault plans' recovery metrics, and runs
+// every few seconds — so it goes through the allocation-free Analyzer
+// rather than rebuilding a graphs.Graph per sample.
 func (n *Network) sampleHealth() {
-	g := graphs.New(n.OverlayAdjacency())
+	n.AppendOverlayAdjacency(&n.analyzer.S)
+	m := n.analyzer.Analyze(n.memberFn)
 	h := metrics.HealthSample{
 		At:          n.Sim.Now(),
-		LargestComp: g.LargestComponentFraction(n.IsMember),
-		Links:       g.NumEdges(),
+		LargestComp: m.Largest,
+		Links:       m.Edges,
 	}
 	for c := 0; c < metrics.NumClasses; c++ {
 		h.Received[c] = n.Collector.TotalReceived(metrics.Class(c))
@@ -642,23 +662,82 @@ func (n *Network) Run(d sim.Time) {
 	n.Sim.Run(n.Sim.Now() + d)
 }
 
-// Members returns the ids of overlay members, in id order.
-func (n *Network) Members() []int {
-	var out []int
-	for i, m := range n.member {
-		if m {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+// Members returns the ids of overlay members, in id order. Membership
+// is fixed at Build, so the slice is computed once and shared — callers
+// must not mutate it (the snapshot ticker reads it every tick).
+func (n *Network) Members() []int { return n.membersList }
 
 // IsMember reports whether node i belongs to the overlay.
 func (n *Network) IsMember(i int) bool { return n.member[i] }
 
+// AppendOverlayAdjacency fills sc with the current overlay graph
+// restricted to members: the allocation-free counterpart of
+// OverlayAdjacency, feeding a graphs.Analyzer. The symmetric-link check
+// runs against a link bitmap marked in one pass over all servents
+// instead of scanning each peer's neighbor list per link (the O(deg²)
+// cost of the naive path). Rows match graphs.New(n.OverlayAdjacency())
+// exactly: sorted, deduplicated, self-free, mutual links only (Basic
+// keeps its by-design asymmetric references).
+func (n *Network) AppendOverlayAdjacency(sc *graphs.Scratch) {
+	sc.Reset(n.Cfg.NumNodes)
+	if n.Cfg.Algorithm == p2p.Basic {
+		// Basic references are one-directional by design, so every live
+		// connection is a row entry — one pass.
+		for i, sv := range n.Servents {
+			if sv == nil || !sv.Joined() {
+				sc.EndRow()
+				continue
+			}
+			n.peerBuf = sv.AppendPeers(n.peerBuf[:0])
+			for _, p := range n.peerBuf {
+				if p != i && n.joined(p) {
+					sc.AppendNeighbor(p)
+				}
+			}
+			sc.EndRow()
+		}
+		return
+	}
+	// Symmetric algorithms admit mutual links only: mark every raw
+	// directed link in the scratch bitmap, then build rows with an O(1)
+	// reverse-direction check. The first pass buffers each node's peer
+	// ids so the second never re-iterates the servents' connection maps.
+	n.peerBuf = n.peerBuf[:0]
+	n.peerOff = append(n.peerOff[:0], 0)
+	for i, sv := range n.Servents {
+		if sv != nil && sv.Joined() {
+			n.peerBuf = sv.AppendPeers(n.peerBuf)
+			for _, p := range n.peerBuf[n.peerOff[i]:] {
+				sc.MarkLink(i, p)
+			}
+		}
+		n.peerOff = append(n.peerOff, int32(len(n.peerBuf)))
+	}
+	for i, sv := range n.Servents {
+		if sv == nil || !sv.Joined() {
+			sc.EndRow()
+			continue
+		}
+		for _, p := range n.peerBuf[n.peerOff[i]:n.peerOff[i+1]] {
+			if p != i && n.joined(p) && sc.HasLink(p, i) {
+				sc.AppendNeighbor(p)
+			}
+		}
+		sc.EndRow()
+	}
+}
+
+// joined reports whether node id currently runs a joined servent.
+func (n *Network) joined(id int) bool {
+	sv := n.Servents[id]
+	return sv != nil && sv.Joined()
+}
+
 // OverlayAdjacency returns the current overlay graph restricted to
 // members, as adjacency lists keyed by node id (entries for non-members
 // are nil). Only links acknowledged by both endpoints are included.
+// This is the reference implementation; hot paths use
+// AppendOverlayAdjacency with a reusable graphs.Scratch instead.
 func (n *Network) OverlayAdjacency() [][]int {
 	adj := make([][]int, n.Cfg.NumNodes)
 	for i, sv := range n.Servents {

@@ -1,8 +1,10 @@
 package manet
 
 import (
+	"sort"
 	"testing"
 
+	"manetp2p/internal/graphs"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
@@ -347,5 +349,120 @@ func TestQualifierClasses(t *testing.T) {
 	}
 	if counts[0.2] <= counts[0.9] {
 		t.Errorf("phone class (%d) should outnumber notebook class (%d)", counts[0.2], counts[0.9])
+	}
+}
+
+// TestAppendOverlayAdjacencyMatchesNaive pins the allocation-free fill
+// against the reference OverlayAdjacency on a live network: the same
+// nodes, the same neighbor sets. Rows are compared as sets because
+// AppendOverlayAdjacency emits peers in map order while the naive path
+// sorts.
+func TestAppendOverlayAdjacencyMatchesNaive(t *testing.T) {
+	for _, alg := range p2p.Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(alg, 11)
+			n, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Run(5 * sim.Minute)
+			want := n.OverlayAdjacency()
+			var sc graphs.Scratch
+			n.AppendOverlayAdjacency(&sc)
+			if sc.NumNodes() != len(want) {
+				t.Fatalf("NumNodes = %d, want %d", sc.NumNodes(), len(want))
+			}
+			for i, row := range want {
+				got := append([]int32(nil), sc.Row(i)...)
+				sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+				if len(got) != len(row) {
+					t.Fatalf("node %d: degree %d, want %d", i, len(got), len(row))
+				}
+				for j, p := range row {
+					if int(got[j]) != p {
+						t.Fatalf("node %d: neighbors %v, want %v", i, got, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzerMatchesNaiveOnLiveNetwork checks the whole snapshot path
+// end to end: the Analyzer over AppendOverlayAdjacency must reproduce
+// the naive graphs.Graph metrics bit for bit, which is what keeps the
+// golden fixtures byte-identical.
+func TestAnalyzerMatchesNaiveOnLiveNetwork(t *testing.T) {
+	for _, alg := range p2p.Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(alg, 12)
+			n, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Run(10 * sim.Minute)
+			g := graphs.New(n.OverlayAdjacency())
+			var an graphs.Analyzer
+			n.AppendOverlayAdjacency(&an.S)
+			m := an.Analyze(n.IsMember)
+			if got, want := m.Clustering, g.ClusteringCoefficient(); got != want {
+				t.Errorf("Clustering = %v, want %v", got, want)
+			}
+			wantPath, wantPairs := g.CharacteristicPathLength()
+			if m.PathLength != wantPath || m.Pairs != wantPairs {
+				t.Errorf("PathLength = (%v, %d), want (%v, %d)", m.PathLength, m.Pairs, wantPath, wantPairs)
+			}
+			if got, want := m.Largest, g.LargestComponentFraction(n.IsMember); got != want {
+				t.Errorf("Largest = %v, want %v", got, want)
+			}
+			if got, want := m.Edges, g.NumEdges(); got != want {
+				t.Errorf("Edges = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestMembersCached pins the Members contract: membership is fixed at
+// Build, so repeated calls return the same slice instead of
+// reallocating, and the ids come sorted.
+func TestMembersCached(t *testing.T) {
+	n, err := Build(smallConfig(p2p.Regular, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := n.Members(), n.Members()
+	if len(a) == 0 {
+		t.Fatal("no members")
+	}
+	if &a[0] != &b[0] {
+		t.Error("Members reallocated between calls")
+	}
+	if !sort.IntsAreSorted(a) {
+		t.Errorf("Members not in id order: %v", a)
+	}
+}
+
+// TestOverlaySnapshotSteadyStateAllocs guards the PR's core promise on
+// the live path, not just the synthetic benchmark graph: once warm, a
+// full fill+analyze snapshot allocates nothing.
+func TestOverlaySnapshotSteadyStateAllocs(t *testing.T) {
+	n, err := Build(smallConfig(p2p.Regular, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * sim.Minute)
+	var an graphs.Analyzer
+	n.AppendOverlayAdjacency(&an.S)
+	an.Analyze(n.IsMember)
+	allocs := testing.AllocsPerRun(10, func() {
+		n.AppendOverlayAdjacency(&an.S)
+		an.Analyze(n.IsMember)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state snapshot allocates %v per run, want 0", allocs)
 	}
 }

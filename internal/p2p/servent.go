@@ -266,6 +266,19 @@ func (sv *Servent) Peers() []int {
 	return out
 }
 
+// AppendPeers appends the connected peer ids to dst and returns it —
+// the same contents Peers returns, without the allocation once dst's
+// capacity is warm, in arbitrary (map) order. The overlay-snapshot
+// fill path (manet.Network.AppendOverlayAdjacency) runs it per node
+// per tick; every metric downstream is set- or count-based, so callers
+// must not rely on the order.
+func (sv *Servent) AppendPeers(dst []int) []int {
+	for p := range sv.conns {
+		dst = append(dst, p)
+	}
+	return dst
+}
+
 // ConnCount returns the number of live connections (references).
 func (sv *Servent) ConnCount() int { return len(sv.conns) }
 

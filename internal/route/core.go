@@ -118,7 +118,7 @@ func (c *Core) selfDeliver(a sim.Arg) {
 func (c *Core) SeenEntries() int {
 	n := 0
 	for _, dc := range c.caches {
-		n += len(dc.seen)
+		n += dc.Len()
 	}
 	return n
 }

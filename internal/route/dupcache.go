@@ -51,76 +51,188 @@ func (c CacheConfig) withDefaults() CacheConfig {
 // while, drop re-arrivals. One cache, one pruning policy, shared by all
 // four protocols — previously each router grew (or failed to bound) its
 // own copy.
+//
+// Entries live in an open-addressed table kept at most half full, with
+// the expiry sweep rebuilding it in place from a reused scratch slice.
+// A delete-heavy Go map keeps allocating bucket arrays under churn
+// (same-size grows to shed tombstones), and this cache is exactly that
+// workload — the table version holds FullReplication's biggest single
+// allocation source at zero steady-state allocations.
 type DupCache struct {
-	cfg  CacheConfig
-	sim  *sim.Sim
-	seen map[Key]sim.Time
+	cfg     CacheConfig
+	sim     *sim.Sim
+	slots   []dupSlot
+	mask    uint32
+	n       int        // occupied slots
+	scratch []dupEntry // prune's live-entry buffer, reused across sweeps
+}
+
+// dupSlot is one table cell; used distinguishes occupancy so the zero
+// Key stays a valid entry.
+type dupSlot struct {
+	key  Key
+	t    sim.Time
+	used bool
+}
+
+type dupEntry struct {
+	k Key
+	t sim.Time
 }
 
 // NewDupCache creates a cache owned by core's node and registers it for
 // the core's SeenEntries/SeenBound accounting.
 func NewDupCache(core *Core, cfg CacheConfig) *DupCache {
 	dc := &DupCache{
-		cfg:  cfg.withDefaults(),
-		sim:  core.sim,
-		seen: make(map[Key]sim.Time),
+		cfg:   cfg.withDefaults(),
+		sim:   core.sim,
+		slots: make([]dupSlot, 16),
+		mask:  15,
 	}
 	core.caches = append(core.caches, dc)
 	return dc
 }
 
+// hash spreads a key over the table. The table is a power of two, so
+// the multiply-xor finisher keeps low bits well mixed.
+func hash(k Key) uint32 {
+	h := uint64(uint32(k.Origin))<<32 | uint64(k.ID)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h)
+}
+
+// find locates k's slot by linear probing: its position if present, the
+// insertion point otherwise. The ≤1/2 load invariant guarantees an
+// empty slot terminates every probe.
+func (dc *DupCache) find(k Key) (int, bool) {
+	i := hash(k) & dc.mask
+	for {
+		s := &dc.slots[i]
+		if !s.used {
+			return int(i), false
+		}
+		if s.key == k {
+			return int(i), true
+		}
+		i = (i + 1) & dc.mask
+	}
+}
+
+// insert records (k, t), keeping the table at most half full. Before
+// paying for a bigger table it sweeps expired entries — a sweep never
+// changes what Seen reports (expired entries already fail its freshness
+// check), and it keeps the table sized to the live working set instead
+// of the unswept backlog.
+func (dc *DupCache) insert(k Key, t sim.Time) {
+	i, ok := dc.find(k)
+	if !ok && 2*(dc.n+1) > len(dc.slots) {
+		dc.sweep()
+		if 2*(dc.n+1) > len(dc.slots) {
+			dc.grow()
+		}
+		i, _ = dc.find(k)
+	}
+	if !ok {
+		dc.n++
+	}
+	dc.slots[i] = dupSlot{key: k, t: t, used: true}
+}
+
+// grow doubles the table and rehashes every entry. Growth stops at the
+// cache's peak occupancy (bounded by HardCap), after which the cache
+// never allocates again.
+func (dc *DupCache) grow() {
+	old := dc.slots
+	dc.slots = make([]dupSlot, 2*len(old))
+	dc.mask = uint32(len(dc.slots) - 1)
+	for _, s := range old {
+		if !s.used {
+			continue
+		}
+		i := hash(s.key) & dc.mask
+		for dc.slots[i].used {
+			i = (i + 1) & dc.mask
+		}
+		dc.slots[i] = s
+	}
+}
+
 // Seen reports whether k was marked within the cache timeout.
 func (dc *DupCache) Seen(k Key) bool {
-	t, ok := dc.seen[k]
-	return ok && dc.sim.Now()-t < dc.cfg.Timeout
+	i, ok := dc.find(k)
+	return ok && dc.sim.Now()-dc.slots[i].t < dc.cfg.Timeout
 }
 
 // Mark records k as seen now, pruning first if the cache has grown past
 // its bounds.
 func (dc *DupCache) Mark(k Key) {
-	if len(dc.seen) > dc.cfg.SoftCap {
+	if dc.n > dc.cfg.SoftCap {
 		dc.prune()
 	}
-	dc.seen[k] = dc.sim.Now()
+	dc.insert(k, dc.sim.Now())
+}
+
+// collectLive gathers the unexpired entries into the reusable scratch
+// buffer, in table order (deterministic: layout is a pure function of
+// the insert/delete history).
+func (dc *DupCache) collectLive() []dupEntry {
+	now := dc.sim.Now()
+	live := dc.scratch[:0]
+	for _, s := range dc.slots {
+		if s.used && now-s.t < dc.cfg.Timeout {
+			live = append(live, dupEntry{s.key, s.t})
+		}
+	}
+	dc.scratch = live[:0]
+	return live
+}
+
+// rebuild repopulates the cleared table from live. Rebuilding removes
+// expired entries exactly (an in-place backward-shift delete could
+// slide an unswept entry behind a scan cursor). The inserts can never
+// re-enter sweep — live holds at most the pre-sweep count, which the
+// unchanged-size table already fit at ≤1/2 load — so live (an alias of
+// the scratch buffer) is never overwritten mid-iteration.
+func (dc *DupCache) rebuild(live []dupEntry) {
+	clear(dc.slots)
+	dc.n = 0
+	for _, e := range live {
+		dc.insert(e.k, e.t)
+	}
+}
+
+// sweep drops expired entries only — always behavior-neutral.
+func (dc *DupCache) sweep() {
+	dc.rebuild(dc.collectLive())
 }
 
 // prune drops expired entries, then — only if the cache is still at the
 // hard cap, i.e. under a storm of still-fresh broadcasts — evicts the
 // oldest live entries down to 3/4 of the cap. Eviction sorts candidates
-// by (time, origin, id) so it is deterministic despite map iteration.
+// by (time, origin, id), a total order on unique keys, so the surviving
+// set is deterministic.
 func (dc *DupCache) prune() {
-	now := dc.sim.Now()
-	for k, t := range dc.seen {
-		if now-t >= dc.cfg.Timeout {
-			delete(dc.seen, k)
-		}
+	live := dc.collectLive()
+	if len(live) >= dc.cfg.HardCap {
+		sort.Slice(live, func(i, j int) bool {
+			a, b := live[i], live[j]
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			if a.k.Origin != b.k.Origin {
+				return a.k.Origin < b.k.Origin
+			}
+			return a.k.ID < b.k.ID
+		})
+		live = live[len(live)-dc.cfg.HardCap*3/4:]
 	}
-	if len(dc.seen) < dc.cfg.HardCap {
-		return
-	}
-	type entry struct {
-		k Key
-		t sim.Time
-	}
-	live := make([]entry, 0, len(dc.seen))
-	for k, t := range dc.seen {
-		live = append(live, entry{k, t})
-	}
-	sort.Slice(live, func(i, j int) bool {
-		a, b := live[i], live[j]
-		if a.t != b.t {
-			return a.t < b.t
-		}
-		if a.k.Origin != b.k.Origin {
-			return a.k.Origin < b.k.Origin
-		}
-		return a.k.ID < b.k.ID
-	})
-	for _, e := range live[:len(live)-dc.cfg.HardCap*3/4] {
-		delete(dc.seen, e.k)
-	}
+	dc.rebuild(live)
 }
 
 // Len returns the number of entries currently held (live or expired but
 // not yet swept).
-func (dc *DupCache) Len() int { return len(dc.seen) }
+func (dc *DupCache) Len() int { return dc.n }

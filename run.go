@@ -210,36 +210,53 @@ type repResult struct {
 	err        error
 }
 
-// Run executes all replications of the scenario concurrently and
-// aggregates the paper's metrics.
-func Run(sc Scenario) (*Result, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	workers := sc.Workers
+// Pool is a shared replication-worker budget. Every scenario run
+// draws its parallelism from the pool's slots, so several scenarios
+// running concurrently (the sweep grid) together never exceed the
+// budget — instead of each claiming its own GOMAXPROCS workers. A Pool
+// is safe for concurrent use by multiple goroutines.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool creates a pool with the given number of worker slots;
+// workers <= 0 defaults to GOMAXPROCS.
+func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > sc.Replications {
-		workers = sc.Replications
-	}
+	return &Pool{slots: make(chan struct{}, workers)}
+}
 
+// Run executes all replications of the scenario under the pool's
+// budget and aggregates the paper's metrics. Replications are
+// deterministic regardless of scheduling (each seeds its own RNG
+// streams and lands in its own result slot), so a pooled run returns
+// exactly what a sequential one does. A positive Scenario.Workers
+// additionally caps this scenario's own concurrency below the pool's.
+func (p *Pool) Run(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var local chan struct{}
+	if sc.Workers > 0 {
+		local = make(chan struct{}, sc.Workers)
+	}
 	reps := make([]repResult, sc.Replications)
-	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range jobs {
-				reps[r] = runReplication(sc, r)
-			}
-		}()
-	}
 	for r := 0; r < sc.Replications; r++ {
-		jobs <- r
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if local != nil {
+				local <- struct{}{}
+				defer func() { <-local }()
+			}
+			p.slots <- struct{}{}
+			defer func() { <-p.slots }()
+			reps[r] = runReplication(sc, r)
+		}(r)
 	}
-	close(jobs)
 	wg.Wait()
 
 	for _, rr := range reps {
@@ -248,6 +265,12 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	return aggregate(sc, reps), nil
+}
+
+// Run executes all replications of the scenario concurrently and
+// aggregates the paper's metrics.
+func Run(sc Scenario) (*Result, error) {
+	return NewPool(sc.Workers).Run(sc)
 }
 
 // runReplication builds, instruments and runs one replication.
@@ -260,15 +283,20 @@ func runReplication(sc Scenario, rep int) repResult {
 	}
 
 	if sc.SnapshotEvery > 0 {
+		// One Analyzer per replication: after the first tick warms its
+		// scratch, each snapshot is allocation-free (vs. rebuilding a
+		// graphs.Graph — maps, per-node slices — every tick). The method
+		// value is bound outside the closure so ticks don't re-allocate it.
+		an := new(graphs.Analyzer)
+		isMember := net.IsMember
 		sim.NewTicker(net.Sim, sc.SnapshotEvery, func() {
-			g := graphs.New(net.OverlayAdjacency())
-			c := g.ClusteringCoefficient()
-			l, pairs := g.CharacteristicPathLength()
-			rr.clust = append(rr.clust, c)
-			if pairs > 0 {
-				rr.pathLen = append(rr.pathLen, l)
+			net.AppendOverlayAdjacency(&an.S)
+			m := an.Analyze(isMember)
+			rr.clust = append(rr.clust, m.Clustering)
+			if m.Pairs > 0 {
+				rr.pathLen = append(rr.pathLen, m.PathLength)
 			}
-			rr.largest = append(rr.largest, g.LargestComponentFraction(net.IsMember))
+			rr.largest = append(rr.largest, m.Largest)
 			deg, members := 0, 0
 			for _, id := range net.Members() {
 				if sv := net.Servents[id]; sv != nil && sv.Joined() {
