@@ -11,9 +11,17 @@
 # `./check.sh selfcheck` runs the runtime invariant suite and the
 # determinism self-audit (p2psim -selfcheck) across all four algorithms:
 # fault-free, under the scripted partition+crash plan in
-# testdata/selfcheck_faults.json, and under the full workload plan in
+# testdata/selfcheck_faults.json, under the full workload plan in
 # testdata/selfcheck_workload.json (which arms the demand-conservation
-# rules). Exits nonzero on any violation.
+# rules), and once more with the peer-cache extension enabled. Exits
+# nonzero on any violation.
+#
+# `./check.sh checkpoint` runs the full golden-fixture checkpoint
+# round-trip: every committed fixture (including testdata/golden/
+# workload.json) is checkpointed at its midpoint, resumed in a fresh
+# process, and the resumed report must match the fixture byte for byte.
+# Set MANETP2P_CKPT_ARTIFACT to a directory to keep the mid-run workload
+# checkpoint (CI uploads it as an artifact).
 set -e
 cd "$(dirname "$0")"
 
@@ -34,8 +42,18 @@ if [ "$1" = "selfcheck" ]; then
 		echo "== selfcheck $alg (scripted workload) =="
 		go run ./cmd/p2psim -selfcheck -alg "$alg" -nodes 30 -duration 600 -reps 2 \
 			-workload testdata/selfcheck_workload.json
+		echo "== selfcheck $alg (peer cache) =="
+		go run ./cmd/p2psim -selfcheck -alg "$alg" -nodes 30 -duration 600 -reps 2 \
+			-peercache -faults testdata/selfcheck_faults.json
 	done
 	echo "selfcheck passed"
+	exit 0
+fi
+
+if [ "$1" = "checkpoint" ]; then
+	echo "== golden checkpoint/resume round-trip (fresh-process) =="
+	go test -run TestCheckpointGoldenFixtures -ckpt-golden -count=1 .
+	echo "checkpoint round-trip passed"
 	exit 0
 fi
 
@@ -50,6 +68,22 @@ echo ok
 
 echo "== go vet =="
 go vet ./...
+echo ok
+
+# Go randomizes map iteration order per range statement, so a bare
+# range over a servent map is a determinism bug waiting to happen (the
+# peer-cache eviction tie-break was exactly this). Every such loop must
+# either sort before acting or carry a one-line justification that the
+# body is order-insensitive.
+echo "== map-iteration lint (servent maps) =="
+unjustified=$(grep -rn -E 'range +[A-Za-z_.[]+\.(conns|pending|seen|peerCache)\b' \
+	internal/p2p internal/manet --include='*.go' |
+	grep -vE '// *(sorted|commutative)' || true)
+if [ -n "$unjustified" ]; then
+	echo "range over a servent map without a '// sorted' or '// commutative' justification:"
+	echo "$unjustified"
+	exit 1
+fi
 echo ok
 
 echo "== go build =="

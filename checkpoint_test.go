@@ -1,0 +1,342 @@
+package manetp2p
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manetp2p/internal/checkpoint"
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/sim"
+)
+
+// ckptGolden gates the full 21-fixture fresh-process round-trip (about
+// as expensive as the golden suite itself); ./check.sh checkpoint runs
+// it. The cheap always-on variants below cover the same machinery.
+var ckptGolden = flag.Bool("ckpt-golden", false,
+	"run the full golden-fixture checkpoint/resume round-trip (./check.sh checkpoint)")
+
+// ckptScenario is a busy but fast scenario: faults mid-run, health
+// telemetry, snapshots, traffic buckets and churn all feed the Result,
+// so a restore that loses any subsystem's state shows up.
+func ckptScenario() Scenario {
+	sc := DefaultScenario(30, Regular)
+	sc.Name = "ckpt-roundtrip"
+	sc.Duration = 240 * sim.Second
+	sc.Replications = 2
+	sc.Seed = 13
+	sc.SnapshotEvery = 60 * sim.Second
+	sc.TrafficBucket = 60 * sim.Second
+	sc.HealthEvery = 10 * sim.Second
+	sc.Churn = ChurnConfig{MeanUptime: 300 * sim.Second, MeanDowntime: 30 * sim.Second}
+	sc.Faults = FaultPlan{Events: []FaultEvent{
+		PartitionFault(60*sim.Second, 90*sim.Second, AxisX, 50),
+	}}
+	sc.Params.PeerCache = p2p.PeerCacheConfig{Enabled: true}
+	return sc
+}
+
+// A checkpointed run that is never interrupted must return exactly what
+// the plain runner returns: boundaries only segment Sim.Run.
+func TestRunCheckpointedMatchesRun(t *testing.T) {
+	sc := ckptScenario()
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ckpt, err := NewPool(0).RunCheckpointed(sc, CheckpointConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, plain), resultJSON(t, ckpt)) {
+		t.Error("checkpointed run's Result differs from the plain run's")
+	}
+	info, err := InspectCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Done || len(info.Completed) != sc.Replications || len(info.Cursors) != 0 {
+		t.Errorf("final checkpoint state = done=%v completed=%v cursors=%v, want done, all reps, no cursors",
+			info.Done, info.Completed, info.Cursors)
+	}
+}
+
+// Satellite (ISSUE 8): checkpoint during an active partition, resume
+// in-process, and the full Result — Resilience explicitly included —
+// must match the uninterrupted run byte-for-byte.
+func TestCheckpointResumeUnderFaults(t *testing.T) {
+	sc := ckptScenario()
+	// Halt at t=120 s: inside the 60–150 s partition window, so the
+	// cursor digest pins live fault gates and a degraded overlay.
+	halt := 120 * sim.Second
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Resilience == nil {
+		t.Fatal("precondition: fault scenario produced no resilience telemetry")
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	pool := NewPool(0)
+	_, err = pool.RunCheckpointed(sc, CheckpointConfig{Path: path, HaltAt: halt})
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("RunCheckpointed with HaltAt: err = %v, want ErrHalted", err)
+	}
+	info, err := InspectCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Cursors) == 0 {
+		t.Fatal("halted checkpoint holds no cursors")
+	}
+	for _, c := range info.Cursors {
+		if sim.Time(c.At) != halt {
+			t.Errorf("cursor for rep %d at %v, want %v", c.Rep, sim.Time(c.At), halt)
+		}
+	}
+	resumed, err := pool.ResumeCheckpoint(path, CheckpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := resultJSON(t, plain), resultJSON(t, resumed)
+	if !bytes.Equal(ra, rb) {
+		t.Error("resumed Result differs from the uninterrupted run")
+	}
+	pa, _ := json.Marshal(plain.Resilience)
+	pb, _ := json.Marshal(resumed.Resilience)
+	if !bytes.Equal(pa, pb) {
+		t.Errorf("Result.Resilience diverged across resume:\nuninterrupted: %s\nresumed:       %s", pa, pb)
+	}
+}
+
+// Resuming a finished checkpoint re-runs nothing: every replication
+// loads from its stored record, so the Result must match even if the
+// file is the only thing left of the original process.
+func TestResumeCompletedCheckpoint(t *testing.T) {
+	sc := ckptScenario()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	pool := NewPool(0)
+	first, err := pool.RunCheckpointed(sc, CheckpointConfig{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := pool.ResumeCheckpoint(path, CheckpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, first), resultJSON(t, again)) {
+		t.Error("resume of a completed checkpoint changed the Result")
+	}
+}
+
+// A tampered cursor digest must fail the resume loudly: the digest is
+// the only thing standing between an undetected determinism bug and a
+// silently forked grid.
+func TestResumeDetectsDigestMismatch(t *testing.T) {
+	sc := ckptScenario()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	pool := NewPool(0)
+	_, err := pool.RunCheckpointed(sc, CheckpointConfig{Path: path, HaltAt: 120 * sim.Second})
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	f, err := checkpoint.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal(f.Header, &hdr); err != nil {
+		t.Fatal(err)
+	}
+	cursors := hdr["cursors"].([]any)
+	cursors[0].(map[string]any)["digest"] = "deadbeefdeadbeef"
+	f.Header, err = json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.ResumeCheckpoint(path, CheckpointConfig{})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("resume err = %v, want digest-divergence error", err)
+	}
+}
+
+// Satellite (ISSUE 8): a replication failing mid-grid must surface its
+// error through Pool machinery — never deadlock it. The injected
+// failure is an unwritable checkpoint path, which every worker hits at
+// its first boundary persist.
+func TestPoolSurfacesReplicationErrors(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc := ckptScenario()
+	sc.Replications = 4
+	sc.Workers = 2
+	pool := NewPool(2)
+	_, err := pool.RunCheckpointed(sc, CheckpointConfig{
+		Path: filepath.Join(blocker, "x.ckpt"), // blocker is a file: persist must fail
+	})
+	if err == nil {
+		t.Fatal("RunCheckpointed with unwritable path returned nil error")
+	}
+	if errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want a persist failure, not ErrHalted", err)
+	}
+	// The pool must still be usable: all slots were released.
+	sc2 := quickScenario(Regular, 15)
+	sc2.Replications = 2
+	if _, err := pool.Run(sc2); err != nil {
+		t.Fatalf("pool unusable after failed run: %v", err)
+	}
+}
+
+// resumeInFreshProcess re-execs this test binary to run
+// TestCheckpointResumeChild in a brand-new process — the real crash
+// -recovery shape: nothing survives but the checkpoint file. It returns
+// the goldenMarshal-rendered Result of the resumed run.
+func resumeInFreshProcess(t *testing.T, ckptPath string) []byte {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "resumed.json")
+	cmd := exec.Command(exe, "-test.run", "^TestCheckpointResumeChild$", "-test.count", "1")
+	cmd.Env = append(os.Environ(),
+		"MANETP2P_CKPT_RESUME="+ckptPath,
+		"MANETP2P_CKPT_OUT="+out,
+	)
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("fresh-process resume failed: %v\n%s", err, msg)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("fresh-process resume wrote no report: %v", err)
+	}
+	return data
+}
+
+// TestCheckpointResumeChild is the fresh process's half of the
+// round-trip tests: inert unless invoked via resumeInFreshProcess.
+func TestCheckpointResumeChild(t *testing.T) {
+	path := os.Getenv("MANETP2P_CKPT_RESUME")
+	if path == "" {
+		t.Skip("child half of the fresh-process resume tests")
+	}
+	res, err := NewPool(0).ResumeCheckpoint(path, CheckpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv("MANETP2P_CKPT_OUT"), goldenMarshal(t, res), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Always-on fresh-process round-trip on the fast scenario: halt at the
+// midpoint, resume in a new process, compare against the uninterrupted
+// in-process run.
+func TestCheckpointResumeFreshProcess(t *testing.T) {
+	sc := ckptScenario()
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	_, err = NewPool(0).RunCheckpointed(sc, CheckpointConfig{Path: path, HaltAt: sc.Duration / 2})
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	got := resumeInFreshProcess(t, path)
+	want := goldenMarshal(t, plain)
+	if !bytes.Equal(got, want) {
+		t.Error("fresh-process resumed report differs from the uninterrupted run")
+	}
+}
+
+// TestCheckpointGoldenFixtures is the acceptance bar: every committed
+// golden fixture — 4 algorithm, 16 routing-matrix, 1 workload — is
+// checkpointed at its midpoint, resumed in a fresh process, and the
+// resumed report must be byte-identical to the fixture on disk.
+// Expensive; gated behind -ckpt-golden and run by ./check.sh checkpoint.
+func TestCheckpointGoldenFixtures(t *testing.T) {
+	if !*ckptGolden {
+		t.Skip("enable with -ckpt-golden (./check.sh checkpoint)")
+	}
+	type fixture struct {
+		name string
+		sc   Scenario
+		path string
+	}
+	var fixtures []fixture
+	for _, alg := range Algorithms() {
+		fixtures = append(fixtures, fixture{
+			name: strings.ToLower(alg.String()),
+			sc:   goldenScenario(alg),
+			path: filepath.Join("testdata", "golden", strings.ToLower(alg.String())+".json"),
+		})
+	}
+	for _, sub := range []struct {
+		name string
+		kind RoutingKind
+	}{{"aodv", RoutingAODV}, {"dsr", RoutingDSR}, {"flood", RoutingFlood}, {"dsdv", RoutingDSDV}} {
+		for _, alg := range Algorithms() {
+			fixtures = append(fixtures, fixture{
+				name: "routing_" + sub.name + "_" + strings.ToLower(alg.String()),
+				sc:   goldenRoutingScenario(alg, sub.kind),
+				path: filepath.Join("testdata", "golden", "routing_"+sub.name+"_"+strings.ToLower(alg.String())+".json"),
+			})
+		}
+	}
+	fixtures = append(fixtures, fixture{
+		name: "workload",
+		sc:   goldenWorkloadScenario(),
+		path: filepath.Join("testdata", "golden", "workload.json"),
+	})
+
+	pool := NewPool(0)
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(fx.path)
+			if err != nil {
+				t.Fatalf("missing fixture: %v", err)
+			}
+			ckptPath := filepath.Join(t.TempDir(), fx.name+".ckpt")
+			_, err = pool.RunCheckpointed(fx.sc, CheckpointConfig{
+				Path: ckptPath, HaltAt: fx.sc.Duration / 2,
+			})
+			if !errors.Is(err, ErrHalted) {
+				t.Fatalf("err = %v, want ErrHalted", err)
+			}
+			if dir := os.Getenv("MANETP2P_CKPT_ARTIFACT"); dir != "" && fx.name == "workload" {
+				// Preserve the mid-run workload checkpoint for the CI
+				// artifact before the resume completes it.
+				data, err := os.ReadFile(ckptPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "workload.ckpt"), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := resumeInFreshProcess(t, ckptPath)
+			if !bytes.Equal(got, want) {
+				t.Errorf("fresh-process resumed report differs from fixture %s", fx.path)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,11 @@ func main() {
 		config    = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
 		saveCfg   = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
 		selfcheck = flag.Bool("selfcheck", false, "run the invariant suite and determinism self-audit on the scenario and exit nonzero on any violation")
+		peercache = flag.Bool("peercache", false, "enable the peer-cache extension (cached rendezvous before flooding)")
+		ckptPath  = flag.String("checkpoint", "", "persist run state to this checkpoint file at periodic boundaries")
+		ckptEvery = flag.Float64("checkpoint-every", 0, "checkpoint period in simulated seconds (default: duration/8)")
+		halt      = flag.Float64("halt", 0, "stop at this simulated time after checkpointing (exit code 3); resume later with -resume")
+		resume    = flag.String("resume", "", "resume a run from this checkpoint file; scenario flags are ignored")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -65,6 +71,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}()
+
+	if *resume != "" {
+		runResume(*resume, manetp2p.Seconds(*halt))
+		return
+	}
 
 	var sc manetp2p.Scenario
 	if *config != "" {
@@ -129,6 +140,9 @@ func main() {
 	if *health > 0 {
 		sc.HealthEvery = manetp2p.Seconds(*health)
 	}
+	if *peercache {
+		sc.Params.PeerCache.Enabled = true
+	}
 	if *saveCfg != "" {
 		if err := manetp2p.SaveScenario(*saveCfg, sc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -145,7 +159,17 @@ func main() {
 		return
 	}
 
-	res, err := manetp2p.Run(sc)
+	var res *manetp2p.Result
+	if *ckptPath != "" {
+		res, err = manetp2p.NewPool(0).RunCheckpointed(sc, manetp2p.CheckpointConfig{
+			Path:   *ckptPath,
+			Every:  manetp2p.Seconds(*ckptEvery),
+			HaltAt: manetp2p.Seconds(*halt),
+		})
+		exitIfHalted(err, *ckptPath)
+	} else {
+		res, err = manetp2p.Run(sc)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -193,6 +217,49 @@ func main() {
 		}
 		fmt.Println()
 		if err := manetp2p.WriteNodeSeries(os.Stdout, kind, []*manetp2p.Result{res}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// exitIfHalted turns ErrHalted into the documented exit code 3 plus a
+// resume hint, so scripts can tell "paused" from "failed".
+func exitIfHalted(err error, path string) {
+	if !errors.Is(err, manetp2p.ErrHalted) {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "halted with state saved to %s; continue with: p2psim -resume %s\n", path, path)
+	os.Exit(3)
+}
+
+// runResume continues a checkpointed run in a fresh process and prints
+// the same report a plain run would have produced.
+func runResume(path string, haltAt manetp2p.Duration) {
+	info, err := manetp2p.InspectCheckpoint(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "resuming %s: %d/%d replications complete, %d in flight\n",
+		path, len(info.Completed), info.Total, len(info.Cursors))
+	res, err := manetp2p.NewPool(0).ResumeCheckpoint(path, manetp2p.CheckpointConfig{HaltAt: haltAt})
+	exitIfHalted(err, path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	manetp2p.WriteSummary(os.Stdout, res)
+	if res.Resilience != nil {
+		fmt.Println()
+		if err := manetp2p.WriteResilience(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if res.Workload != nil {
+		fmt.Println()
+		if err := manetp2p.WriteWorkload(os.Stdout, res); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -255,6 +256,7 @@ func main() {
 		dur   = flag.Float64("duration", 3600, "simulated seconds")
 		seed  = flag.Int64("seed", 1, "base random seed")
 		jobs  = flag.Int("jobs", 0, "shared replication-worker budget across all scenario points (0 = GOMAXPROCS)")
+		ckpt  = flag.String("checkpoint", "", "checkpoint directory: each grid cell persists to <dir>/<axis>_<point>_<alg>.ckpt; finished cells load without recomputation, interrupted ones resume")
 	)
 	flag.Parse()
 
@@ -310,11 +312,24 @@ func main() {
 		res *manetp2p.Result
 		err error
 	}
+	if *ckpt != "" {
+		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	results := make([]chan outcome, len(cells))
 	for i := range cells {
 		results[i] = make(chan outcome, 1)
 		go func(i int) {
-			res, err := pool.Run(cells[i].sc)
+			var res *manetp2p.Result
+			var err error
+			if *ckpt != "" {
+				path := cellCheckpointPath(*ckpt, axisName, cells[i].label, cells[i].sc.Algorithm)
+				res, err = runCellCheckpointed(pool, cells[i].sc, path)
+			} else {
+				res, err = pool.Run(cells[i].sc)
+			}
 			results[i] <- outcome{res: res, err: err}
 		}(i)
 	}
@@ -326,6 +341,55 @@ func main() {
 		}
 		fmt.Println(formatRow(cells[i].label, cells[i].sc.Algorithm, out.res, spec))
 	}
+}
+
+// cellCheckpointPath names one grid cell's checkpoint file. Point
+// labels may contain characters that are hostile to filenames ("/",
+// "."); everything outside [a-zA-Z0-9_-] maps to "-".
+func cellCheckpointPath(dir, axis, label string, alg manetp2p.Algorithm) string {
+	sanitize := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+				return r
+			default:
+				return '-'
+			}
+		}, s)
+	}
+	name := fmt.Sprintf("%s_%s_%s.ckpt", sanitize(axis), sanitize(label), sanitize(strings.ToLower(alg.String())))
+	return filepath.Join(dir, name)
+}
+
+// runCellCheckpointed runs one grid cell with persistence: a finished
+// checkpoint loads its stored records without recomputation, a partial
+// one resumes, an absent one starts fresh. A checkpoint written for a
+// different scenario (changed flags between invocations) is an error,
+// not a silent recompute: the stale file would otherwise shadow the
+// requested grid.
+func runCellCheckpointed(pool *manetp2p.Pool, sc manetp2p.Scenario, path string) (*manetp2p.Result, error) {
+	if _, err := os.Stat(path); err != nil {
+		if !os.IsNotExist(err) {
+			return nil, err
+		}
+		return pool.RunCheckpointed(sc, manetp2p.CheckpointConfig{Path: path})
+	}
+	info, err := manetp2p.InspectCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	want, err := manetp2p.MarshalJSONScenario(sc)
+	if err != nil {
+		return nil, err
+	}
+	have, err := manetp2p.MarshalJSONScenario(info.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if string(want) != string(have) {
+		return nil, fmt.Errorf("sweep: %s holds a checkpoint for a different scenario; delete it or change -checkpoint", path)
+	}
+	return pool.ResumeCheckpoint(path, manetp2p.CheckpointConfig{})
 }
 
 // formatRow renders one TSV result row: the headline metrics plus the

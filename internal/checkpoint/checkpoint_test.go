@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"manetp2p/internal/manet"
+	"manetp2p/internal/p2p"
+	"manetp2p/internal/sim"
+)
+
+func sampleFile() *File {
+	return &File{
+		Header: json.RawMessage(`{"kind":"test","n":3}`),
+		Sections: map[string][]byte{
+			"rep/0": []byte("alpha"),
+			"rep/1": []byte("beta payload"),
+			"empty": nil,
+		},
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	want := sampleFile()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Header) != string(want.Header) {
+		t.Errorf("header = %s, want %s", got.Header, want.Header)
+	}
+	if len(got.Sections) != len(want.Sections) {
+		t.Fatalf("got %d sections, want %d", len(got.Sections), len(want.Sections))
+	}
+	for name, data := range want.Sections {
+		if string(got.Sections[name]) != string(data) {
+			t.Errorf("section %q = %q, want %q", name, got.Sections[name], data)
+		}
+	}
+	hdr, err := ReadHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hdr) != string(want.Header) {
+		t.Errorf("ReadHeader = %s, want %s", hdr, want.Header)
+	}
+}
+
+func TestWriteIsByteStable(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := Write(a, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(b, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if string(ba) != string(bb) {
+		t.Error("two writes of the same File differ on disk")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	if err := Write(path, sampleFile()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the "beta payload" section body.
+	idx := strings.Index(string(raw), "beta")
+	if idx < 0 {
+		t.Fatal("payload not found in encoded file")
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string
+	}{
+		{"flipped payload byte", func(b []byte) []byte { b[idx] ^= 0xff; return b }, "CRC"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "not a checkpoint"},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xEE) }, "trailing"},
+		{"future version", func(b []byte) []byte { b[len(Magic)] = 99; return b }, "version"},
+	} {
+		mut := tc.mutate(append([]byte(nil), raw...))
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rerr := Read(path)
+		if rerr == nil || !strings.Contains(rerr.Error(), tc.want) {
+			t.Errorf("%s: Read err = %v, want mention of %q", tc.name, rerr, tc.want)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	err := Write(path, &File{Header: json.RawMessage(`{broken`)})
+	if err == nil || !strings.Contains(err.Error(), "JSON") {
+		t.Errorf("Write err = %v, want invalid-JSON error", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Error("failed Write left a file behind")
+	}
+}
+
+func buildNet(t *testing.T, seed int64) *manet.Network {
+	t.Helper()
+	cfg := manet.DefaultConfig(16, p2p.Regular)
+	cfg.Seed = seed
+	cfg.HealthEvery = 30 * sim.Second
+	n, err := manet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// Two identically seeded replications must agree on the digest at every
+// probe point, and probing must not perturb the run (Fingerprint is
+// read-only): a third run probed at different times must still agree at
+// the shared horizon.
+func TestFingerprintDeterministicAndReadOnly(t *testing.T) {
+	a, b, c := buildNet(t, 3), buildNet(t, 3), buildNet(t, 3)
+	for _, horizon := range []sim.Time{0, 40 * sim.Second, 120 * sim.Second} {
+		a.Sim.Run(horizon)
+		b.Sim.Run(horizon)
+		fa, fb := Fingerprint(a), Fingerprint(b)
+		if fa != fb {
+			t.Fatalf("digest at %v: %016x vs %016x on identical runs", horizon, fa, fb)
+		}
+		// Repeated digesting of the same state is stable.
+		if again := Fingerprint(a); again != fa {
+			t.Fatalf("re-digest at %v changed: %016x -> %016x", horizon, fa, again)
+		}
+	}
+	// c runs straight to the horizon with no intermediate probes.
+	c.Sim.Run(120 * sim.Second)
+	if fc, fa := Fingerprint(c), Fingerprint(a); fc != fa {
+		t.Errorf("segmented run digest %016x != straight run digest %016x", fa, fc)
+	}
+}
+
+func TestFingerprintSeparatesStates(t *testing.T) {
+	a, b := buildNet(t, 3), buildNet(t, 4)
+	a.Sim.Run(60 * sim.Second)
+	b.Sim.Run(60 * sim.Second)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("different seeds produced the same digest")
+	}
+	before := Fingerprint(a)
+	a.Sim.Run(61 * sim.Second)
+	if Fingerprint(a) == before {
+		t.Error("advancing the run did not change the digest")
+	}
+}

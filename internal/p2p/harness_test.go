@@ -126,7 +126,7 @@ func (w *world) checkSymmetric(t *testing.T) {
 		if sv == nil {
 			continue
 		}
-		for peer, c := range sv.conns {
+		for peer, c := range sv.conns { // commutative: per-link symmetry check
 			other := w.svs[peer]
 			if other == nil {
 				t.Errorf("node %d connected to non-member %d", sv.id, peer)
@@ -161,7 +161,7 @@ func (w *world) checkCapacity(t *testing.T, par Params) {
 			}
 		case Random:
 			reg, rnd := 0, 0
-			for _, c := range sv.conns {
+			for _, c := range sv.conns { // commutative: pure count
 				if c.random {
 					rnd++
 				} else {

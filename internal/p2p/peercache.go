@@ -57,10 +57,13 @@ func (sv *Servent) rememberPeer(peer int) {
 		return
 	}
 	if len(sv.peerCache) >= sv.par.PeerCache.Size {
-		// Evict the stalest entry.
+		// Evict the stalest entry. Equal seen-times (two pongs in the same
+		// tick) break by ascending peer id: if map-iteration order picked
+		// the victim, a resumed run could evict a different peer than the
+		// uninterrupted one and the overlays would silently diverge.
 		worst, worstSeen := -1, sim.MaxTime
-		for p, e := range sv.peerCache {
-			if e.seen < worstSeen {
+		for p, e := range sv.peerCache { // commutative: min-reduction, id tie-break
+			if e.seen < worstSeen || (e.seen == worstSeen && (worst < 0 || p < worst)) {
 				worst, worstSeen = p, e.seen
 			}
 		}
@@ -108,10 +111,12 @@ func (sv *Servent) tryCachedPeers() bool {
 	return sent > 0
 }
 
-// cachedPeerIDs returns cache keys in ascending order.
+// cachedPeerIDs returns cache keys in ascending order. The returned
+// slice aliases a scratch buffer on the servent — it runs every cycle
+// step on the establishment hot path and must not allocate.
 func (sv *Servent) cachedPeerIDs() []int {
-	ids := make([]int, 0, len(sv.peerCache))
-	for p := range sv.peerCache {
+	ids := sv.cacheScratch[:0]
+	for p := range sv.peerCache { // sorted below: keeps runs reproducible
 		ids = append(ids, p)
 	}
 	for i := 1; i < len(ids); i++ { // insertion sort: tiny slices
@@ -119,5 +124,6 @@ func (sv *Servent) cachedPeerIDs() []int {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
+	sv.cacheScratch = ids
 	return ids
 }

@@ -124,7 +124,7 @@ func TestPeerCacheRateLimitAtTimeZero(t *testing.T) {
 	}
 	// Drop the handshake reservation so only the rate limit can block a
 	// second solicitation.
-	for p, h := range sv.pending {
+	for p, h := range sv.pending { // commutative: cancels every entry
 		h.timeout.Cancel()
 		delete(sv.pending, p)
 	}
@@ -133,7 +133,7 @@ func TestPeerCacheRateLimitAtTimeZero(t *testing.T) {
 	}
 	// Past the TTL/4 rest period the peer is fair game again.
 	w.run(par.PeerCache.WithDefaults().TTL/4 + sim.Second)
-	for p, h := range sv.pending {
+	for p, h := range sv.pending { // commutative: cancels every entry
 		h.timeout.Cancel()
 		delete(sv.pending, p)
 	}
@@ -150,5 +150,78 @@ func TestPeerCacheRateLimitAtTimeZero(t *testing.T) {
 	}
 	if !sv.tryCachedPeers() {
 		t.Error("peer not re-solicited after the rest period")
+	}
+}
+
+// Regression (ISSUE 8): the eviction victim among equal-seen entries was
+// chosen by map-iteration order, so an uninterrupted run and a resumed
+// run (fresh process, fresh map layout) could evict different peers and
+// silently diverge. Ties must break by ascending peer id. Each trial
+// uses a fresh map so Go's per-iteration randomization gets every chance
+// to expose an order-dependent victim; pre-fix this fails with
+// probability 1 - (1/4)^48.
+func TestPeerCacheEvictionDeterministic(t *testing.T) {
+	par := DefaultParams()
+	par.PeerCache = PeerCacheConfig{Enabled: true, Size: 4}
+	w := newWorld(t, worldSpec{
+		seed: 75, pts: cliquePts(1), alg: Regular, par: par,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	sv := w.svs[0]
+	if w.s.Now() != 0 {
+		t.Fatalf("precondition: now = %v, want 0", w.s.Now())
+	}
+	for trial := 0; trial < 48; trial++ {
+		sv.peerCache = nil // fresh map: fresh iteration order
+		for _, p := range []int{7, 3, 9, 5} {
+			sv.rememberPeer(p) // all at t=0: four-way seen tie
+		}
+		sv.rememberPeer(11) // full cache: one of the tied four is evicted
+		if _, gone := sv.peerCache[3]; gone {
+			t.Fatalf("trial %d: tie-break evicted %v, want lowest id 3 gone",
+				trial, sv.cachedPeerIDs())
+		}
+		want := []int{5, 7, 9, 11}
+		ids := sv.cachedPeerIDs()
+		for i, p := range want {
+			if i >= len(ids) || ids[i] != p {
+				t.Fatalf("trial %d: cache = %v, want %v", trial, ids, want)
+			}
+		}
+	}
+}
+
+// Alloc guard (ISSUE 8): the peer-cache scan a cache-enabled cycle step
+// performs (ringStep -> tryCachedPeers -> cachedPeerIDs) must not
+// allocate once the servent's scratch buffer is warm — it runs every
+// establishment step for the whole simulation. The step's other halves
+// (event re-scheduling, broadcast/unicast send) are covered by the
+// guards in internal/sim and internal/radio.
+func TestPeerCacheCycleStepScanZeroAllocs(t *testing.T) {
+	par := DefaultParams()
+	par.PeerCache = PeerCacheConfig{Enabled: true, Size: 8}
+	w := newWorld(t, worldSpec{
+		seed: 76, pts: cliquePts(1), alg: Regular, par: par,
+		opts: func(i int, o *Options) { o.NoEstablish = true },
+	})
+	w.joinAll()
+	sv := w.svs[0]
+	now := w.s.Now()
+	for p := 1; p <= 8; p++ {
+		sv.rememberPeer(p)
+		// Rate-limit every entry so the scan walks the whole cache and
+		// sends nothing — the steady state of a saturated servent.
+		sv.peerCache[p].tried = now
+		sv.peerCache[p].hasTried = true
+	}
+	sv.cachedPeerIDs() // warm the scratch buffer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if sv.tryCachedPeers() {
+			t.Fatal("rate-limited entry was solicited")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cycle-step cache scan allocates %.1f allocs/op, want 0", allocs)
 	}
 }

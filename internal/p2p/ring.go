@@ -132,7 +132,7 @@ func (sv *Servent) lacksRandomLink() bool {
 	if sv.HasRandomConn() {
 		return false
 	}
-	for _, h := range sv.pending {
+	for _, h := range sv.pending { // commutative: pure any-match
 		if h.random {
 			return false
 		}
@@ -156,7 +156,7 @@ func (sv *Servent) needMasterLink() bool {
 // slave/master-role links).
 func (sv *Servent) regularCount() int {
 	n := 0
-	for _, c := range sv.conns {
+	for _, c := range sv.conns { // commutative: pure count
 		if !c.random && !c.toMaster && !c.toSlave {
 			n++
 		}
@@ -167,7 +167,7 @@ func (sv *Servent) regularCount() int {
 // masterLinkCount counts live master-mesh links.
 func (sv *Servent) masterLinkCount() int {
 	n := 0
-	for _, c := range sv.conns {
+	for _, c := range sv.conns { // commutative: pure count
 		if c.master {
 			n++
 		}
@@ -178,7 +178,7 @@ func (sv *Servent) masterLinkCount() int {
 // slaveCount counts this master's live slaves.
 func (sv *Servent) slaveCount() int {
 	n := 0
-	for _, c := range sv.conns {
+	for _, c := range sv.conns { // commutative: pure count
 		if c.toSlave {
 			n++
 		}
@@ -188,7 +188,7 @@ func (sv *Servent) slaveCount() int {
 
 func (sv *Servent) pendingRegular() int {
 	n := 0
-	for _, h := range sv.pending {
+	for _, h := range sv.pending { // commutative: pure count
 		if !h.random {
 			n++
 		}
@@ -198,7 +198,7 @@ func (sv *Servent) pendingRegular() int {
 
 func (sv *Servent) pendingMaster() int {
 	n := 0
-	for _, h := range sv.pending {
+	for _, h := range sv.pending { // commutative: pure count
 		if h.master {
 			n++
 		}

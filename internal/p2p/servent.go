@@ -152,6 +152,7 @@ type Servent struct {
 	hsTimeoutFn   func(sim.Arg)
 	reservedExpFn func(sim.Arg)
 	peersScratch  []int // sorted-peer buffer for hot iteration paths; see sortedPeers
+	cacheScratch  []int // sorted peer-cache id buffer; see cachedPeerIDs
 }
 
 type queryKey struct {
@@ -210,7 +211,7 @@ func NewServent(id int, s *sim.Sim, rt netif.Protocol, par Params, alg Algorithm
 // re-enter any code that could call it again while iterating.
 func (sv *Servent) sortedPeers() []int {
 	out := sv.peersScratch[:0]
-	for p := range sv.conns {
+	for p := range sv.conns { // sorted below: keeps runs reproducible
 		out = append(out, p)
 	}
 	sort.Ints(out)
@@ -236,7 +237,7 @@ func (sv *Servent) State() HybridState { return sv.state }
 
 // Master returns the current master's id for a slave, or -1.
 func (sv *Servent) Master() int {
-	for _, c := range sv.conns {
+	for _, c := range sv.conns { // commutative: at most one conn has toMaster set
 		if c.toMaster {
 			return c.peer
 		}
@@ -247,7 +248,7 @@ func (sv *Servent) Master() int {
 // Slaves returns the ids of this master's slaves, sorted.
 func (sv *Servent) Slaves() []int {
 	var out []int
-	for _, c := range sv.conns {
+	for _, c := range sv.conns { // sorted below: keeps runs reproducible
 		if c.toSlave {
 			out = append(out, c.peer)
 		}
@@ -259,7 +260,7 @@ func (sv *Servent) Slaves() []int {
 // Peers returns the ids of all connected peers, sorted.
 func (sv *Servent) Peers() []int {
 	out := make([]int, 0, len(sv.conns))
-	for p := range sv.conns {
+	for p := range sv.conns { // sorted below: keeps runs reproducible
 		out = append(out, p)
 	}
 	sort.Ints(out)
@@ -273,7 +274,7 @@ func (sv *Servent) Peers() []int {
 // per tick; every metric downstream is set- or count-based, so callers
 // must not rely on the order.
 func (sv *Servent) AppendPeers(dst []int) []int {
-	for p := range sv.conns {
+	for p := range sv.conns { // commutative: contract above forbids order-dependent callers
 		dst = append(dst, p)
 	}
 	return dst
@@ -284,7 +285,7 @@ func (sv *Servent) ConnCount() int { return len(sv.conns) }
 
 // HasRandomConn reports whether a Random-algorithm long link is live.
 func (sv *Servent) HasRandomConn() bool {
-	for _, c := range sv.conns {
+	for _, c := range sv.conns { // commutative: pure any-match
 		if c.random {
 			return true
 		}
@@ -345,7 +346,7 @@ func (sv *Servent) Leave(graceful bool) {
 	for _, peer := range sv.Peers() { // sorted: keeps runs reproducible
 		sv.closeConn(peer, graceful)
 	}
-	for _, h := range sv.pending {
+	for _, h := range sv.pending { // commutative: cancels every entry
 		h.timeout.Cancel()
 	}
 	sv.pending = make(map[int]*handshake)

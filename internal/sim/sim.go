@@ -50,6 +50,12 @@ func (s *Sim) Pending() int { return s.queue.Len() }
 // Fired reports how many events have executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
+// Seq reports how many queue sequence numbers have been issued. Together
+// with Now, Fired and Pending it pins the scheduler's position precisely
+// enough for the checkpoint digest (internal/checkpoint) to detect two
+// runs disagreeing about event history.
+func (s *Sim) Seq() uint64 { return s.seq }
+
 // alloc takes an event slot from the free list (or the heap, while the
 // pool is still warming up) and stamps it with a queue key.
 func (s *Sim) alloc(t Time, seq uint64) *Event {

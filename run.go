@@ -275,12 +275,34 @@ func Run(sc Scenario) (*Result, error) {
 
 // runReplication builds, instruments and runs one replication.
 func runReplication(sc Scenario, rep int) repResult {
-	var rr repResult
+	r, err := startReplication(sc, rep)
+	if err != nil {
+		return repResult{err: err}
+	}
+	r.runTo(sc.Duration)
+	return r.finish()
+}
+
+// repRun is one in-flight replication: built and instrumented, but not
+// yet (fully) executed. The checkpoint machinery drives it in segments
+// — runTo at each boundary, digest, persist — where the plain path runs
+// it in one piece; segmenting Sim.Run is behavior-neutral, so both
+// produce identical results.
+type repRun struct {
+	sc  Scenario
+	rep int
+	net *manet.Network
+	rr  repResult
+}
+
+// startReplication builds and instruments one replication, advanced to
+// t=0 (nothing executed yet).
+func startReplication(sc Scenario, rep int) (*repRun, error) {
 	net, err := manet.Build(sc.manetConfig(rep))
 	if err != nil {
-		rr.err = err
-		return rr
+		return nil, err
 	}
+	r := &repRun{sc: sc, rep: rep, net: net}
 
 	if sc.SnapshotEvery > 0 {
 		// One Analyzer per replication: after the first tick warms its
@@ -292,11 +314,11 @@ func runReplication(sc Scenario, rep int) repResult {
 		sim.NewTicker(net.Sim, sc.SnapshotEvery, func() {
 			net.AppendOverlayAdjacency(&an.S)
 			m := an.Analyze(isMember)
-			rr.clust = append(rr.clust, m.Clustering)
+			r.rr.clust = append(r.rr.clust, m.Clustering)
 			if m.Pairs > 0 {
-				rr.pathLen = append(rr.pathLen, m.PathLength)
+				r.rr.pathLen = append(r.rr.pathLen, m.PathLength)
 			}
-			rr.largest = append(rr.largest, m.Largest)
+			r.rr.largest = append(r.rr.largest, m.Largest)
 			deg, members := 0, 0
 			for _, id := range net.Members() {
 				if sv := net.Servents[id]; sv != nil && sv.Joined() {
@@ -305,16 +327,24 @@ func runReplication(sc Scenario, rep int) repResult {
 				}
 			}
 			if members > 0 {
-				rr.meanDeg = append(rr.meanDeg, float64(deg)/float64(members))
-				rr.degSeries = append(rr.degSeries, float64(deg)/float64(members))
+				r.rr.meanDeg = append(r.rr.meanDeg, float64(deg)/float64(members))
+				r.rr.degSeries = append(r.rr.degSeries, float64(deg)/float64(members))
 			} else {
-				rr.degSeries = append(rr.degSeries, 0)
+				r.rr.degSeries = append(r.rr.degSeries, 0)
 			}
-			rr.alive = append(rr.alive, float64(net.AliveMembers())/float64(len(net.Members())))
+			r.rr.alive = append(r.rr.alive, float64(net.AliveMembers())/float64(len(net.Members())))
 		})
 	}
+	return r, nil
+}
 
-	net.Run(sc.Duration)
+// runTo advances the replication to absolute simulation time t.
+func (r *repRun) runTo(t sim.Time) { r.net.Sim.Run(t) }
+
+// finish extracts the measurements after the replication has run to its
+// horizon. Call exactly once.
+func (r *repRun) finish() repResult {
+	sc, net, rr := r.sc, r.net, &r.rr
 
 	if net.Checker != nil {
 		net.Checker.Finalize()
@@ -372,7 +402,7 @@ func runReplication(sc Scenario, rep int) repResult {
 		rr.connRate = perMember(net.Collector.Series(metrics.Connect))
 		rr.queryRate = perMember(net.Collector.Series(metrics.Query))
 	}
-	return rr
+	return r.rr
 }
 
 // aggregate folds replication results into a Result.
