@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"manetp2p/internal/stats"
+	"manetp2p/internal/telemetry"
 )
 
 // This file holds the scenario-level half of the invariant tentpole: the
@@ -36,7 +39,7 @@ func (r *InvariantReport) OK() bool { return r == nil || r.Violations == 0 }
 
 // invariantReport folds the per-replication checker findings, or nil
 // when the checker never ran.
-func invariantReport(sc Scenario, reps []repResult) *InvariantReport {
+func invariantReport(sc Scenario, reps []*repResult) *InvariantReport {
 	rep := &InvariantReport{}
 	for i, rr := range reps {
 		if !rr.checked {
@@ -67,15 +70,20 @@ type SelfAuditReport struct {
 	// ScheduleIndependent: a serial (Workers=1) run matched the pooled
 	// run — replication results do not depend on worker scheduling.
 	ScheduleIndependent bool
+	// PooledN: every pooled summary's sample count obeyed the telemetry
+	// plane's conservation law (one sample per replication, or per node
+	// per replication, depending on the section).
+	PooledN bool
 	// Invariants carries the instrumented base run's checker findings.
 	Invariants *InvariantReport
-	// Detail describes the first fingerprint mismatch, when any.
+	// Detail describes the first fingerprint or pooled-N mismatch, when
+	// any.
 	Detail string
 }
 
 // OK reports whether the audit passed outright.
 func (r *SelfAuditReport) OK() bool {
-	return r.Deterministic && r.ScheduleIndependent && r.Invariants.OK()
+	return r.Deterministic && r.ScheduleIndependent && r.PooledN && r.Invariants.OK()
 }
 
 // SelfAudit runs the scenario's invariant suite and determinism audit:
@@ -120,9 +128,11 @@ func SelfAudit(sc Scenario) (*SelfAuditReport, error) {
 		return nil, err
 	}
 
+	pooledN := auditPooledN(base)
 	rep := &SelfAuditReport{
 		Deterministic:       bytes.Equal(fpBase, fpAgain),
 		ScheduleIndependent: bytes.Equal(fpBase, fpOne),
+		PooledN:             pooledN == "",
 		Invariants:          base.Invariants,
 	}
 	switch {
@@ -130,8 +140,73 @@ func SelfAudit(sc Scenario) (*SelfAuditReport, error) {
 		rep.Detail = diffDetail("rerun", fpBase, fpAgain)
 	case !rep.ScheduleIndependent:
 		rep.Detail = diffDetail("serial run", fpBase, fpOne)
+	case !rep.PooledN:
+		rep.Detail = pooledN
 	}
 	return rep, nil
+}
+
+// auditPooledN checks the telemetry plane's pooled-sample conservation
+// law on an aggregated Result: a summary pooled one-sample-per-
+// replication must report N equal to the replication count, a summary
+// pooled one-sample-per-node must report N equal to NumNodes ×
+// replications, and the per-class received totals must all pool the
+// same member population. Returns "" on success or a description of
+// the first violation.
+func auditPooledN(res *Result) string {
+	reps := res.Scenario.Replications
+	perNode := reps * res.Scenario.NumNodes
+	type check struct {
+		name    string
+		n, want int
+	}
+	checks := []check{
+		{"radio.RxFrames", res.RxFrames.N, perNode},
+		{"radio.TxFrames", res.TxFrames.N, perNode},
+		{"energy.EnergySpent", res.EnergySpent.N, perNode},
+		{"energy.Deaths", res.Deaths.N, reps},
+	}
+	for class := 1; class < telemetry.NumClasses; class++ {
+		checks = append(checks, check{
+			name: fmt.Sprintf("servent.Totals[%v]", telemetry.Class(class)),
+			n:    res.Totals[class].N,
+			want: res.Totals[telemetry.Connect].N,
+		})
+	}
+	if rt := res.Routing; rt != nil {
+		for _, c := range []struct {
+			name string
+			s    stats.Summary
+		}{
+			{"CtrlOrig", rt.CtrlOrig}, {"CtrlRelayed", rt.CtrlRelayed},
+			{"BcastOrig", rt.BcastOrig}, {"BcastRelayed", rt.BcastRelayed},
+			{"DataSent", rt.DataSent}, {"DataForwarded", rt.DataForwarded},
+			{"DataDropped", rt.DataDropped}, {"Delivered", rt.Delivered},
+			{"Discoveries", rt.Discoveries}, {"DiscoverFailed", rt.DiscoverFailed},
+			{"SendFailed", rt.SendFailed}, {"DupHits", rt.DupHits},
+		} {
+			checks = append(checks, check{"route." + c.name, c.s.N, perNode})
+		}
+	}
+	if ws := res.Workload; ws != nil {
+		for _, c := range []struct {
+			name string
+			s    stats.Summary
+		}{
+			{"Offered", ws.Offered}, {"Retries", ws.Retries},
+			{"Issued", ws.Issued}, {"Resolved", ws.Resolved},
+			{"Expired", ws.Expired}, {"Aborted", ws.Aborted},
+			{"InFlight", ws.InFlight}, {"ChurnEvents", ws.ChurnEvents},
+		} {
+			checks = append(checks, check{"workload." + c.name, c.s.N, reps})
+		}
+	}
+	for _, c := range checks {
+		if c.n != c.want {
+			return fmt.Sprintf("telemetry pooled-N conservation: %s pooled N=%d, want %d", c.name, c.n, c.want)
+		}
+	}
+	return ""
 }
 
 // fingerprint canonicalizes a Result for comparison: the Workers knob is

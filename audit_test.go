@@ -116,11 +116,53 @@ func TestSelfAuditPasses(t *testing.T) {
 	if !rep.ScheduleIndependent {
 		t.Errorf("schedule-independence audit failed: %s", rep.Detail)
 	}
+	if !rep.PooledN {
+		t.Errorf("pooled-N conservation audit failed: %s", rep.Detail)
+	}
 	if !rep.Invariants.OK() {
 		t.Errorf("invariant violations during self-audit: %+v", rep.Invariants)
 	}
 	if !rep.OK() {
 		t.Error("self-audit did not pass overall")
+	}
+}
+
+// TestAuditPooledN pins the telemetry plane's pooled-sample
+// conservation law: a clean aggregated Result passes, and corrupting
+// any pooled sample count — per-node, per-replication, or the
+// cross-class member population — is caught and named.
+func TestAuditPooledN(t *testing.T) {
+	sc := quickScenario(Regular, 20)
+	sc.Workload = &WorkloadPlan{}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detail := auditPooledN(res); detail != "" {
+		t.Fatalf("clean result fails pooled-N audit: %s", detail)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*Result)
+	}{
+		{"per-node", func(r *Result) { r.RxFrames.N-- }},
+		{"per-replication", func(r *Result) { r.Deaths.N++ }},
+		{"cross-class", func(r *Result) { r.Totals[1].N++ }},
+		{"routing", func(r *Result) { r.Routing.Delivered.N-- }},
+		{"workload", func(r *Result) { r.Workload.Offered.N++ }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clone := *res
+			routing := *res.Routing
+			clone.Routing = &routing
+			workload := *res.Workload
+			clone.Workload = &workload
+			tc.corrupt(&clone)
+			if detail := auditPooledN(&clone); detail == "" {
+				t.Error("corrupted pooled N not detected")
+			}
+		})
 	}
 }
 

@@ -15,9 +15,9 @@ import (
 	"manetp2p/internal/aodv"
 	"manetp2p/internal/geom"
 	"manetp2p/internal/manet"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 )
 
 // benchScenario is the scaled-down figure workload: one replication of
@@ -77,7 +77,7 @@ func BenchmarkFig6QueryDistance150(b *testing.B) { benchFileCurves(b, 150, 300*s
 
 // --- Figures 7-12: per-node message series ---
 
-func benchNodeSeries(b *testing.B, nodes int, duration Duration, class metrics.Class) {
+func benchNodeSeries(b *testing.B, nodes int, duration Duration, class telemetry.Class) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		perAlg := map[string]float64{}
@@ -94,27 +94,27 @@ func benchNodeSeries(b *testing.B, nodes int, duration Duration, class metrics.C
 }
 
 func BenchmarkFig7Connect50(b *testing.B) {
-	benchNodeSeries(b, 50, 900*sim.Second, metrics.Connect)
+	benchNodeSeries(b, 50, 900*sim.Second, telemetry.Connect)
 }
 
 func BenchmarkFig8Connect150(b *testing.B) {
-	benchNodeSeries(b, 150, 300*sim.Second, metrics.Connect)
+	benchNodeSeries(b, 150, 300*sim.Second, telemetry.Connect)
 }
 
 func BenchmarkFig9Ping50(b *testing.B) {
-	benchNodeSeries(b, 50, 900*sim.Second, metrics.Ping)
+	benchNodeSeries(b, 50, 900*sim.Second, telemetry.Ping)
 }
 
 func BenchmarkFig10Ping150(b *testing.B) {
-	benchNodeSeries(b, 150, 300*sim.Second, metrics.Ping)
+	benchNodeSeries(b, 150, 300*sim.Second, telemetry.Ping)
 }
 
 func BenchmarkFig11Query50(b *testing.B) {
-	benchNodeSeries(b, 50, 900*sim.Second, metrics.Query)
+	benchNodeSeries(b, 50, 900*sim.Second, telemetry.Query)
 }
 
 func BenchmarkFig12Query150(b *testing.B) {
-	benchNodeSeries(b, 150, 300*sim.Second, metrics.Query)
+	benchNodeSeries(b, 150, 300*sim.Second, telemetry.Query)
 }
 
 // --- Ablations ---
@@ -169,7 +169,7 @@ func BenchmarkAblationExpandingRing(b *testing.B) {
 		var conn float64
 		members := net.Members()
 		for _, id := range members {
-			conn += float64(net.Collector.Received(id, metrics.Connect))
+			conn += float64(net.Collector.Received(id, telemetry.Connect))
 		}
 		return conn / float64(len(members))
 	}
@@ -197,8 +197,8 @@ func BenchmarkAblationOneSidedPing(b *testing.B) {
 		var pings float64
 		members := net.Members()
 		for _, id := range members {
-			pings += float64(net.Collector.Received(id, metrics.Ping) +
-				net.Collector.Received(id, metrics.Pong))
+			pings += float64(net.Collector.Received(id, telemetry.Ping) +
+				net.Collector.Received(id, telemetry.Pong))
 		}
 		return pings / float64(len(members))
 	}
@@ -227,7 +227,7 @@ func BenchmarkAblationPeerCache(b *testing.B) {
 		var conn float64
 		members := net.Members()
 		for _, id := range members {
-			conn += float64(net.Collector.Received(id, metrics.Connect))
+			conn += float64(net.Collector.Received(id, telemetry.Connect))
 		}
 		return conn / float64(len(members))
 	}
@@ -318,7 +318,7 @@ func BenchmarkExtQueryStrategies(b *testing.B) {
 		if total > 0 {
 			found = hits / float64(total)
 		}
-		return res.Totals[metrics.Query].Mean, found
+		return res.Totals[telemetry.Query].Mean, found
 	}
 	for i := 0; i < b.N; i++ {
 		fm, ff := run(p2p.QueryFlood)
@@ -438,3 +438,5 @@ func BenchmarkFullReplication(b *testing.B) { benchFullReplication(b, false) }
 // runtime invariant checker armed (Every = 30 s default); compare with
 // BenchmarkFullReplication to read the checker's overhead.
 func BenchmarkFullReplicationChecked(b *testing.B) { benchFullReplication(b, true) }
+
+func BenchmarkTelemetryProbe(b *testing.B) { benchTelemetryProbe(b) }

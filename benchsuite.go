@@ -18,6 +18,7 @@ import (
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/workload"
 )
 
@@ -31,6 +32,7 @@ type BenchSpec struct {
 // cheapest first.
 func TrackedBenchmarks() []BenchSpec {
 	return []BenchSpec{
+		{Name: "TelemetryProbe", Fn: benchTelemetryProbe},
 		{Name: "SimEventQueue", Fn: benchSimEventQueue},
 		{Name: "GridNear", Fn: benchGridNear},
 		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
@@ -41,6 +43,28 @@ func TrackedBenchmarks() []BenchSpec {
 		{Name: "OverlaySnapshotNaive", Fn: benchOverlaySnapshotNaive},
 		{Name: "FullReplication", Fn: func(b *testing.B) { benchFullReplication(b, false) }},
 		{Name: "FullReplicationChecked", Fn: func(b *testing.B) { benchFullReplication(b, true) }},
+	}
+}
+
+// benchTelemetryProbe measures the telemetry plane's record hot path —
+// counter, gauge, bounded series, ledger and collector — which every
+// layer hits on every message. The contract is 0 allocs/op: cmd/bench
+// gates AllocsPerOp for this benchmark at exactly zero.
+func benchTelemetryProbe(b *testing.B) {
+	var counter telemetry.Counter
+	var gauge telemetry.Gauge
+	series := telemetry.NewSeries(1024)
+	var ledger telemetry.Ledger
+	id := ledger.Define("probe")
+	col := telemetry.NewCollector(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counter.Inc()
+		gauge.Set(float64(i))
+		series.Append(float64(i), float64(i))
+		ledger.Inc(id)
+		col.Recv(i&7, telemetry.Query)
 	}
 }
 

@@ -11,9 +11,9 @@ import (
 	"sync"
 
 	"manetp2p/internal/checkpoint"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/workload"
 )
 
@@ -51,15 +51,19 @@ type CheckpointConfig struct {
 	// programmatic form of being preempted, used by -halt and the
 	// round-trip tests.
 	HaltAt Duration
+	// Sink, when non-nil, receives the streamed telemetry time series
+	// once the run completes, exactly as RunWithMetrics would emit it.
+	// Not closed; nothing is streamed on a halt.
+	Sink MetricsSink
 }
 
 // replicationRecord mirrors repResult with exported fields so a
 // completed replication's measurements can travel through gob into the
 // checkpoint file and back without loss.
 type replicationRecord struct {
-	Requests   []metrics.Request
-	Series     [metrics.NumClasses][]float64
-	Totals     [metrics.NumClasses][]float64
+	Requests   []telemetry.Request
+	Series     [telemetry.NumClasses][]float64
+	Totals     [telemetry.NumClasses][]float64
 	RxFrames   []float64
 	TxFrames   []float64
 	Clust      []float64
@@ -73,7 +77,7 @@ type replicationRecord struct {
 	Deaths     float64
 	Energy     []float64
 	Lifetimes  []float64
-	Health     []metrics.HealthSample
+	Health     []telemetry.HealthSample
 	Routing    []netif.Stats
 	Members    int
 	Checked    bool
@@ -178,7 +182,10 @@ func (st *ckptState) persist() error {
 		Kind: ckptKind, Scenario: st.scenario, Total: st.total, Done: st.done,
 		Completed: make([]int, 0, len(st.records)),
 	}
-	f := &checkpoint.File{Sections: make(map[string][]byte, len(st.records))}
+	f := &checkpoint.File{Sections: make(map[string][]byte, len(st.records)+1)}
+	// The telemetry plane's shape travels with the run: resume refuses a
+	// checkpoint whose section registry differs from this binary's.
+	f.Sections[telemetrySectionName] = sections.Manifest()
 	for rep, data := range st.records { // sorted below: byte-stable headers
 		hdr.Completed = append(hdr.Completed, rep)
 		f.Sections[sectionName(rep)] = data
@@ -212,6 +219,10 @@ func (st *ckptState) complete(rep int, data []byte) error {
 }
 
 func sectionName(rep int) string { return "rep/" + strconv.Itoa(rep) }
+
+// telemetrySectionName is the checkpoint section holding the telemetry
+// registry's manifest (section names in registration order).
+const telemetrySectionName = "telemetry/manifest"
 
 // checkpointEvery resolves the boundary spacing: explicit config, then
 // the scenario default, then an eighth of the horizon.
@@ -277,6 +288,13 @@ func (p *Pool) ResumeCheckpoint(path string, cfg CheckpointConfig) (*Result, err
 	sc, hdr, err := decodeCkptHeader(path, f.Header)
 	if err != nil {
 		return nil, err
+	}
+	manifest, ok := f.Sections[telemetrySectionName]
+	if !ok {
+		return nil, fmt.Errorf("manetp2p: checkpoint %s: no %q section — written by a binary without the telemetry plane", path, telemetrySectionName)
+	}
+	if err := sections.CheckManifest(manifest); err != nil {
+		return nil, fmt.Errorf("manetp2p: checkpoint %s: %w — the telemetry plane changed between the writing and resuming binaries", path, err)
 	}
 	st := newCkptState(path, hdr.Scenario, hdr.Total)
 	preloaded := make(map[int]repResult, len(hdr.Completed))
@@ -351,7 +369,9 @@ func (p *Pool) driveCheckpointed(sc Scenario, cfg CheckpointConfig, st *ckptStat
 	if err := st.persist(); err != nil {
 		return nil, err
 	}
-	return aggregate(sc, reps), nil
+	res := aggregate(sc, reps)
+	streamMetrics(sc, reps, cfg.Sink)
+	return res, nil
 }
 
 // runRepCheckpointed executes one replication in boundary-sized

@@ -340,3 +340,59 @@ func TestCheckpointGoldenFixtures(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckpointTelemetryManifest pins the telemetry plane's
+// checkpoint contract: every persisted checkpoint carries the section
+// registry's manifest, resuming against a drifted manifest (a section
+// renamed between the writing and resuming binaries) is refused, and a
+// checkpoint stripped of the manifest — what a binary without the
+// telemetry plane would write — is refused too.
+func TestCheckpointTelemetryManifest(t *testing.T) {
+	sc := ckptScenario()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	pool := NewPool(0)
+	_, err := pool.RunCheckpointed(sc, CheckpointConfig{Path: path, HaltAt: 120 * sim.Second})
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+
+	f, err := checkpoint.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, ok := f.Sections[telemetrySectionName]
+	if !ok {
+		t.Fatalf("halted checkpoint has no %q section", telemetrySectionName)
+	}
+	if !bytes.Equal(manifest, sections.Manifest()) {
+		t.Fatalf("persisted manifest %s differs from the live registry's %s",
+			manifest, sections.Manifest())
+	}
+
+	// Drift: rename one section as a binary with a different telemetry
+	// plane would have. The re-encoded file is internally consistent
+	// (valid CRC), so only the manifest check can catch it.
+	drifted := bytes.Replace(manifest, []byte(`"servent"`), []byte(`"servant"`), 1)
+	if bytes.Equal(drifted, manifest) {
+		t.Fatal("test manifest does not mention the servent section")
+	}
+	f.Sections[telemetrySectionName] = drifted
+	if err := checkpoint.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.ResumeCheckpoint(path, CheckpointConfig{})
+	if err == nil || !strings.Contains(err.Error(), "telemetry plane changed") {
+		t.Errorf("resume with drifted manifest: err = %v, want telemetry-drift error", err)
+	}
+
+	// Absence: a checkpoint written by a binary without the telemetry
+	// plane at all.
+	delete(f.Sections, telemetrySectionName)
+	if err := checkpoint.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.ResumeCheckpoint(path, CheckpointConfig{})
+	if err == nil || !strings.Contains(err.Error(), "without the telemetry plane") {
+		t.Errorf("resume without manifest: err = %v, want missing-manifest error", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,32 +30,33 @@ func parseAlg(s string) (manetp2p.Algorithm, error) {
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 50, "number of ad-hoc nodes")
-		algName   = flag.String("alg", "regular", "algorithm: basic|regular|random|hybrid")
-		duration  = flag.Float64("duration", 3600, "simulated seconds per replication")
-		reps      = flag.Int("reps", 33, "replications")
-		seed      = flag.Int64("seed", 1, "base random seed")
-		fraction  = flag.Float64("p2p", 0.75, "fraction of nodes in the p2p overlay")
-		speed     = flag.Float64("speed", 1.0, "max node speed, m/s")
-		area      = flag.Float64("area", 100, "square arena side, metres")
-		rng       = flag.Float64("range", 10, "radio range, metres")
-		series    = flag.String("series", "", "also print a node series: connect|ping|query")
-		curves    = flag.Bool("curves", false, "also print the per-file distance/answer curves")
-		quals     = flag.Bool("classes", false, "use phone/PDA/notebook device classes (hybrid)")
-		traceOut  = flag.String("trace", "", "run a single replication and write a JSON-lines event trace to this file ('-' = stdout)")
-		routing   = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
-		traffic   = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
-		faults    = flag.String("faults", "", "load a fault-injection plan from this JSON file ('-' = stdin) and print recovery metrics")
-		workload  = flag.String("workload", "", "load a workload plan from this JSON file ('-' = stdin) and print demand telemetry")
-		health    = flag.Float64("health", 0, "resilience-telemetry sampling period in seconds (default 10 when -faults is set)")
-		config    = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
-		saveCfg   = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
-		selfcheck = flag.Bool("selfcheck", false, "run the invariant suite and determinism self-audit on the scenario and exit nonzero on any violation")
-		peercache = flag.Bool("peercache", false, "enable the peer-cache extension (cached rendezvous before flooding)")
-		ckptPath  = flag.String("checkpoint", "", "persist run state to this checkpoint file at periodic boundaries")
-		ckptEvery = flag.Float64("checkpoint-every", 0, "checkpoint period in simulated seconds (default: duration/8)")
-		halt      = flag.Float64("halt", 0, "stop at this simulated time after checkpointing (exit code 3); resume later with -resume")
-		resume    = flag.String("resume", "", "resume a run from this checkpoint file; scenario flags are ignored")
+		nodes      = flag.Int("nodes", 50, "number of ad-hoc nodes")
+		algName    = flag.String("alg", "regular", "algorithm: basic|regular|random|hybrid")
+		duration   = flag.Float64("duration", 3600, "simulated seconds per replication")
+		reps       = flag.Int("reps", 33, "replications")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		fraction   = flag.Float64("p2p", 0.75, "fraction of nodes in the p2p overlay")
+		speed      = flag.Float64("speed", 1.0, "max node speed, m/s")
+		area       = flag.Float64("area", 100, "square arena side, metres")
+		rng        = flag.Float64("range", 10, "radio range, metres")
+		series     = flag.String("series", "", "also print a node series: connect|ping|query")
+		curves     = flag.Bool("curves", false, "also print the per-file distance/answer curves")
+		quals      = flag.Bool("classes", false, "use phone/PDA/notebook device classes (hybrid)")
+		traceOut   = flag.String("trace", "", "run a single replication and write a JSON-lines event trace to this file ('-' = stdout)")
+		routing    = flag.String("routing", "aodv", "routing substrate: aodv|dsr|dsdv|flood")
+		traffic    = flag.Float64("traffic", 0, "also print message-rate series with this bucket width in seconds")
+		faults     = flag.String("faults", "", "load a fault-injection plan from this JSON file ('-' = stdin) and print recovery metrics")
+		workload   = flag.String("workload", "", "load a workload plan from this JSON file ('-' = stdin) and print demand telemetry")
+		health     = flag.Float64("health", 0, "resilience-telemetry sampling period in seconds (default 10 when -faults is set)")
+		config     = flag.String("config", "", "load the scenario from a JSON file ('-' = stdin); other scenario flags are ignored")
+		saveCfg    = flag.String("save-config", "", "write the effective scenario as JSON to this file and exit")
+		selfcheck  = flag.Bool("selfcheck", false, "run the invariant suite and determinism self-audit on the scenario and exit nonzero on any violation")
+		peercache  = flag.Bool("peercache", false, "enable the peer-cache extension (cached rendezvous before flooding)")
+		ckptPath   = flag.String("checkpoint", "", "persist run state to this checkpoint file at periodic boundaries")
+		ckptEvery  = flag.Float64("checkpoint-every", 0, "checkpoint period in simulated seconds (default: duration/8)")
+		halt       = flag.Float64("halt", 0, "stop at this simulated time after checkpointing (exit code 3); resume later with -resume")
+		resume     = flag.String("resume", "", "resume a run from this checkpoint file; scenario flags are ignored")
+		metricsOut = flag.String("metrics", "", "stream the per-replication telemetry time series as JSON lines to this file ('-' = stdout)")
 	)
 	profFlags := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -73,7 +75,7 @@ func main() {
 	}()
 
 	if *resume != "" {
-		runResume(*resume, manetp2p.Seconds(*halt))
+		runResume(*resume, manetp2p.Seconds(*halt), *metricsOut)
 		return
 	}
 
@@ -159,14 +161,18 @@ func main() {
 		return
 	}
 
+	sink, closeSink := openMetricsSink(*metricsOut)
 	var res *manetp2p.Result
 	if *ckptPath != "" {
 		res, err = manetp2p.NewPool(0).RunCheckpointed(sc, manetp2p.CheckpointConfig{
 			Path:   *ckptPath,
 			Every:  manetp2p.Seconds(*ckptEvery),
 			HaltAt: manetp2p.Seconds(*halt),
+			Sink:   sink,
 		})
 		exitIfHalted(err, *ckptPath)
+	} else if sink != nil {
+		res, err = manetp2p.NewPool(0).RunWithMetrics(sc, sink)
 	} else {
 		res, err = manetp2p.Run(sc)
 	}
@@ -174,6 +180,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	closeSink()
 	manetp2p.WriteSummary(os.Stdout, res)
 
 	if res.Resilience != nil {
@@ -233,9 +240,34 @@ func exitIfHalted(err error, path string) {
 	os.Exit(3)
 }
 
+// openMetricsSink opens the -metrics target ("" = none, "-" = stdout)
+// and returns the sink plus a close function that flushes it and exits
+// nonzero on a write error.
+func openMetricsSink(path string) (manetp2p.MetricsSink, func()) {
+	if path == "" {
+		return nil, func() {}
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		w = f
+	}
+	sink := manetp2p.NewJSONLSink(w)
+	return sink, func() {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics stream: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
 // runResume continues a checkpointed run in a fresh process and prints
 // the same report a plain run would have produced.
-func runResume(path string, haltAt manetp2p.Duration) {
+func runResume(path string, haltAt manetp2p.Duration, metricsOut string) {
 	info, err := manetp2p.InspectCheckpoint(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -243,12 +275,14 @@ func runResume(path string, haltAt manetp2p.Duration) {
 	}
 	fmt.Fprintf(os.Stderr, "resuming %s: %d/%d replications complete, %d in flight\n",
 		path, len(info.Completed), info.Total, len(info.Cursors))
-	res, err := manetp2p.NewPool(0).ResumeCheckpoint(path, manetp2p.CheckpointConfig{HaltAt: haltAt})
+	sink, closeSink := openMetricsSink(metricsOut)
+	res, err := manetp2p.NewPool(0).ResumeCheckpoint(path, manetp2p.CheckpointConfig{HaltAt: haltAt, Sink: sink})
 	exitIfHalted(err, path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	closeSink()
 	manetp2p.WriteSummary(os.Stdout, res)
 	if res.Resilience != nil {
 		fmt.Println()
@@ -284,6 +318,7 @@ func runSelfcheck(sc manetp2p.Scenario) {
 	}
 	fmt.Printf("  determinism (same seed, same result): %s\n", pass(rep.Deterministic))
 	fmt.Printf("  scheduling independence (serial == pooled): %s\n", pass(rep.ScheduleIndependent))
+	fmt.Printf("  telemetry pooled-N conservation: %s\n", pass(rep.PooledN))
 	if rep.Invariants != nil {
 		fmt.Printf("  invariants (%d replications): %s\n",
 			rep.Invariants.Replications, pass(rep.Invariants.OK()))

@@ -27,9 +27,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"manetp2p"
-	"manetp2p/internal/metrics"
+	"manetp2p/internal/telemetry"
 )
 
 type point struct {
@@ -249,14 +250,16 @@ func axisNames(reg map[string]axisSpec) []string {
 func main() {
 	reg := registry()
 	var (
-		axis  = flag.String("axis", "density", "sweep axis: "+strings.Join(axisNames(reg), "|"))
-		algsF = flag.String("algs", "basic,regular,random,hybrid", "comma-separated algorithms")
-		reps  = flag.Int("reps", 5, "replications per point")
-		nodes = flag.Int("nodes", 50, "base node count (non-density sweeps)")
-		dur   = flag.Float64("duration", 3600, "simulated seconds")
-		seed  = flag.Int64("seed", 1, "base random seed")
-		jobs  = flag.Int("jobs", 0, "shared replication-worker budget across all scenario points (0 = GOMAXPROCS)")
-		ckpt  = flag.String("checkpoint", "", "checkpoint directory: each grid cell persists to <dir>/<axis>_<point>_<alg>.ckpt; finished cells load without recomputation, interrupted ones resume")
+		axis       = flag.String("axis", "density", "sweep axis: "+strings.Join(axisNames(reg), "|"))
+		algsF      = flag.String("algs", "basic,regular,random,hybrid", "comma-separated algorithms")
+		reps       = flag.Int("reps", 5, "replications per point")
+		nodes      = flag.Int("nodes", 50, "base node count (non-density sweeps)")
+		dur        = flag.Float64("duration", 3600, "simulated seconds")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		jobs       = flag.Int("jobs", 0, "shared replication-worker budget across all scenario points (0 = GOMAXPROCS)")
+		ckpt       = flag.String("checkpoint", "", "checkpoint directory: each grid cell persists to <dir>/<axis>_<point>_<alg>.ckpt; finished cells load without recomputation, interrupted ones resume")
+		metricsDir = flag.String("metrics", "", "metrics directory: each grid cell streams its telemetry time series to <dir>/<axis>_<point>_<alg>.jsonl")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 	)
 	flag.Parse()
 
@@ -312,23 +315,62 @@ func main() {
 		res *manetp2p.Result
 		err error
 	}
-	if *ckpt != "" {
-		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	for _, dir := range []string{*ckpt, *metricsDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
+	}
+	// The progress line goes to stderr only (stdout stays diff-clean vs.
+	// a sequential sweep); cells finish in scheduling order, so the line
+	// shows the most recently completed cell, not the grid cursor.
+	var progressMu sync.Mutex
+	cellsDone := 0
+	progress := func(label string, alg manetp2p.Algorithm) {
+		if *quiet {
+			return
+		}
+		progressMu.Lock()
+		cellsDone++
+		fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells (done %s/%s)", cellsDone, len(cells), label, alg)
+		if cellsDone == len(cells) {
+			fmt.Fprintln(os.Stderr)
+		}
+		progressMu.Unlock()
 	}
 	results := make([]chan outcome, len(cells))
 	for i := range cells {
 		results[i] = make(chan outcome, 1)
 		go func(i int) {
+			var sink manetp2p.MetricsSink
+			if *metricsDir != "" {
+				path := cellFilePath(*metricsDir, axisName, cells[i].label, cells[i].sc.Algorithm, "jsonl")
+				f, err := os.Create(path)
+				if err != nil {
+					results[i] <- outcome{err: err}
+					return
+				}
+				sink = manetp2p.NewJSONLSink(f)
+			}
 			var res *manetp2p.Result
 			var err error
 			if *ckpt != "" {
-				path := cellCheckpointPath(*ckpt, axisName, cells[i].label, cells[i].sc.Algorithm)
-				res, err = runCellCheckpointed(pool, cells[i].sc, path)
+				path := cellFilePath(*ckpt, axisName, cells[i].label, cells[i].sc.Algorithm, "ckpt")
+				res, err = runCellCheckpointed(pool, cells[i].sc, path, sink)
+			} else if sink != nil {
+				res, err = pool.RunWithMetrics(cells[i].sc, sink)
 			} else {
 				res, err = pool.Run(cells[i].sc)
+			}
+			if sink != nil {
+				if cerr := sink.Close(); err == nil && cerr != nil {
+					err = fmt.Errorf("sweep: writing metrics stream: %w", cerr)
+				}
+			}
+			if err == nil {
+				progress(cells[i].label, cells[i].sc.Algorithm)
 			}
 			results[i] <- outcome{res: res, err: err}
 		}(i)
@@ -343,10 +385,10 @@ func main() {
 	}
 }
 
-// cellCheckpointPath names one grid cell's checkpoint file. Point
-// labels may contain characters that are hostile to filenames ("/",
-// "."); everything outside [a-zA-Z0-9_-] maps to "-".
-func cellCheckpointPath(dir, axis, label string, alg manetp2p.Algorithm) string {
+// cellFilePath names one grid cell's per-cell file (checkpoint or
+// metrics stream). Point labels may contain characters that are hostile
+// to filenames ("/", "."); everything outside [a-zA-Z0-9_-] maps to "-".
+func cellFilePath(dir, axis, label string, alg manetp2p.Algorithm, ext string) string {
 	sanitize := func(s string) string {
 		return strings.Map(func(r rune) rune {
 			switch {
@@ -357,7 +399,7 @@ func cellCheckpointPath(dir, axis, label string, alg manetp2p.Algorithm) string 
 			}
 		}, s)
 	}
-	name := fmt.Sprintf("%s_%s_%s.ckpt", sanitize(axis), sanitize(label), sanitize(strings.ToLower(alg.String())))
+	name := fmt.Sprintf("%s_%s_%s.%s", sanitize(axis), sanitize(label), sanitize(strings.ToLower(alg.String())), ext)
 	return filepath.Join(dir, name)
 }
 
@@ -367,12 +409,12 @@ func cellCheckpointPath(dir, axis, label string, alg manetp2p.Algorithm) string 
 // different scenario (changed flags between invocations) is an error,
 // not a silent recompute: the stale file would otherwise shadow the
 // requested grid.
-func runCellCheckpointed(pool *manetp2p.Pool, sc manetp2p.Scenario, path string) (*manetp2p.Result, error) {
+func runCellCheckpointed(pool *manetp2p.Pool, sc manetp2p.Scenario, path string, sink manetp2p.MetricsSink) (*manetp2p.Result, error) {
 	if _, err := os.Stat(path); err != nil {
 		if !os.IsNotExist(err) {
 			return nil, err
 		}
-		return pool.RunCheckpointed(sc, manetp2p.CheckpointConfig{Path: path})
+		return pool.RunCheckpointed(sc, manetp2p.CheckpointConfig{Path: path, Sink: sink})
 	}
 	info, err := manetp2p.InspectCheckpoint(path)
 	if err != nil {
@@ -389,7 +431,7 @@ func runCellCheckpointed(pool *manetp2p.Pool, sc manetp2p.Scenario, path string)
 	if string(want) != string(have) {
 		return nil, fmt.Errorf("sweep: %s holds a checkpoint for a different scenario; delete it or change -checkpoint", path)
 	}
-	return pool.ResumeCheckpoint(path, manetp2p.CheckpointConfig{})
+	return pool.ResumeCheckpoint(path, manetp2p.CheckpointConfig{Sink: sink})
 }
 
 // formatRow renders one TSV result row: the headline metrics plus the
@@ -418,9 +460,9 @@ func formatRow(label string, alg manetp2p.Algorithm, res *manetp2p.Result, spec 
 	}
 	row := fmt.Sprintf("%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.2f",
 		label, alg,
-		res.Totals[metrics.Connect].Mean,
-		res.Totals[metrics.Ping].Mean,
-		res.Totals[metrics.Query].Mean,
+		res.Totals[telemetry.Connect].Mean,
+		res.Totals[telemetry.Ping].Mean,
+		res.Totals[telemetry.Query].Mean,
 		foundPct, dist, answ,
 		res.Deaths.Mean,
 		res.Overlay.LargestComponent.Mean)

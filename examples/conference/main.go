@@ -15,8 +15,8 @@ import (
 	"log"
 
 	"manetp2p"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/p2p"
+	"manetp2p/internal/telemetry"
 )
 
 func main() {
@@ -47,8 +47,8 @@ func main() {
 		if sv == nil {
 			continue
 		}
-		load := float64(s.Net.Collector.Received(id, metrics.Query) +
-			s.Net.Collector.Received(id, metrics.Ping))
+		load := float64(s.Net.Collector.Received(id, telemetry.Query) +
+			s.Net.Collector.Received(id, telemetry.Ping))
 		byClass[sv.Qualifier()] = append(byClass[sv.Qualifier()], load)
 	}
 	fmt.Println("\nmean received query+ping load by device class:")

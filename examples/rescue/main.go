@@ -15,7 +15,7 @@ import (
 	"log"
 
 	"manetp2p"
-	"manetp2p/internal/metrics"
+	"manetp2p/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +45,7 @@ func main() {
 		}
 		n := float64(len(res.Resilience.Events))
 		fmt.Printf("%-8s %10.1f  %12.1f  %8.1f  %8.0f%%  %8.3f  %13.1f\n",
-			alg, res.Deaths.Mean, res.Totals[metrics.Connect].Mean,
+			alg, res.Deaths.Mean, res.Totals[telemetry.Connect].Mean,
 			reheal/n, 100*rehealed/n, residual/n, cost/n)
 	}
 	fmt.Println()

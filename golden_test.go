@@ -203,3 +203,31 @@ func TestGoldenRunRepeatable(t *testing.T) {
 		t.Fatal("same scenario produced different results in the same process")
 	}
 }
+
+// TestGoldenReportText pins the full rendered text report — the
+// registry-driven WriteSummary walk plus the resilience and workload
+// section reports — for one fixed-seed scenario with every render path
+// live (faults, health telemetry, workload plan, finite energy,
+// traffic buckets, snapshots). The telemetry plane renders summaries
+// generically off the section registry, so this fixture is what pins
+// the report layout itself, independent of the JSON fixtures.
+func TestGoldenReportText(t *testing.T) {
+	t.Parallel()
+	sc := goldenWorkloadScenario()
+	sc.Energy = DefaultEnergy(5)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteSummary(&buf, res)
+	buf.WriteByte('\n')
+	if err := WriteResilience(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	if err := WriteWorkload(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden", "report.txt"), buf.Bytes())
+}

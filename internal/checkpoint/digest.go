@@ -4,8 +4,8 @@ import (
 	"math"
 
 	"manetp2p/internal/manet"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/p2p"
+	"manetp2p/internal/telemetry"
 )
 
 // Fingerprint folds a replication's observable state into one 64-bit
@@ -134,12 +134,12 @@ func Fingerprint(n *manet.Network) uint64 {
 	// Collected measurements so far.
 	col := n.Collector
 	for node := 0; node < col.NumNodes(); node++ {
-		for c := 0; c < metrics.NumClasses; c++ {
-			d.u64(col.Received(node, metrics.Class(c)))
+		for c := 0; c < telemetry.NumClasses; c++ {
+			d.u64(col.Received(node, telemetry.Class(c)))
 		}
 	}
-	for c := 0; c < metrics.NumClasses; c++ {
-		series := col.Series(metrics.Class(c))
+	for c := 0; c < telemetry.NumClasses; c++ {
+		series := col.Series(telemetry.Class(c))
 		d.u64(uint64(len(series)))
 		for _, v := range series {
 			d.u64(v)

@@ -23,11 +23,11 @@ import (
 	"fmt"
 
 	"manetp2p/internal/graphs"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/workload"
 )
 
@@ -90,7 +90,7 @@ func (v Violation) String() string {
 type Target struct {
 	Sim       *sim.Sim
 	Medium    *radio.Medium
-	Collector *metrics.Collector
+	Collector *telemetry.Collector
 	Servents  []*p2p.Servent
 	Algorithm p2p.Algorithm
 	Params    p2p.Params
@@ -133,7 +133,8 @@ type Checker struct {
 	an         graphs.Analyzer
 	memberFn   func(int) bool
 	inflight   []uint64
-	lastRecv   [metrics.NumClasses]uint64
+	lastRecv   [telemetry.NumClasses]uint64
+	lastHealth int
 	lastFrames uint64
 	lastBounds uint64
 	pairs      map[pairKey]*pairState
@@ -341,24 +342,55 @@ func (c *Checker) checkRadioConservation() {
 // buckets sum to the cumulative total — no message is counted into a
 // bucket without the total seeing it, and vice versa.
 func (c *Checker) checkMetrics() {
-	for class := 0; class < metrics.NumClasses; class++ {
-		total := c.t.Collector.TotalReceived(metrics.Class(class))
+	for class := 0; class < telemetry.NumClasses; class++ {
+		total := c.t.Collector.TotalReceived(telemetry.Class(class))
 		if total < c.lastRecv[class] {
 			c.report("metrics", "monotonic", -1, -1,
-				"class %v total %d below earlier %d", metrics.Class(class), total, c.lastRecv[class])
+				"class %v total %d below earlier %d", telemetry.Class(class), total, c.lastRecv[class])
 		}
 		c.lastRecv[class] = total
-		if series := c.t.Collector.Series(metrics.Class(class)); series != nil {
+		if series := c.t.Collector.Series(telemetry.Class(class)); series != nil {
 			var sum uint64
 			for _, b := range series {
 				sum += b
 			}
 			if sum != total {
 				c.report("metrics", "bucket-conservation", -1, -1,
-					"class %v buckets sum to %d, cumulative total %d", metrics.Class(class), sum, total)
+					"class %v buckets sum to %d, cumulative total %d", telemetry.Class(class), sum, total)
 			}
 		}
 	}
+	c.checkHealthSamples()
+}
+
+// checkHealthSamples validates the health time series the resilience
+// section streams: sample times strictly increase, and the cumulative
+// per-class receive snapshots embedded in consecutive samples never
+// decrease — a health sample is a point-in-time view of monotone
+// counters, so any regression means the series was corrupted or
+// recorded out of order. Only samples appended since the previous pass
+// are examined.
+func (c *Checker) checkHealthSamples() {
+	health := c.t.Collector.Health()
+	start := c.lastHealth
+	if start == 0 {
+		start = 1 // sample 0 has no predecessor
+	}
+	for i := start; i < len(health); i++ {
+		prev, cur := &health[i-1], &health[i]
+		if cur.At <= prev.At {
+			c.report("metrics", "health-monotonic", -1, -1,
+				"health sample %d at %v not after sample %d at %v", i, cur.At, i-1, prev.At)
+		}
+		for class := 0; class < telemetry.NumClasses; class++ {
+			if cur.Received[class] < prev.Received[class] {
+				c.report("metrics", "health-monotonic", -1, -1,
+					"health sample %d class %v total %d below sample %d total %d",
+					i, telemetry.Class(class), cur.Received[class], i-1, prev.Received[class])
+			}
+		}
+	}
+	c.lastHealth = len(health)
 }
 
 // observePair notes a cross-node inconsistency that is legal while a

@@ -12,6 +12,7 @@ import (
 	"manetp2p/internal/manet"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/workload"
 )
 
@@ -265,5 +266,64 @@ func TestDetectsCorruptAdjacency(t *testing.T) {
 	}
 	if !rules["adjacency-ghost"] {
 		t.Errorf("ghost degree on non-joined nodes not flagged; overlay rules hit: %v", rules)
+	}
+}
+
+// TestDetectsHealthRegression seeds the canonical health-telemetry
+// mutation — a sample recorded out of time order whose cumulative
+// receive snapshot also rolls backwards — and requires the
+// health-monotonic rule to flag both regressions. A run with honestly
+// sampled health telemetry must stay green, which the fault-regime
+// scenarios exercised by the root package's tests already cover.
+func TestDetectsHealthRegression(t *testing.T) {
+	cfg := testConfig(9, p2p.Regular)
+	cfg.Invariants.Enabled = false // standalone checker below
+	net, err := manet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(300 * sim.Second)
+
+	good := telemetry.HealthSample{At: 100 * sim.Second, LargestComp: 1, Links: 4}
+	good.Received[telemetry.Connect] = 7
+	bad := telemetry.HealthSample{At: 50 * sim.Second, LargestComp: 1, Links: 4}
+	bad.Received[telemetry.Connect] = 3
+	net.Collector.RecordHealth(good)
+	net.Collector.RecordHealth(bad)
+
+	chk := invariant.New(invariant.Config{Enabled: true}, invariant.Target{
+		Sim:       net.Sim,
+		Medium:    net.Medium,
+		Collector: net.Collector,
+		Servents:  net.Servents,
+		Algorithm: cfg.Algorithm,
+		Params:    cfg.Params,
+	})
+	chk.Check()
+
+	hits := 0
+	for _, v := range chk.Violations() {
+		if v.Layer == "metrics" && v.Rule == "health-monotonic" {
+			hits++
+		}
+	}
+	if hits != 2 {
+		for _, v := range chk.Violations() {
+			t.Logf("violation: %s", v.String())
+		}
+		t.Fatalf("health-monotonic violations = %d, want 2 (time order + counter rollback)", hits)
+	}
+
+	// Appending a clean successor sample must not re-flag the already
+	// reported regression: only new samples are examined per pass.
+	next := telemetry.HealthSample{At: 200 * sim.Second, LargestComp: 1, Links: 4}
+	next.Received[telemetry.Connect] = 9
+	net.Collector.RecordHealth(next)
+	before := len(chk.Violations())
+	chk.Check()
+	for _, v := range chk.Violations()[before:] {
+		if v.Rule == "health-monotonic" {
+			t.Errorf("clean successor sample flagged: %s", v.String())
+		}
 	}
 }

@@ -17,12 +17,12 @@ import (
 	"manetp2p/internal/geom"
 	"manetp2p/internal/graphs"
 	"manetp2p/internal/invariant"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/mobility"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/trace"
 	"manetp2p/internal/workload"
 )
@@ -278,7 +278,7 @@ type Network struct {
 	Medium    *radio.Medium
 	Routers   []NodeRouter
 	Servents  []*p2p.Servent // nil for nodes outside the overlay
-	Collector *metrics.Collector
+	Collector *telemetry.Collector
 	Tracer    *trace.Tracer      // nil unless Config.TraceCapacity > 0
 	Injector  *fault.Injector    // nil unless Config.Faults has events
 	Checker   *invariant.Checker // nil unless Config.Invariants.Enabled
@@ -330,7 +330,7 @@ func Build(cfg Config) (*Network, error) {
 		Medium:    med,
 		Routers:   make([]NodeRouter, cfg.NumNodes),
 		Servents:  make([]*p2p.Servent, cfg.NumNodes),
-		Collector: metrics.NewCollector(cfg.NumNodes),
+		Collector: telemetry.NewCollector(cfg.NumNodes),
 		models:    make([]mobility.Model, cfg.NumNodes),
 		member:    make([]bool, cfg.NumNodes),
 		dead:      make([]bool, cfg.NumNodes),
@@ -521,13 +521,13 @@ func (n *Network) ForceUp(i int) {
 func (n *Network) sampleHealth() {
 	n.AppendOverlayAdjacency(&n.analyzer.S)
 	m := n.analyzer.Analyze(n.memberFn)
-	h := metrics.HealthSample{
+	h := telemetry.HealthSample{
 		At:          n.Sim.Now(),
 		LargestComp: m.Largest,
 		Links:       m.Edges,
 	}
-	for c := 0; c < metrics.NumClasses; c++ {
-		h.Received[c] = n.Collector.TotalReceived(metrics.Class(c))
+	for c := 0; c < telemetry.NumClasses; c++ {
+		h.Received[c] = n.Collector.TotalReceived(telemetry.Class(c))
 	}
 	n.Collector.RecordHealth(h)
 }

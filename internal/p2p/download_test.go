@@ -3,7 +3,7 @@ package p2p
 import (
 	"testing"
 
-	"manetp2p/internal/metrics"
+	"manetp2p/internal/telemetry"
 )
 
 // downloadWorld: two adjacent servents with a manual link; node 1 holds
@@ -39,10 +39,10 @@ func TestDownloadReplicatesFile(t *testing.T) {
 		t.Errorf("Downloaded = %d, want 1", w.svs[0].Downloaded())
 	}
 	// The transfer moved fetch/chunk messages.
-	if got := w.col.Received(1, metrics.Transfer); got < 4 {
+	if got := w.col.Received(1, telemetry.Transfer); got < 4 {
 		t.Errorf("holder received %d transfer messages, want >= 4 fetch requests", got)
 	}
-	if got := w.col.Received(0, metrics.Transfer); got != 4 {
+	if got := w.col.Received(0, telemetry.Transfer); got != 4 {
 		t.Errorf("requester received %d chunks, want 4", got)
 	}
 }
@@ -54,7 +54,7 @@ func TestDownloadDisabledByDefault(t *testing.T) {
 	if w.svs[0].HasFile(0) {
 		t.Error("file replicated with downloads disabled")
 	}
-	if got := w.col.Received(0, metrics.Transfer) + w.col.Received(1, metrics.Transfer); got != 0 {
+	if got := w.col.Received(0, telemetry.Transfer) + w.col.Received(1, telemetry.Transfer); got != 0 {
 		t.Errorf("transfer traffic %d with downloads disabled", got)
 	}
 }
@@ -118,7 +118,7 @@ func TestFetchReqForUnheldFileIgnored(t *testing.T) {
 	w.svs[0].send(1, msgFetchReq{File: 1, Chunk: 0})
 	w.svs[0].send(1, msgFetchReq{File: 0, Chunk: 99}) // out of range
 	w.run(time(5))
-	if got := w.col.Received(0, metrics.Transfer); got != 0 {
+	if got := w.col.Received(0, telemetry.Transfer); got != 0 {
 		t.Errorf("requester received %d chunks for invalid fetches", got)
 	}
 }

@@ -5,9 +5,9 @@ import (
 
 	"manetp2p/internal/aodv"
 	"manetp2p/internal/geom"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 )
 
 // world assembles servents over a shared medium for white-box protocol
@@ -18,7 +18,7 @@ type world struct {
 	med *radio.Medium
 	rts []*aodv.Router
 	svs []*Servent
-	col *metrics.Collector
+	col *telemetry.Collector
 }
 
 // worldSpec configures newWorld.
@@ -54,7 +54,7 @@ func newWorld(t *testing.T, spec worldSpec) *world {
 		med: med,
 		rts: make([]*aodv.Router, len(spec.pts)),
 		svs: make([]*Servent, len(spec.pts)),
-		col: metrics.NewCollector(len(spec.pts)),
+		col: telemetry.NewCollector(len(spec.pts)),
 	}
 	for i, p := range spec.pts {
 		rt := aodv.NewRouter(i, s, med, aodv.Config{})

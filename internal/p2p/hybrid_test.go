@@ -1,7 +1,7 @@
 package p2p
 
 import (
-	"manetp2p/internal/metrics"
+	"manetp2p/internal/telemetry"
 	"testing"
 
 	"manetp2p/internal/geom"
@@ -310,10 +310,10 @@ func TestHybridQueriesFlowThroughMaster(t *testing.T) {
 		t.Errorf("MinP2P = %d, want 2 (slave -> master -> slave)", reqs[0].MinP2P)
 	}
 	// The master relayed exactly one query copy to slave 1.
-	if got := w.col.Received(0, metrics.Query); got != 1 {
+	if got := w.col.Received(0, telemetry.Query); got != 1 {
 		t.Errorf("master received %d queries, want 1", got)
 	}
-	if got := w.col.Received(1, metrics.Query); got != 1 {
+	if got := w.col.Received(1, telemetry.Query); got != 1 {
 		t.Errorf("holder slave received %d queries, want 1", got)
 	}
 }

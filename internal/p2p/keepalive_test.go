@@ -3,7 +3,7 @@ package p2p
 import (
 	"testing"
 
-	"manetp2p/internal/metrics"
+	"manetp2p/internal/telemetry"
 )
 
 // pairWorld builds two adjacent Regular servents with a pre-installed
@@ -26,13 +26,13 @@ func TestKeepaliveRoundTrips(t *testing.T) {
 	par := DefaultParams()
 	w.run(3*par.PingInterval + time(5))
 	// Only the initiator pings; the responder answers.
-	if got := w.col.Received(1, metrics.Ping); got < 2 {
+	if got := w.col.Received(1, telemetry.Ping); got < 2 {
 		t.Errorf("responder received %d pings, want >= 2", got)
 	}
-	if got := w.col.Received(0, metrics.Ping); got != 0 {
+	if got := w.col.Received(0, telemetry.Ping); got != 0 {
 		t.Errorf("initiator received %d pings, want 0 (one-sided probing)", got)
 	}
-	if got := w.col.Received(0, metrics.Pong); got < 2 {
+	if got := w.col.Received(0, telemetry.Pong); got < 2 {
 		t.Errorf("initiator received %d pongs, want >= 2", got)
 	}
 	// The connection is still alive.
@@ -93,7 +93,7 @@ func TestPingFromStrangerGetsBye(t *testing.T) {
 	if got := w.svs[1].ConnCount(); got != 0 {
 		t.Errorf("stale half-connection survived: %d conns", got)
 	}
-	if got := w.col.Received(1, metrics.Bye); got == 0 {
+	if got := w.col.Received(1, telemetry.Bye); got == 0 {
 		t.Error("no bye received by the stale side")
 	}
 }
@@ -114,7 +114,7 @@ func TestBasicPingStateless(t *testing.T) {
 	if w.svs[0].ConnCount() != 1 {
 		t.Error("basic reference dropped despite responsive peer")
 	}
-	if got := w.col.Received(0, metrics.Pong); got == 0 {
+	if got := w.col.Received(0, telemetry.Pong); got == 0 {
 		t.Error("stateless peer did not pong")
 	}
 }
@@ -190,17 +190,17 @@ func TestStrayConfirmGetsBye(t *testing.T) {
 }
 
 func TestMessageClassification(t *testing.T) {
-	cases := map[metrics.Class][]any{
-		metrics.Connect: {
+	cases := map[telemetry.Class][]any{
+		telemetry.Connect: {
 			msgDiscover{}, msgReply{}, msgSolicit{}, msgOffer{}, msgAccept{},
 			msgConfirm{}, msgReject{}, msgCapture{}, msgEnslaveReq{},
 			msgEnslaveAccept{}, msgEnslaveConfirm{}, msgEnslaveReject{},
 		},
-		metrics.Ping:     {msgPing{}},
-		metrics.Pong:     {msgPong{}},
-		metrics.Query:    {msgQuery{}},
-		metrics.QueryHit: {msgQueryHit{}},
-		metrics.Bye:      {msgBye{}},
+		telemetry.Ping:     {msgPing{}},
+		telemetry.Pong:     {msgPong{}},
+		telemetry.Query:    {msgQuery{}},
+		telemetry.QueryHit: {msgQueryHit{}},
+		telemetry.Bye:      {msgBye{}},
 	}
 	for class, msgs := range cases {
 		for _, m := range msgs {

@@ -1,6 +1,6 @@
 package p2p
 
-import "manetp2p/internal/metrics"
+import "manetp2p/internal/telemetry"
 
 // Nominal p2p message sizes in bytes for traffic/energy accounting.
 const (
@@ -121,23 +121,23 @@ type msgQueryHit struct {
 }
 
 // classOf maps a message to the paper's counting classes.
-func classOf(m any) metrics.Class {
+func classOf(m any) telemetry.Class {
 	switch m.(type) {
 	case msgDiscover, msgReply, msgSolicit, msgOffer, msgAccept, msgConfirm, msgReject,
 		msgCapture, msgEnslaveReq, msgEnslaveAccept, msgEnslaveConfirm, msgEnslaveReject:
-		return metrics.Connect
+		return telemetry.Connect
 	case msgPing:
-		return metrics.Ping
+		return telemetry.Ping
 	case msgPong:
-		return metrics.Pong
+		return telemetry.Pong
 	case msgQuery:
-		return metrics.Query
+		return telemetry.Query
 	case msgQueryHit:
-		return metrics.QueryHit
+		return telemetry.QueryHit
 	case msgBye:
-		return metrics.Bye
+		return telemetry.Bye
 	case msgFetchReq, msgChunk:
-		return metrics.Transfer
+		return telemetry.Transfer
 	default:
 		panic("p2p: unclassified message")
 	}

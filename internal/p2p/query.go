@@ -1,8 +1,8 @@
 package p2p
 
 import (
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/trace"
 )
 
@@ -108,7 +108,7 @@ func (sv *Servent) finishQuery() {
 			"done qid=%d file=%d answers=%d minP2P=%d", r.qid, r.file, r.answers, r.minP2P)
 	}
 	if r := sv.curReq; r != nil && sv.opt.Collector != nil {
-		sv.opt.Collector.Record(metrics.Request{
+		sv.opt.Collector.Record(telemetry.Request{
 			Node:     sv.id,
 			File:     r.file,
 			Answers:  r.answers,

@@ -3,7 +3,7 @@ package p2p
 import (
 	"testing"
 
-	"manetp2p/internal/metrics"
+	"manetp2p/internal/telemetry"
 )
 
 // queryWorld builds a clique of servents with NoEstablish and a manual
@@ -124,7 +124,7 @@ func TestQueryForwardOnceRule(t *testing.T) {
 	// forward from 2; forwarding back to the sender is forbidden, so in
 	// a triangle each of 1,2 receives at most 2 copies: one from origin,
 	// one forwarded by the other — but never echoes back to origin.
-	if got := w.col.Received(0, metrics.Query); got != 0 {
+	if got := w.col.Received(0, telemetry.Query); got != 0 {
 		t.Errorf("origin received %d query copies, want 0 (rule 3)", got)
 	}
 }
@@ -297,7 +297,7 @@ func TestRandomWalkCheaperThanFloodInClique(t *testing.T) {
 		w.run(par.QueryCollect + time(5))
 		var total uint64
 		for i := 0; i < 12; i++ {
-			total += w.col.Received(i, metrics.Query)
+			total += w.col.Received(i, telemetry.Query)
 		}
 		return total
 	}
@@ -331,13 +331,13 @@ func TestQueryMessagesCounted(t *testing.T) {
 	chainOverlay(w)
 	w.svs[0].runQuery()
 	w.run(DefaultParams().QueryCollect + time(5))
-	if got := w.col.Received(1, metrics.Query); got != 1 {
+	if got := w.col.Received(1, telemetry.Query); got != 1 {
 		t.Errorf("relay received %d query messages, want 1", got)
 	}
-	if got := w.col.Received(2, metrics.Query); got != 1 {
+	if got := w.col.Received(2, telemetry.Query); got != 1 {
 		t.Errorf("holder received %d query messages, want 1", got)
 	}
-	if got := w.col.Received(0, metrics.QueryHit); got != 1 {
+	if got := w.col.Received(0, telemetry.QueryHit); got != 1 {
 		t.Errorf("origin received %d hits, want 1", got)
 	}
 }

@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"sort"
 
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/trace"
 )
 
@@ -80,7 +80,7 @@ type offerInfo struct {
 type Options struct {
 	Qualifier   float64 // hybrid device qualifier (higher = more capable)
 	Files       []bool  // file holdings by rank; may be nil
-	Collector   *metrics.Collector
+	Collector   *telemetry.Collector
 	RNG         *rand.Rand    // deterministic per-node stream; required
 	NoQueries   bool          // disable the query workload (protocol-only tests)
 	NoEstablish bool          // disable the establishment cycle (query-only tests)

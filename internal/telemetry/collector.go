@@ -1,8 +1,11 @@
-// Package metrics collects the paper's measurement quantities: per-node
-// received-message counts by class (connect, ping, query — Figures 7–12)
-// and per-request outcomes (minimum distance to the file and number of
-// answers — Figures 5–6), plus optional time-bucketed traffic series.
-package metrics
+package telemetry
+
+// The paper's measurement quantities, absorbed from the former
+// internal/metrics package: per-node received-message counts by class
+// (connect, ping, query — Figures 7–12), per-request outcomes (minimum
+// distance to the file and number of answers — Figures 5–6), optional
+// time-bucketed traffic series, connection lifetimes and the periodic
+// resilience health samples.
 
 import (
 	"fmt"
@@ -82,10 +85,13 @@ type HealthSample struct {
 	Received    [NumClasses]uint64 // cumulative network-wide received counts
 }
 
-// Collector accumulates one replication's measurements. It is not safe
-// for concurrent use: one Collector per Sim.
+// Collector accumulates one replication's measurements on the probe
+// primitives: one flat Counter block for the per-node per-class receive
+// counts (the event hot path — Recv is zero-allocation when bucketing
+// is off, and allocation-amortized when on). It is not safe for
+// concurrent use: one Collector per Sim.
 type Collector struct {
-	recv     [][]uint64 // [node][class]
+	recv     []Counter // [node*NumClasses + class]
 	requests []Request
 
 	// Optional time bucketing.
@@ -99,11 +105,7 @@ type Collector struct {
 
 // NewCollector sizes the collector for n nodes.
 func NewCollector(n int) *Collector {
-	recv := make([][]uint64, n)
-	for i := range recv {
-		recv[i] = make([]uint64, NumClasses)
-	}
-	return &Collector{recv: recv}
+	return &Collector{recv: make([]Counter, n*NumClasses)}
 }
 
 // SetClock enables time-bucketed totals: every Recv is also counted
@@ -111,7 +113,7 @@ func NewCollector(n int) *Collector {
 // the simulation starts.
 func (c *Collector) SetClock(clock func() sim.Time, bucket sim.Time) {
 	if clock == nil || bucket <= 0 {
-		panic("metrics: SetClock requires a clock and a positive bucket width")
+		panic("telemetry: SetClock requires a clock and a positive bucket width")
 	}
 	c.clock = clock
 	c.bucketW = bucket
@@ -120,7 +122,7 @@ func (c *Collector) SetClock(clock func() sim.Time, bucket sim.Time) {
 
 // Recv counts one received message of the given class at node.
 func (c *Collector) Recv(node int, class Class) {
-	c.recv[node][class]++
+	c.recv[node*NumClasses+int(class)].Inc()
 	if c.clock != nil {
 		b := int(c.clock() / c.bucketW)
 		row := c.buckets[class]
@@ -144,15 +146,15 @@ func (c *Collector) Series(class Class) []uint64 {
 
 // Received returns the per-class count for one node.
 func (c *Collector) Received(node int, class Class) uint64 {
-	return c.recv[node][class]
+	return c.recv[node*NumClasses+int(class)].Value()
 }
 
 // TotalReceived sums the class count over all nodes — the cumulative
 // totals the health sampler snapshots.
 func (c *Collector) TotalReceived(class Class) uint64 {
 	var t uint64
-	for i := range c.recv {
-		t += c.recv[i][class]
+	for i := int(class); i < len(c.recv); i += NumClasses {
+		t += c.recv[i].Value()
 	}
 	return t
 }
@@ -165,9 +167,10 @@ func (c *Collector) Health() []HealthSample { return c.health }
 
 // ReceivedAll returns the count of class messages for every node.
 func (c *Collector) ReceivedAll(class Class) []uint64 {
-	out := make([]uint64, len(c.recv))
-	for i := range c.recv {
-		out[i] = c.recv[i][class]
+	n := c.NumNodes()
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.Received(i, class)
 	}
 	return out
 }
@@ -188,4 +191,4 @@ func (c *Collector) Record(r Request) { c.requests = append(c.requests, r) }
 func (c *Collector) Requests() []Request { return c.requests }
 
 // NumNodes reports the node capacity of the collector.
-func (c *Collector) NumNodes() int { return len(c.recv) }
+func (c *Collector) NumNodes() int { return len(c.recv) / NumClasses }

@@ -1,0 +1,127 @@
+// Package telemetry is the unified observability core: one
+// registry-driven collection → aggregation → reporting pipeline shared
+// by every layer of the reproduction (radio, routing, p2p servents,
+// manet health, workload demand, fault resilience).
+//
+// The package has three parts:
+//
+//   - probe/recorder primitives (this file): typed counters, gauges,
+//     bounded time-series and a labeled event ledger, all with
+//     zero-allocation record paths (BenchmarkTelemetryProbe pins this);
+//   - the Collector (collector.go): the paper's measurement quantities,
+//     absorbed from the former internal/metrics package and rebuilt on
+//     the probe primitives;
+//   - the section Registry (registry.go) and Sink (sink.go): each layer
+//     registers one named section, and per-replication collection,
+//     cross-replication pooling and report rendering are driven
+//     generically off the registry instead of per-subsystem code.
+package telemetry
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; Inc/Add never allocate.
+type Counter uint64
+
+// Inc counts one event.
+func (c *Counter) Inc() { *c++ }
+
+// Add counts n events at once.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Gauge is a last-value-wins measurement. The zero value is ready to
+// use; Set never allocates.
+type Gauge float64
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { *g = Gauge(v) }
+
+// Value returns the last recorded value.
+func (g Gauge) Value() float64 { return float64(g) }
+
+// Series is a bounded time series: (t, v) points appended in time order
+// into storage allocated once at construction. Appends past the bound
+// are counted, not stored, so a runaway producer degrades telemetry
+// instead of memory. Append on a non-full series is zero-allocation.
+type Series struct {
+	ts, vs  []float64
+	dropped uint64
+}
+
+// NewSeries allocates a series bounded at max points (min 1).
+func NewSeries(max int) *Series {
+	if max < 1 {
+		max = 1
+	}
+	return &Series{ts: make([]float64, 0, max), vs: make([]float64, 0, max)}
+}
+
+// Append records one point, or counts it as dropped when the series is
+// at its bound.
+func (s *Series) Append(t, v float64) {
+	if len(s.ts) == cap(s.ts) {
+		s.dropped++
+		return
+	}
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, v)
+}
+
+// Len returns the number of stored points.
+func (s *Series) Len() int { return len(s.ts) }
+
+// At returns the i-th stored point.
+func (s *Series) At(i int) (t, v float64) { return s.ts[i], s.vs[i] }
+
+// Values returns the stored values in append order. The slice aliases
+// the series' storage; callers must not mutate it.
+func (s *Series) Values() []float64 { return s.vs }
+
+// Dropped counts points discarded at the bound.
+func (s *Series) Dropped() uint64 { return s.dropped }
+
+// Reset empties the series, keeping its storage and bound.
+func (s *Series) Reset() {
+	s.ts = s.ts[:0]
+	s.vs = s.vs[:0]
+	s.dropped = 0
+}
+
+// Ledger is a labeled event ledger: a fixed set of named counters whose
+// labels are interned once (Define) so the record path (Inc/Add by id)
+// is integer-indexed and zero-allocation.
+type Ledger struct {
+	names  []string
+	counts []uint64
+	index  map[string]int
+}
+
+// Define interns a label and returns its id; defining the same label
+// twice returns the same id.
+func (l *Ledger) Define(name string) int {
+	if id, ok := l.index[name]; ok {
+		return id
+	}
+	if l.index == nil {
+		l.index = make(map[string]int)
+	}
+	id := len(l.names)
+	l.index[name] = id
+	l.names = append(l.names, name)
+	l.counts = append(l.counts, 0)
+	return id
+}
+
+// Inc counts one event under the label id.
+func (l *Ledger) Inc(id int) { l.counts[id]++ }
+
+// Add counts n events under the label id.
+func (l *Ledger) Add(id int, n uint64) { l.counts[id] += n }
+
+// Count returns the label id's count.
+func (l *Ledger) Count(id int) uint64 { return l.counts[id] }
+
+// Names returns the defined labels in definition order. The slice
+// aliases the ledger's storage; callers must not mutate it.
+func (l *Ledger) Names() []string { return l.names }

@@ -1,0 +1,12 @@
+package telemetry
+
+// SafeRatio returns a/b, or 0 when b is 0 — the one shared guard for
+// every derived report ratio (routing control/delivered and send-fail
+// rates, workload success and repair rates), so degenerate runs render
+// 0 instead of NaN/Inf.
+func SafeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

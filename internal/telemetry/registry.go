@@ -1,0 +1,174 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Section is one layer's registration with the telemetry plane. The
+// type parameters are owned by the embedding application: Src is the
+// live per-replication source (the running simulation), Rep the
+// per-replication record Collect fills, Sc the scenario/configuration,
+// and Out the pooled cross-replication result Pool fills.
+//
+// All hooks are optional; a nil hook is skipped. Registration order is
+// significant: Collect, Pool, Render and Stream walks visit sections in
+// the order they were registered, which fixes both the report layout
+// and the sink's point order.
+type Section[Src, Sc, Rep, Out any] struct {
+	// Name identifies the section in the registry manifest, the
+	// checkpoint container and sink points. Must be unique.
+	Name string
+
+	// Collect harvests the section's measurements from a finished
+	// replication into the per-replication record.
+	Collect func(Src, Rep)
+
+	// Pool aggregates the section across all replications of a scenario
+	// into the pooled result (typically via stats.Summarize).
+	Pool func(Sc, []Rep, Out)
+
+	// Render writes the section's human-readable summary lines.
+	Render func(io.Writer, Out)
+
+	// Report writes the section's detailed stand-alone report (TSV
+	// tables etc.), invoked individually via Registry.Report.
+	Report func(io.Writer, Out) error
+
+	// Stream emits the section's time-series points for one replication
+	// to a sink. rep is the replication index (0-based).
+	Stream func(sc Sc, rep int, r Rep, emit func(Point))
+}
+
+// Registry is an ordered collection of named sections. The zero value
+// is ready to use. Registries are assembled once at init time and read
+// concurrently afterwards; Register is not safe to race with the walks.
+type Registry[Src, Sc, Rep, Out any] struct {
+	sections []Section[Src, Sc, Rep, Out]
+	index    map[string]int
+}
+
+// Register appends a section. It panics on an empty or duplicate name:
+// both are programmer errors in the one-time registration block, not
+// runtime conditions.
+func (g *Registry[Src, Sc, Rep, Out]) Register(s Section[Src, Sc, Rep, Out]) {
+	if s.Name == "" {
+		panic("telemetry: Register with empty section name")
+	}
+	if _, dup := g.index[s.Name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate section %q", s.Name))
+	}
+	if g.index == nil {
+		g.index = make(map[string]int)
+	}
+	g.index[s.Name] = len(g.sections)
+	g.sections = append(g.sections, s)
+}
+
+// Names returns the section names in registration order.
+func (g *Registry[Src, Sc, Rep, Out]) Names() []string {
+	out := make([]string, len(g.sections))
+	for i, s := range g.sections {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Len returns the number of registered sections.
+func (g *Registry[Src, Sc, Rep, Out]) Len() int { return len(g.sections) }
+
+// Collect runs every section's Collect hook against one finished
+// replication.
+func (g *Registry[Src, Sc, Rep, Out]) Collect(src Src, rep Rep) {
+	for _, s := range g.sections {
+		if s.Collect != nil {
+			s.Collect(src, rep)
+		}
+	}
+}
+
+// Pool runs every section's Pool hook over the finished replications.
+func (g *Registry[Src, Sc, Rep, Out]) Pool(sc Sc, reps []Rep, out Out) {
+	for _, s := range g.sections {
+		if s.Pool != nil {
+			s.Pool(sc, reps, out)
+		}
+	}
+}
+
+// Render runs every section's Render hook against the pooled result.
+func (g *Registry[Src, Sc, Rep, Out]) Render(w io.Writer, out Out) {
+	for _, s := range g.sections {
+		if s.Render != nil {
+			s.Render(w, out)
+		}
+	}
+}
+
+// Report runs the named section's detailed report hook. Sections
+// without one are a no-op; an unknown name is an error.
+func (g *Registry[Src, Sc, Rep, Out]) Report(w io.Writer, name string, out Out) error {
+	i, ok := g.index[name]
+	if !ok {
+		return fmt.Errorf("telemetry: no section %q", name)
+	}
+	if s := g.sections[i]; s.Report != nil {
+		return s.Report(w, out)
+	}
+	return nil
+}
+
+// Stream emits every section's time-series points for one replication.
+// Within a replication, points appear in section registration order.
+func (g *Registry[Src, Sc, Rep, Out]) Stream(sc Sc, rep int, r Rep, emit func(Point)) {
+	for _, s := range g.sections {
+		if s.Stream != nil {
+			s.Stream(sc, rep, r, emit)
+		}
+	}
+}
+
+// manifest is the versioned wire form of the registry's shape, stored
+// as a named checkpoint section so resume can detect a telemetry-plane
+// drift between the writing and reading binaries.
+type manifest struct {
+	Version  int      `json:"version"`
+	Sections []string `json:"sections"`
+}
+
+// manifestVersion bumps when the manifest encoding itself changes.
+const manifestVersion = 1
+
+// Manifest returns the registry's versioned JSON manifest: the section
+// names in registration order.
+func (g *Registry[Src, Sc, Rep, Out]) Manifest() []byte {
+	b, err := json.Marshal(manifest{Version: manifestVersion, Sections: g.Names()})
+	if err != nil {
+		panic(err) // cannot fail: fixed struct of strings
+	}
+	return b
+}
+
+// CheckManifest verifies that a manifest written earlier (by Manifest)
+// matches this registry, returning a descriptive error on drift.
+func (g *Registry[Src, Sc, Rep, Out]) CheckManifest(b []byte) error {
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("telemetry manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("telemetry manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	names := g.Names()
+	if len(m.Sections) != len(names) {
+		return fmt.Errorf("telemetry manifest has %d sections %v, registry has %d %v",
+			len(m.Sections), m.Sections, len(names), names)
+	}
+	for i, n := range names {
+		if m.Sections[i] != n {
+			return fmt.Errorf("telemetry manifest section %d is %q, registry has %q", i, m.Sections[i], n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"manetp2p/internal/sim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestSeriesBound(t *testing.T) {
+	s := NewSeries(3)
+	for i := 0; i < 5; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if s.Len() != 3 || s.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", s.Len(), s.Dropped())
+	}
+	if tt, v := s.At(2); tt != 2 || v != 4 {
+		t.Fatalf("At(2) = (%v,%v), want (2,4)", tt, v)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Dropped() != 0 {
+		t.Fatalf("after Reset len=%d dropped=%d", s.Len(), s.Dropped())
+	}
+	s.Append(9, 9)
+	if s.Len() != 1 {
+		t.Fatalf("append after reset: len=%d", s.Len())
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	a := l.Define("alpha")
+	b := l.Define("beta")
+	if again := l.Define("alpha"); again != a {
+		t.Fatalf("re-Define alpha = %d, want %d", again, a)
+	}
+	l.Inc(a)
+	l.Add(b, 3)
+	if l.Count(a) != 1 || l.Count(b) != 3 {
+		t.Fatalf("counts = %d/%d, want 1/3", l.Count(a), l.Count(b))
+	}
+	if got := l.Names(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+// The record hot path must not allocate: these probes sit inside the
+// per-event code of the simulator.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	var c Counter
+	var g Gauge
+	s := NewSeries(1024)
+	var l Ledger
+	id := l.Define("ev")
+	col := NewCollector(8)
+	i := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(i)
+		s.Append(i, i)
+		l.Inc(id)
+		col.Recv(3, Query)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestCollectorAbsorbedBehavior(t *testing.T) {
+	c := NewCollector(3)
+	c.Recv(0, Connect)
+	c.Recv(0, Connect)
+	c.Recv(2, Query)
+	if c.Received(0, Connect) != 2 || c.Received(2, Query) != 1 || c.Received(1, Ping) != 0 {
+		t.Fatal("per-node counts wrong")
+	}
+	if c.TotalReceived(Connect) != 2 || c.TotalReceived(Query) != 1 {
+		t.Fatal("totals wrong")
+	}
+	if got := c.ReceivedAll(Connect); len(got) != 3 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("ReceivedAll = %v", got)
+	}
+	if c.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	c.RecordLifetime(12.5)
+	if lt := c.Lifetimes(); len(lt) != 1 || lt[0] != 12.5 {
+		t.Fatalf("lifetimes = %v", lt)
+	}
+	c.Record(Request{Node: 1, File: 0, Answers: 2, Found: true})
+	if rq := c.Requests(); len(rq) != 1 || rq[0].Answers != 2 {
+		t.Fatalf("requests = %v", rq)
+	}
+	c.RecordHealth(HealthSample{At: 10, LargestComp: 1, Links: 4})
+	if h := c.Health(); len(h) != 1 || h[0].Links != 4 {
+		t.Fatalf("health = %v", h)
+	}
+}
+
+func TestCollectorBucketedSeries(t *testing.T) {
+	var now sim.Time
+	c := NewCollector(2)
+	if c.Series(Query) != nil {
+		t.Fatal("series should be nil before SetClock")
+	}
+	c.SetClock(func() sim.Time { return now }, 10)
+	now = 3
+	c.Recv(0, Query)
+	now = 14
+	c.Recv(1, Query)
+	c.Recv(1, Query)
+	now = 25
+	c.Recv(0, Ping)
+	q := c.Series(Query)
+	if len(q) != 2 || q[0] != 1 || q[1] != 2 {
+		t.Fatalf("query series = %v, want [1 2]", q)
+	}
+	p := c.Series(Ping)
+	if len(p) != 3 || p[2] != 1 {
+		t.Fatalf("ping series = %v, want [0 0 1]", p)
+	}
+}
+
+func TestSafeRatioTable(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{5, 0, 0},
+		{-3, 0, 0},
+		{math.Inf(1), 0, 0},
+		{6, 3, 2},
+		{1, 4, 0.25},
+		{-6, 3, -2},
+		{0, 7, 0},
+	}
+	for _, tc := range cases {
+		if got := SafeRatio(tc.a, tc.b); got != tc.want {
+			t.Errorf("SafeRatio(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+type testRep struct{ v float64 }
+type testOut struct {
+	sum   float64
+	lines []string
+}
+
+func testRegistry() *Registry[float64, string, *testRep, *testOut] {
+	g := &Registry[float64, string, *testRep, *testOut]{}
+	g.Register(Section[float64, string, *testRep, *testOut]{
+		Name:    "alpha",
+		Collect: func(src float64, r *testRep) { r.v = src * 2 },
+		Pool: func(sc string, reps []*testRep, out *testOut) {
+			for _, r := range reps {
+				out.sum += r.v
+			}
+		},
+		Render: func(w io.Writer, out *testOut) { fmt.Fprintf(w, "alpha %g\n", out.sum) },
+		Stream: func(sc string, rep int, r *testRep, emit func(Point)) {
+			emit(Point{Rep: rep, T: 1, Section: "alpha", Name: "v", Value: r.v})
+		},
+	})
+	g.Register(Section[float64, string, *testRep, *testOut]{
+		Name:   "beta",
+		Render: func(w io.Writer, out *testOut) { fmt.Fprintln(w, "beta") },
+	})
+	return g
+}
+
+func TestRegistryWalksInOrder(t *testing.T) {
+	g := testRegistry()
+	if got := g.Names(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("names = %v", got)
+	}
+	r1, r2 := &testRep{}, &testRep{}
+	g.Collect(3, r1)
+	g.Collect(5, r2)
+	out := &testOut{}
+	g.Pool("sc", []*testRep{r1, r2}, out)
+	if out.sum != 16 {
+		t.Fatalf("pooled sum = %g, want 16", out.sum)
+	}
+	var buf bytes.Buffer
+	g.Render(&buf, out)
+	if buf.String() != "alpha 16\nbeta\n" {
+		t.Fatalf("render = %q", buf.String())
+	}
+	var pts []Point
+	g.Stream("sc", 1, r2, func(p Point) { pts = append(pts, p) })
+	if len(pts) != 1 || pts[0].Value != 10 || pts[0].Rep != 1 {
+		t.Fatalf("stream = %+v", pts)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	g := testRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	g.Register(Section[float64, string, *testRep, *testOut]{Name: "alpha"})
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	g := testRegistry()
+	m := g.Manifest()
+	if err := g.CheckManifest(m); err != nil {
+		t.Fatalf("self manifest rejected: %v", err)
+	}
+	other := &Registry[float64, string, *testRep, *testOut]{}
+	other.Register(Section[float64, string, *testRep, *testOut]{Name: "alpha"})
+	if err := other.CheckManifest(m); err == nil {
+		t.Fatal("missing-section manifest accepted")
+	}
+	other.Register(Section[float64, string, *testRep, *testOut]{Name: "gamma"})
+	if err := other.CheckManifest(m); err == nil {
+		t.Fatal("renamed-section manifest accepted")
+	}
+	if err := g.CheckManifest([]byte("not json")); err == nil {
+		t.Fatal("garbage manifest accepted")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Point{Rep: 0, T: 10, Section: "radio", Name: "rx", Value: 42})
+	s.Emit(Point{Rep: 1, T: 0.5, Section: "workload", Name: "offered", Value: 1e6})
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var p Point
+	if err := json.Unmarshal([]byte(lines[0]), &p); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if p != (Point{Rep: 0, T: 10, Section: "radio", Name: "rx", Value: 42}) {
+		t.Fatalf("round-trip = %+v", p)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &p); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if p.Value != 1e6 {
+		t.Fatalf("big value round-trip = %+v", p)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestJSONLSinkLatchesError(t *testing.T) {
+	s := NewJSONLSink(&failWriter{})
+	for i := 0; i < 100_000; i++ { // enough to overflow the bufio buffer
+		s.Emit(Point{Rep: i, Section: "x", Name: "y"})
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("write error not surfaced by Close")
+	}
+}

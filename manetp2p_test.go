@@ -7,8 +7,8 @@ import (
 	"strings"
 	"testing"
 
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/sim"
+	"manetp2p/internal/telemetry"
 )
 
 // quickScenario returns a small, fast scenario for tests.
@@ -61,7 +61,7 @@ func TestRunProducesPaperMetrics(t *testing.T) {
 			if len(res.PerFile) != res.Scenario.Files.NumFiles {
 				t.Errorf("PerFile length = %d, want %d", len(res.PerFile), res.Scenario.Files.NumFiles)
 			}
-			if res.Totals[metrics.Connect].Mean <= 0 {
+			if res.Totals[telemetry.Connect].Mean <= 0 {
 				t.Error("no connect messages recorded")
 			}
 			// Series must be nonincreasing (they are rank-wise means of
@@ -98,7 +98,7 @@ func TestRunDeterministic(t *testing.T) {
 			t.Fatalf("ConnectSeries diverged at rank %d: %v vs %v", i, a.ConnectSeries[i], b.ConnectSeries[i])
 		}
 	}
-	if a.Totals[metrics.Ping].Mean != b.Totals[metrics.Ping].Mean {
+	if a.Totals[telemetry.Ping].Mean != b.Totals[telemetry.Ping].Mean {
 		t.Error("ping totals diverged between identical runs")
 	}
 }
@@ -152,13 +152,13 @@ func TestBasicFloodsMoreThanRegular(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := basic.Totals[metrics.Connect].Mean
-	r := regular.Totals[metrics.Connect].Mean
+	b := basic.Totals[telemetry.Connect].Mean
+	r := regular.Totals[telemetry.Connect].Mean
 	if b <= r {
 		t.Errorf("connect msgs per node: Basic %.1f <= Regular %.1f; paper's Figure 7 shape violated", b, r)
 	}
-	bp := basic.Totals[metrics.Ping].Mean
-	rp := regular.Totals[metrics.Ping].Mean
+	bp := basic.Totals[telemetry.Ping].Mean
+	rp := regular.Totals[telemetry.Ping].Mean
 	if bp <= rp {
 		t.Errorf("ping msgs per node: Basic %.1f <= Regular %.1f; paper's Figure 9 shape violated", bp, rp)
 	}

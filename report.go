@@ -5,7 +5,6 @@ import (
 	"io"
 	"sort"
 
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/p2p"
 	"manetp2p/internal/sim"
 )
@@ -158,72 +157,19 @@ func WriteTrafficSeries(w io.Writer, results []*Result) error {
 
 // WriteResilience emits the resilience telemetry of a fault-injected
 // run: the health time series as TSV followed by one row per scripted
-// fault with its recovery metrics. No-op for runs without telemetry.
+// fault with its recovery telemetry. No-op for runs without telemetry.
+// The body is the resilience section's Report hook (telemetry_sections.go).
 func WriteResilience(w io.Writer, r *Result) error {
-	res := r.Resilience
-	if res == nil {
-		return nil
-	}
-	fmt.Fprintf(w, "# overlay health sampled every %.0fs (%s)\n",
-		res.SampleEvery, r.Scenario.Algorithm)
-	fmt.Fprintln(w, "time\tlargest-comp\tlinks\tconnect/member/s")
-	for i, t := range res.Times {
-		fmt.Fprintf(w, "%.0f\t%.3f\t%.1f\t%.3f\n",
-			t, res.LargestComp[i], res.Links[i], res.ConnectRate[i])
-	}
-	if len(res.Events) == 0 {
-		return nil
-	}
-	fmt.Fprintln(w)
-	fmt.Fprintln(w, "# recovery per scripted fault")
-	fmt.Fprintln(w, "fault\tcleared\tbaseline\ttrough\treheal-s\trehealed%\tresidual\trecovery-msgs")
-	for _, ev := range res.Events {
-		fmt.Fprintf(w, "%s\t%.0f\t%.3f\t%.3f\t%.1f\t%.0f\t%.3f\t%.1f\n",
-			ev.Label, ev.ClearSeconds, ev.Baseline.Mean, ev.Trough.Mean,
-			ev.RehealSeconds.Mean, 100*ev.RehealedFraction,
-			ev.ResidualDisconnect.Mean, ev.RecoveryMessages.Mean)
-	}
-	return nil
+	return sections.Report(w, "resilience", r)
 }
 
 // WriteWorkload emits the demand telemetry of a workload-driven run as
 // TSV: the conservation ledger per replication, the derived success
 // rate, the pooled latency distributions, the churn-repair cost and the
-// per-class breakdown. No-op for runs without a workload plan.
+// per-class breakdown. No-op for runs without a workload plan. The body
+// is the workload section's Report hook (telemetry_sections.go).
 func WriteWorkload(w io.Writer, r *Result) error {
-	ws := r.Workload
-	if ws == nil {
-		return nil
-	}
-	fmt.Fprintf(w, "# demand telemetry (%s): per-replication ledger\n", r.Scenario.Algorithm)
-	fmt.Fprintln(w, "counter\tmean\tstddev\tmin\tmax")
-	for _, row := range []struct {
-		name               string
-		mean, sd, min, max float64
-	}{
-		{"offered", ws.Offered.Mean, ws.Offered.StdDev, ws.Offered.Min, ws.Offered.Max},
-		{"retries", ws.Retries.Mean, ws.Retries.StdDev, ws.Retries.Min, ws.Retries.Max},
-		{"issued", ws.Issued.Mean, ws.Issued.StdDev, ws.Issued.Min, ws.Issued.Max},
-		{"resolved", ws.Resolved.Mean, ws.Resolved.StdDev, ws.Resolved.Min, ws.Resolved.Max},
-		{"expired", ws.Expired.Mean, ws.Expired.StdDev, ws.Expired.Min, ws.Expired.Max},
-		{"aborted", ws.Aborted.Mean, ws.Aborted.StdDev, ws.Aborted.Min, ws.Aborted.Max},
-		{"in-flight", ws.InFlight.Mean, ws.InFlight.StdDev, ws.InFlight.Min, ws.InFlight.Max},
-	} {
-		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.0f\t%.0f\n", row.name, row.mean, row.sd, row.min, row.max)
-	}
-	fmt.Fprintf(w, "\nsuccess-rate\t%.3f\n", ws.SuccessRate)
-	fmt.Fprintf(w, "ttfr-s\t%s\t(n=%d)\n", ws.TTFR, ws.TTFR.N)
-	fmt.Fprintf(w, "completion-s\t%s\t(n=%d)\n", ws.Completion, ws.Completion.N)
-	fmt.Fprintf(w, "churn-events/rep\t%.1f\n", ws.ChurnEvents.Mean)
-	fmt.Fprintf(w, "repair-msgs/churn\t%.1f\n", ws.RepairPerChurn)
-	if len(ws.Classes) > 0 {
-		fmt.Fprintln(w, "\n# session classes")
-		fmt.Fprintln(w, "class\tnodes\tissued")
-		for _, c := range ws.Classes {
-			fmt.Fprintf(w, "%s\t%.1f\t%.1f\n", c.Name, c.Nodes.Mean, c.Issued.Mean)
-		}
-	}
-	return nil
+	return sections.Report(w, "workload", r)
 }
 
 // WriteTable1 renders the paper's Table 1.
@@ -259,59 +205,15 @@ func WriteTable2(w io.Writer, sc Scenario) {
 	}
 }
 
-// WriteSummary prints a human-readable digest of one result.
+// WriteSummary prints a human-readable digest of one result: the
+// scenario header followed by every registered telemetry section's
+// Render hook, in registration order (telemetry_sections.go).
 func WriteSummary(w io.Writer, r *Result) {
 	sc := r.Scenario
 	fmt.Fprintf(w, "== %s: %s, %d nodes (%.0f%% p2p), %s x %d reps ==\n",
 		sc.Name, sc.Algorithm, sc.NumNodes, sc.MemberFraction*100,
 		sim.Time(sc.Duration), sc.Replications)
-	fmt.Fprintf(w, "received per member: connect %s, ping %s, pong %s, query %s\n",
-		r.Totals[metrics.Connect], r.Totals[metrics.Ping],
-		r.Totals[metrics.Pong], r.Totals[metrics.Query])
-	fmt.Fprintf(w, "radio frames per node: rx %s, tx %s\n", r.RxFrames, r.TxFrames)
-	if rt := r.Routing; rt != nil {
-		fmt.Fprintf(w, "routing (%s): ctrl %.1f+%.1f, bcast %.1f+%.1f per node (orig+relay), %.2f ctrl/delivered, %.1f%% send failures\n",
-			rt.Protocol, rt.CtrlOrig.Mean, rt.CtrlRelayed.Mean,
-			rt.BcastOrig.Mean, rt.BcastRelayed.Mean,
-			rt.ControlPerDelivered(), 100*rt.SendFailRate())
-	}
-	if r.Overlay.Samples > 0 {
-		fmt.Fprintf(w, "overlay: clustering %s, pathlength %s, largest component %s, degree %s\n",
-			r.Overlay.Clustering, r.Overlay.PathLength,
-			r.Overlay.LargestComponent, r.Overlay.MeanDegree)
-	}
-	if sc.Energy.Capacity > 0 {
-		fmt.Fprintf(w, "energy: spent/node %s J, deaths/rep %s\n", r.EnergySpent, r.Deaths)
-	}
-	if r.ConnLifetime.N > 0 {
-		fmt.Fprintf(w, "connection lifetime: %s s over %d closed links\n",
-			r.ConnLifetime, r.ConnLifetime.N)
-	}
-	if res := r.Resilience; res != nil {
-		for _, ev := range res.Events {
-			fmt.Fprintf(w, "fault %s: baseline %.2f, trough %.2f, reheal %.1f s (%.0f%% of reps), residual %.3f, cost %.1f msgs/member\n",
-				ev.Label, ev.Baseline.Mean, ev.Trough.Mean,
-				ev.RehealSeconds.Mean, 100*ev.RehealedFraction,
-				ev.ResidualDisconnect.Mean, ev.RecoveryMessages.Mean)
-		}
-	}
-	if ws := r.Workload; ws != nil {
-		fmt.Fprintf(w, "workload: offered %.0f/rep, issued %.0f, %.1f%% success, ttfr %.2f s, completion %.2f s\n",
-			ws.Offered.Mean, ws.Issued.Mean, 100*ws.SuccessRate,
-			ws.TTFR.Mean, ws.Completion.Mean)
-		if ws.ChurnEvents.Mean > 0 {
-			fmt.Fprintf(w, "workload churn: %.1f departures/rep, repair cost %.1f connect msgs/event\n",
-				ws.ChurnEvents.Mean, ws.RepairPerChurn)
-		}
-	}
-	found, reqs := 0.0, 0
-	for _, fc := range r.PerFile {
-		reqs += fc.Requests
-		found += fc.FoundRate * float64(fc.Requests)
-	}
-	if reqs > 0 {
-		fmt.Fprintf(w, "queries: %d requests, %.1f%% found\n", reqs, 100*found/float64(reqs))
-	}
+	sections.Render(w, r)
 }
 
 // GiniCoefficient measures how unevenly a per-node series distributes

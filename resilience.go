@@ -3,8 +3,8 @@ package manetp2p
 import (
 	"math"
 
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/stats"
+	"manetp2p/internal/telemetry"
 )
 
 // This file derives the recovery metrics from the resilience telemetry
@@ -45,7 +45,7 @@ type EventRecovery struct {
 }
 
 // Resilience is the fault-injection section of a Result: the averaged
-// health time series plus per-event recovery metrics. Nil when
+// health time series plus per-event recovery telemetry. Nil when
 // telemetry was off (no faults and no explicit HealthEvery).
 type Resilience struct {
 	SampleEvery float64 // seconds between samples
@@ -62,7 +62,7 @@ type Resilience struct {
 // computeResilience folds the per-replication health series into the
 // Result's resilience section. Everything here is deterministic in the
 // replication data, so equal seeds and plans give byte-identical output.
-func computeResilience(sc Scenario, reps []repResult) *Resilience {
+func computeResilience(sc Scenario, reps []*repResult) *Resilience {
 	period := sc.healthEvery()
 	if period <= 0 {
 		return nil
@@ -87,10 +87,10 @@ func computeResilience(sc Scenario, reps []repResult) *Resilience {
 			lc[i] = h.LargestComp
 			lk[i] = float64(h.Links)
 			if rr.members > 0 {
-				cr[i] = float64(h.Received[metrics.Connect]-prev) /
+				cr[i] = float64(h.Received[telemetry.Connect]-prev) /
 					float64(rr.members) / period.Seconds()
 			}
-			prev = h.Received[metrics.Connect]
+			prev = h.Received[telemetry.Connect]
 		}
 		largest = append(largest, lc)
 		links = append(links, lk)
@@ -160,7 +160,7 @@ func computeResilience(sc Scenario, reps []repResult) *Resilience {
 				rehealed++
 				reheals = append(reheals, (h[ri].At - clear).Seconds())
 				if rr.members > 0 {
-					cost := float64(h[ri].Received[metrics.Connect]-h[ci].Received[metrics.Connect]) /
+					cost := float64(h[ri].Received[telemetry.Connect]-h[ci].Received[telemetry.Connect]) /
 						float64(rr.members)
 					costs = append(costs, cost)
 				}

@@ -6,10 +6,10 @@ import (
 
 	"manetp2p/internal/graphs"
 	"manetp2p/internal/manet"
-	"manetp2p/internal/metrics"
 	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
 	"manetp2p/internal/stats"
+	"manetp2p/internal/telemetry"
 	"manetp2p/internal/workload"
 )
 
@@ -58,13 +58,9 @@ type RoutingStats struct {
 // safeRatio divides a by b, returning 0 for a zero denominator so every
 // derived ratio stays finite — no NaN or ±Inf ever reaches a report,
 // however degenerate the replications (nothing delivered, nothing
-// offered, no churn).
-func safeRatio(a, b float64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return a / b
-}
+// offered, no churn). One shared guard (telemetry.SafeRatio) backs all
+// derived ratios: routing overhead, workload success, churn repair.
+func safeRatio(a, b float64) float64 { return telemetry.SafeRatio(a, b) }
 
 // ControlPerDelivered derives the headline overhead ratio: control-plane
 // frames (protocol signalling + controlled-broadcast relays) per
@@ -138,7 +134,7 @@ type Result struct {
 	HitSeries     []float64
 
 	// Per-node totals pooled over replications.
-	Totals [metrics.NumClasses]stats.Summary
+	Totals [telemetry.NumClasses]stats.Summary
 
 	// Network-layer effort.
 	RxFrames stats.Summary // radio frames received per node
@@ -183,9 +179,9 @@ type Result struct {
 
 // repResult carries one replication's raw measurements to aggregation.
 type repResult struct {
-	requests   []metrics.Request
-	series     [metrics.NumClasses][]float64
-	totals     [metrics.NumClasses][]float64
+	requests   []telemetry.Request
+	series     [telemetry.NumClasses][]float64
+	totals     [telemetry.NumClasses][]float64
 	rxFrames   []float64
 	txFrames   []float64
 	clust      []float64
@@ -199,14 +195,14 @@ type repResult struct {
 	deaths     float64
 	energy     []float64
 	lifetimes  []float64
-	health     []metrics.HealthSample // resilience telemetry samples
-	routing    []netif.Stats          // per-node routing-effort counters
-	members    int                    // overlay membership size
-	checked    bool                   // the invariant checker validated this replication
-	violTotal  int                    // invariant breaches detected (including past the cap)
-	violations []InvariantViolation   // recorded breaches, detection order
-	workload   *workload.Telemetry    // demand telemetry (nil without a plan)
-	churnit    float64                // churn departures executed
+	health     []telemetry.HealthSample // resilience telemetry samples
+	routing    []netif.Stats            // per-node routing-effort counters
+	members    int                      // overlay membership size
+	checked    bool                     // the invariant checker validated this replication
+	violTotal  int                      // invariant breaches detected (including past the cap)
+	violations []InvariantViolation     // recorded breaches, detection order
+	workload   *workload.Telemetry      // demand telemetry (nil without a plan)
+	churnit    float64                  // churn departures executed
 	err        error
 }
 
@@ -229,12 +225,22 @@ func NewPool(workers int) *Pool {
 }
 
 // Run executes all replications of the scenario under the pool's
-// budget and aggregates the paper's metrics. Replications are
+// budget and aggregates the paper's telemetry. Replications are
 // deterministic regardless of scheduling (each seeds its own RNG
 // streams and lands in its own result slot), so a pooled run returns
 // exactly what a sequential one does. A positive Scenario.Workers
 // additionally caps this scenario's own concurrency below the pool's.
 func (p *Pool) Run(sc Scenario) (*Result, error) {
+	reps, err := p.runReps(sc)
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(sc, reps), nil
+}
+
+// runReps executes all replications under the pool's budget and returns
+// their raw per-replication records.
+func (p *Pool) runReps(sc Scenario) ([]repResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -264,11 +270,11 @@ func (p *Pool) Run(sc Scenario) (*Result, error) {
 			return nil, rr.err
 		}
 	}
-	return aggregate(sc, reps), nil
+	return reps, nil
 }
 
 // Run executes all replications of the scenario concurrently and
-// aggregates the paper's metrics.
+// aggregates the paper's telemetry.
 func Run(sc Scenario) (*Result, error) {
 	return NewPool(sc.Workers).Run(sc)
 }
@@ -342,286 +348,28 @@ func startReplication(sc Scenario, rep int) (*repRun, error) {
 func (r *repRun) runTo(t sim.Time) { r.net.Sim.Run(t) }
 
 // finish extracts the measurements after the replication has run to its
-// horizon. Call exactly once.
+// horizon: one registry walk over every layer's Collect hook (see
+// telemetry_sections.go). Call exactly once.
 func (r *repRun) finish() repResult {
-	sc, net, rr := r.sc, r.net, &r.rr
-
-	if net.Checker != nil {
-		net.Checker.Finalize()
-		rr.checked = true
-		rr.violTotal = net.Checker.Total()
-		rr.violations = net.Checker.Violations()
-	}
-
-	if net.Demand != nil {
-		t := net.Demand.Snapshot()
-		rr.workload = &t
-	}
-	rr.churnit = float64(net.ChurnEvents())
-	rr.requests = net.Collector.Requests()
-	rr.lifetimes = net.Collector.Lifetimes()
-	rr.health = net.Collector.Health()
-	rr.routing = net.RoutingStats()
-	members := net.Members()
-	rr.members = len(members)
-	counts := make([]uint64, 0, len(members)) // reused across classes
-	for class := 0; class < metrics.NumClasses; class++ {
-		counts = counts[:0]
-		for _, id := range members {
-			counts = append(counts, net.Collector.Received(id, metrics.Class(class)))
-		}
-		rr.series[class] = stats.DescendingSeries(counts)
-		totals := make([]float64, len(counts))
-		for i, c := range counts {
-			totals[i] = float64(c)
-		}
-		rr.totals[class] = totals
-	}
-	for i := 0; i < sc.NumNodes; i++ {
-		st := net.Medium.Stats(i)
-		rr.rxFrames = append(rr.rxFrames, float64(st.RxFrames))
-		rr.txFrames = append(rr.txFrames, float64(st.TxFrames))
-		tx, rx := net.Medium.Battery(i).Spent()
-		rr.energy = append(rr.energy, tx+rx)
-	}
-	if sc.Energy.Capacity > 0 {
-		for i := 0; i < sc.NumNodes; i++ {
-			if net.Medium.Battery(i).Empty() {
-				rr.deaths++
-			}
-		}
-	}
-	if sc.TrafficBucket > 0 {
-		perMember := func(series []uint64) []float64 {
-			out := make([]float64, len(series))
-			for i, v := range series {
-				out[i] = float64(v) / float64(len(members))
-			}
-			return out
-		}
-		rr.connRate = perMember(net.Collector.Series(metrics.Connect))
-		rr.queryRate = perMember(net.Collector.Series(metrics.Query))
-	}
+	sections.Collect(r, &r.rr)
 	return r.rr
 }
 
-// aggregate folds replication results into a Result.
+// aggregate folds replication results into a Result: one registry walk
+// over every layer's Pool hook (see telemetry_sections.go) — there is
+// no per-subsystem aggregation code here.
 func aggregate(sc Scenario, reps []repResult) *Result {
 	res := &Result{Scenario: sc}
-
-	// Figures 5–6: group requests by file rank.
-	type fileAcc struct {
-		dist, adhoc, answers []float64
-		requests, found      int
-	}
-	accs := make([]fileAcc, sc.Files.NumFiles)
-	for _, rr := range reps {
-		for _, q := range rr.requests {
-			if q.File < 0 || q.File >= len(accs) {
-				continue
-			}
-			a := &accs[q.File]
-			a.requests++
-			a.answers = append(a.answers, float64(q.Answers))
-			if q.Found {
-				a.found++
-				a.dist = append(a.dist, float64(q.MinP2P))
-				a.adhoc = append(a.adhoc, float64(q.MinAdhoc))
-			}
-		}
-	}
-	for f, a := range accs {
-		fc := FileCurve{
-			File:      f,
-			Requests:  a.requests,
-			Distance:  stats.Summarize(a.dist),
-			AdhocDist: stats.Summarize(a.adhoc),
-			Answers:   stats.Summarize(a.answers),
-		}
-		if a.requests > 0 {
-			fc.FoundRate = float64(a.found) / float64(a.requests)
-		}
-		res.PerFile = append(res.PerFile, fc)
-	}
-
-	// Figures 7–12: rank-wise mean of descending per-node series.
-	collect := func(class metrics.Class) []float64 {
-		series := make([][]float64, 0, len(reps))
-		for _, rr := range reps {
-			series = append(series, rr.series[class])
-		}
-		return stats.MeanSeries(series)
-	}
-	res.ConnectSeries = collect(metrics.Connect)
-	res.PingSeries = collect(metrics.Ping)
-	res.PongSeries = collect(metrics.Pong)
-	res.QuerySeries = collect(metrics.Query)
-	res.HitSeries = collect(metrics.QueryHit)
-
-	for class := 0; class < metrics.NumClasses; class++ {
-		var pooled []float64
-		for _, rr := range reps {
-			pooled = append(pooled, rr.totals[class]...)
-		}
-		res.Totals[class] = stats.Summarize(pooled)
-	}
-
-	var rx, tx, clust, pl, largest, deg, deaths, energy, lifetimes []float64
-	for _, rr := range reps {
-		lifetimes = append(lifetimes, rr.lifetimes...)
-		rx = append(rx, rr.rxFrames...)
-		tx = append(tx, rr.txFrames...)
-		clust = append(clust, rr.clust...)
-		pl = append(pl, rr.pathLen...)
-		largest = append(largest, rr.largest...)
-		deg = append(deg, rr.meanDeg...)
-		deaths = append(deaths, rr.deaths)
-		energy = append(energy, rr.energy...)
-	}
-	res.RxFrames = stats.Summarize(rx)
-	res.TxFrames = stats.Summarize(tx)
-	res.Overlay = OverlayStats{
-		Samples:          len(clust),
-		Clustering:       stats.Summarize(clust),
-		PathLength:       stats.Summarize(pl),
-		LargestComponent: stats.Summarize(largest),
-		MeanDegree:       stats.Summarize(deg),
-	}
-	res.Deaths = stats.Summarize(deaths)
-	res.EnergySpent = stats.Summarize(energy)
-	res.ConnLifetime = stats.Summarize(lifetimes)
-
-	aliveSeries := make([][]float64, 0, len(reps))
-	degSeries := make([][]float64, 0, len(reps))
-	for _, rr := range reps {
-		if len(rr.alive) > 0 {
-			aliveSeries = append(aliveSeries, rr.alive)
-		}
-		if len(rr.degSeries) > 0 {
-			degSeries = append(degSeries, rr.degSeries)
-		}
-	}
-	res.AliveSeries = stats.MeanSeries(aliveSeries)
-	res.DegreeSeries = stats.MeanSeries(degSeries)
-
-	connRates := make([][]float64, 0, len(reps))
-	queryRates := make([][]float64, 0, len(reps))
-	for _, rr := range reps {
-		if len(rr.connRate) > 0 {
-			connRates = append(connRates, rr.connRate)
-		}
-		if len(rr.queryRate) > 0 {
-			queryRates = append(queryRates, rr.queryRate)
-		}
-	}
-	res.ConnectTraffic = stats.MeanSeries(connRates)
-	res.QueryTraffic = stats.MeanSeries(queryRates)
-	res.Routing = aggregateRouting(sc, reps)
-	res.Resilience = computeResilience(sc, reps)
-	res.Invariants = invariantReport(sc, reps)
-	res.Workload = aggregateWorkload(reps)
+	sections.Pool(sc, repPtrs(reps), res)
 	return res
 }
 
-// aggregateWorkload pools the demand telemetry: one sample per
-// replication for each ledger counter, pooled latency distributions,
-// and the repair-cost-per-churn-event ratio derived from connect-class
-// message totals. Nil when no replication ran a workload plan.
-func aggregateWorkload(reps []repResult) *WorkloadStats {
-	var any bool
-	for _, rr := range reps {
-		if rr.workload != nil {
-			any = true
-			break
-		}
+// repPtrs is the pointer view of the replication slots the section
+// hooks operate on.
+func repPtrs(reps []repResult) []*repResult {
+	ptrs := make([]*repResult, len(reps))
+	for i := range reps {
+		ptrs[i] = &reps[i]
 	}
-	if !any {
-		return nil
-	}
-	var offered, retries, issued, resolved, expired, aborted, inflight []float64
-	var ttfr, completion, churn []float64
-	var totOffered, totResolved, totConnect, totChurn float64
-	classNodes := map[string][]float64{}
-	classIssued := map[string][]float64{}
-	var classOrder []string
-	for _, rr := range reps {
-		t := rr.workload
-		if t == nil {
-			continue
-		}
-		offered = append(offered, float64(t.Offered))
-		retries = append(retries, float64(t.Retries))
-		issued = append(issued, float64(t.Issued))
-		resolved = append(resolved, float64(t.Resolved))
-		expired = append(expired, float64(t.Expired))
-		aborted = append(aborted, float64(t.Aborted))
-		inflight = append(inflight, float64(t.InFlight))
-		ttfr = append(ttfr, t.TTFR...)
-		completion = append(completion, t.Completion...)
-		churn = append(churn, rr.churnit)
-		totOffered += float64(t.Offered)
-		totResolved += float64(t.Resolved)
-		totChurn += rr.churnit
-		for _, v := range rr.totals[metrics.Connect] {
-			totConnect += v
-		}
-		for _, c := range t.Classes {
-			if _, seen := classNodes[c.Name]; !seen {
-				classOrder = append(classOrder, c.Name)
-			}
-			classNodes[c.Name] = append(classNodes[c.Name], float64(c.Nodes))
-			classIssued[c.Name] = append(classIssued[c.Name], float64(c.Issued))
-		}
-	}
-	ws := &WorkloadStats{
-		Offered:        stats.Summarize(offered),
-		Retries:        stats.Summarize(retries),
-		Issued:         stats.Summarize(issued),
-		Resolved:       stats.Summarize(resolved),
-		Expired:        stats.Summarize(expired),
-		Aborted:        stats.Summarize(aborted),
-		InFlight:       stats.Summarize(inflight),
-		SuccessRate:    safeRatio(totResolved, totOffered),
-		TTFR:           stats.Summarize(ttfr),
-		Completion:     stats.Summarize(completion),
-		ChurnEvents:    stats.Summarize(churn),
-		RepairPerChurn: safeRatio(totConnect, totChurn),
-	}
-	for _, name := range classOrder {
-		ws.Classes = append(ws.Classes, WorkloadClassStats{
-			Name:   name,
-			Nodes:  stats.Summarize(classNodes[name]),
-			Issued: stats.Summarize(classIssued[name]),
-		})
-	}
-	return ws
-}
-
-// aggregateRouting pools every node's routing counters over all
-// replications into one Summary per counter.
-func aggregateRouting(sc Scenario, reps []repResult) *RoutingStats {
-	pool := func(pick func(netif.Stats) uint64) stats.Summary {
-		var vals []float64
-		for _, rr := range reps {
-			for _, st := range rr.routing {
-				vals = append(vals, float64(pick(st)))
-			}
-		}
-		return stats.Summarize(vals)
-	}
-	return &RoutingStats{
-		Protocol:       sc.Routing.String(),
-		CtrlOrig:       pool(func(s netif.Stats) uint64 { return s.CtrlOrig }),
-		CtrlRelayed:    pool(func(s netif.Stats) uint64 { return s.CtrlRelayed }),
-		BcastOrig:      pool(func(s netif.Stats) uint64 { return s.BcastOrig }),
-		BcastRelayed:   pool(func(s netif.Stats) uint64 { return s.BcastRelayed }),
-		DataSent:       pool(func(s netif.Stats) uint64 { return s.DataSent }),
-		DataForwarded:  pool(func(s netif.Stats) uint64 { return s.DataForwarded }),
-		DataDropped:    pool(func(s netif.Stats) uint64 { return s.DataDropped }),
-		Delivered:      pool(func(s netif.Stats) uint64 { return s.Delivered }),
-		Discoveries:    pool(func(s netif.Stats) uint64 { return s.Discoveries }),
-		DiscoverFailed: pool(func(s netif.Stats) uint64 { return s.DiscoverFailed }),
-		SendFailed:     pool(func(s netif.Stats) uint64 { return s.SendFailed }),
-		DupHits:        pool(func(s netif.Stats) uint64 { return s.DupHits }),
-	}
+	return ptrs
 }
