@@ -414,6 +414,14 @@ func BenchmarkAODVDiscovery(b *testing.B) { benchAODVDiscovery(b) }
 // the shared route.Bcaster relay path.
 func BenchmarkBcastRelay(b *testing.B) { benchBcastRelay(b) }
 
+// Cost of one overlay unicast send between linked servents; must report
+// 0 allocs/op once warm.
+func BenchmarkServentSend(b *testing.B) { benchServentSend(b) }
+
+// Cost of one Gnutella-style query flooded down an 8-servent overlay
+// chain, including the query-hit reply.
+func BenchmarkQueryFlood(b *testing.B) { benchQueryFlood(b) }
+
 // Cost of the workload engine's per-query hot path (NextGap + PickFile)
 // with every feature armed; must report 0 allocs/op.
 func BenchmarkWorkloadArrivals(b *testing.B) { benchWorkloadArrivals(b) }

@@ -37,6 +37,8 @@ func TrackedBenchmarks() []BenchSpec {
 		{Name: "GridNear", Fn: benchGridNear},
 		{Name: "AODVDiscovery", Fn: benchAODVDiscovery},
 		{Name: "BcastRelay", Fn: benchBcastRelay},
+		{Name: "ServentSend", Fn: benchServentSend},
+		{Name: "QueryFlood", Fn: benchQueryFlood},
 		{Name: "WorkloadArrivals", Fn: benchWorkloadArrivals},
 		{Name: "PathLength", Fn: benchPathLength},
 		{Name: "OverlaySnapshot", Fn: benchOverlaySnapshot},
@@ -120,7 +122,7 @@ func benchAODVDiscovery(b *testing.B) {
 		}
 		routers[10].OnUnicast(func(aodv.Delivery) { delivered = true })
 		b.StartTimer()
-		routers[0].Send(10, 64, "x")
+		routers[0].Send(10, 64, netif.TestMsg(1))
 		s.Run(30 * sim.Second)
 		if !delivered {
 			b.Fatal("discovery failed")
@@ -154,11 +156,109 @@ func benchBcastRelay(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		routers[0].Broadcast(nodes-1, 64, "x")
+		routers[0].Broadcast(nodes-1, 64, netif.TestMsg(uint32(i)))
 		s.Run(sim.MaxTime)
 	}
 	if delivered != b.N {
 		b.Fatalf("far end delivered %d of %d broadcasts", delivered, b.N)
+	}
+}
+
+// benchServentSend measures the overlay unicast send hot path between
+// two linked servents: the kind-indexed size lookup, the router
+// handoff, the radio round trip and the receive-side classification —
+// the exact journey every keepalive, handshake and query message makes.
+// The contract is 0 allocs/op once warm: cmd/bench gates it at zero.
+func benchServentSend(b *testing.B) {
+	s := sim.New(11)
+	med, err := radio.NewMedium(s, radio.Config{
+		Arena: geom.Rect{W: 50, H: 50}, Range: 10, NumNodes: 2,
+		Latency: 2 * sim.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := p2p.DefaultParams()
+	col := telemetry.NewCollector(2)
+	svs := make([]*p2p.Servent, 2)
+	for n := 0; n < 2; n++ {
+		rt := flood.NewRouter(n, s, med, flood.Config{})
+		med.Join(n, geom.Point{X: 10 + 5*float64(n), Y: 25}, rt.HandleFrame)
+		sv := p2p.NewServent(n, s, rt, par, p2p.Regular, p2p.Options{
+			Collector: col, RNG: s.NewRand(), NoQueries: true, NoEstablish: true,
+		})
+		rt.OnUnicast(sv.HandleUnicast)
+		rt.OnBroadcast(sv.HandleBroadcast)
+		svs[n] = sv
+		sv.Join()
+	}
+	p2p.BenchLink(svs[0], svs[1])
+	for i := 0; i < 64; i++ { // warm the event pool, dup caches, map buckets
+		svs[0].BenchSend(1)
+		s.Run(s.Now() + 10*sim.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svs[0].BenchSend(1)
+		s.Run(s.Now() + 10*sim.Millisecond)
+	}
+	if got := col.Received(1, telemetry.Pong); got == 0 {
+		b.Fatal("no messages delivered")
+	}
+}
+
+// benchQueryFlood measures one Gnutella-style query flooded down an
+// 8-servent overlay chain: per-hop duplicate suppression, the
+// forwarding fan-out, the query hit unicast back from the far-end
+// holder, and the requester's answer accounting.
+func benchQueryFlood(b *testing.B) {
+	const nodes = 8
+	s := sim.New(12)
+	med, err := radio.NewMedium(s, radio.Config{
+		Arena: geom.Rect{W: 200, H: 50}, Range: 10, NumNodes: nodes,
+		Latency: 2 * sim.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := p2p.DefaultParams()
+	par.PingInterval = 1 << 55
+	par.QueryTTL = nodes // let the flood span the whole chain
+	col := telemetry.NewCollector(nodes)
+	svs := make([]*p2p.Servent, nodes)
+	for n := 0; n < nodes; n++ {
+		rt := flood.NewRouter(n, s, med, flood.Config{})
+		med.Join(n, geom.Point{X: 5 + 8*float64(n), Y: 25}, rt.HandleFrame)
+		sv := p2p.NewServent(n, s, rt, par, p2p.Regular, p2p.Options{
+			Files:     []bool{n == nodes-1}, // only the far end holds file 0
+			Collector: col, RNG: s.NewRand(), NoQueries: true, NoEstablish: true,
+		})
+		rt.OnUnicast(sv.HandleUnicast)
+		rt.OnBroadcast(sv.HandleBroadcast)
+		svs[n] = sv
+		sv.Join()
+	}
+	for n := 0; n < nodes-1; n++ {
+		p2p.BenchLink(svs[n], svs[n+1])
+	}
+	run := func() {
+		svs[0].BenchQuery(0)
+		s.Run(s.Now() + 200*sim.Millisecond)
+		if svs[0].BenchAnswers() != 1 {
+			b.Fatalf("query collected %d answers, want 1", svs[0].BenchAnswers())
+		}
+		for _, sv := range svs {
+			sv.BenchResetQuery()
+		}
+	}
+	for i := 0; i < 8; i++ { // warm pools and caches before timing
+		run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }
 

@@ -264,7 +264,8 @@ func TestCheckpointResumeFreshProcess(t *testing.T) {
 }
 
 // TestCheckpointGoldenFixtures is the acceptance bar: every committed
-// golden fixture — 4 algorithm, 16 routing-matrix, 1 workload — is
+// golden fixture — 4 algorithm, 16 routing-matrix, 1 workload, 1
+// download — is
 // checkpointed at its midpoint, resumed in a fresh process, and the
 // resumed report must be byte-identical to the fixture on disk.
 // Expensive; gated behind -ckpt-golden and run by ./check.sh checkpoint.
@@ -301,6 +302,11 @@ func TestCheckpointGoldenFixtures(t *testing.T) {
 		name: "workload",
 		sc:   goldenWorkloadScenario(),
 		path: filepath.Join("testdata", "golden", "workload.json"),
+	})
+	fixtures = append(fixtures, fixture{
+		name: "download",
+		sc:   goldenDownloadScenario(),
+		path: filepath.Join("testdata", "golden", "download.json"),
 	})
 
 	pool := NewPool(0)

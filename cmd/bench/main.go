@@ -9,6 +9,11 @@
 //	bench -benchtime 3s -run FullReplication
 //	bench -baseline BENCH_7.json   # gate against the committed baseline
 //
+// Each benchmark runs -rounds times (default 3) and the fastest round
+// is reported: the minimum is the round least disturbed by scheduler
+// preemption or VM CPU steal, which keeps the ns/op gate meaningful on
+// noisy CI hardware.
+//
 // With -baseline, the run is compared against the committed baseline
 // after writing the report: any allocs/op increase on a benchmark the
 // baseline holds at 0 allocs/op fails, and a >20% ns/op regression
@@ -58,6 +63,7 @@ func main() {
 	var (
 		out       = flag.String("o", "BENCH.json", "output path for the JSON report ('-' = stdout)")
 		benchtime = flag.String("benchtime", "1s", "per-benchmark time budget (forwarded to the testing package)")
+		rounds    = flag.Int("rounds", 3, "runs per benchmark; the fastest is reported (min-of-N rejects scheduler/VM noise)")
 		run       = flag.String("run", "", "only run benchmarks whose name contains this substring")
 		baseline  = flag.String("baseline", "", "baseline JSON to gate against: fail on >20% ns/op regression (comparable hardware only) or any allocs/op increase on 0-alloc benchmarks")
 	)
@@ -80,7 +86,19 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", spec.Name)
-		r := testing.Benchmark(spec.Fn)
+		// Min-of-N: the minimum is the run least disturbed by scheduler
+		// preemption and (on virtualized CI boxes) CPU steal, so it is a
+		// far more stable statistic than any single run — one quiet round
+		// suffices for a faithful number. allocs/op is deterministic
+		// across rounds; ns/op is what the extra rounds stabilize.
+		var best testing.BenchmarkResult
+		for i := 0; i < *rounds; i++ {
+			r := testing.Benchmark(spec.Fn)
+			if i == 0 || float64(r.T.Nanoseconds())/float64(r.N) < float64(best.T.Nanoseconds())/float64(best.N) {
+				best = r
+			}
+		}
+		r := best
 		res := benchResult{
 			Name:        spec.Name,
 			Iterations:  r.N,

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"testing"
 
+	"manetp2p/internal/p2p"
 	"manetp2p/internal/sim"
 )
 
@@ -181,6 +182,30 @@ func TestGoldenWorkload(t *testing.T) {
 		t.Fatal("workload scenario produced no workload telemetry")
 	}
 	path := filepath.Join("testdata", "golden", "workload.json")
+	checkGolden(t, path, goldenMarshal(t, res))
+}
+
+// goldenDownloadScenario turns on the transfer extension so the fetch
+// and chunk messages — the only wire kinds the other fixtures never
+// exercise — flow through the value-typed message plane under a fixed
+// seed.
+func goldenDownloadScenario() Scenario {
+	sc := goldenScenario(Regular)
+	sc.Params.Download = p2p.DownloadConfig{Enabled: true}
+	return sc
+}
+
+// TestGoldenDownload pins a fixed-seed run with downloads enabled: found
+// files are fetched chunk-by-chunk and replicated, so the fixture covers
+// the transfer path end to end (request, chunks, replication counts in
+// the totals) byte-for-byte.
+func TestGoldenDownload(t *testing.T) {
+	t.Parallel()
+	res, err := Run(goldenDownloadScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "download.json")
 	checkGolden(t, path, goldenMarshal(t, res))
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"manetp2p/internal/geom"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
 )
@@ -36,7 +37,7 @@ func lossyNet(t *testing.T, seed int64, n int, loss float64) *testNet {
 		r := NewRouter(i, s, med, Config{})
 		r.OnUnicast(func(d Delivery) { net.unicast[i] = append(net.unicast[i], d) })
 		r.OnBroadcast(func(d Delivery) { net.bcasts[i] = append(net.bcasts[i], d) })
-		r.OnSendFailed(func(dst int, _ any) { net.failed[i] = append(net.failed[i], dst) })
+		r.OnSendFailed(func(dst int, _ netif.Msg) { net.failed[i] = append(net.failed[i], dst) })
 		med.Join(i, geom.Point{X: 5 + 8*float64(i), Y: 50}, r.HandleFrame)
 		net.routers[i] = r
 	}
@@ -53,7 +54,7 @@ func TestDiscoveryTolerates10PercentLoss(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		i := i
 		n.s.At(sim.Time(i)*10*sim.Second, func() {
-			n.routers[0].Send(4, 32, i)
+			n.routers[0].Send(4, 32, netif.TestMsg(uint32(i)))
 		})
 	}
 	n.s.Run(5 * sim.Minute)
@@ -65,7 +66,7 @@ func TestDiscoveryTolerates10PercentLoss(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		i := i
 		ctl.s.At(sim.Time(i)*10*sim.Second, func() {
-			ctl.routers[0].Send(4, 32, i)
+			ctl.routers[0].Send(4, 32, netif.TestMsg(uint32(i)))
 		})
 	}
 	ctl.s.Run(5 * sim.Minute)
@@ -104,7 +105,7 @@ func TestFloodRedundancyBeatsLossForBroadcast(t *testing.T) {
 		for i := range reached {
 			reached[i] = false
 		}
-		routers[0].Broadcast(4, 16, round)
+		routers[0].Broadcast(4, 16, netif.TestMsg(uint32(round)))
 		s.Run(s.Now() + sim.Second)
 		for i := 1; i < nodes; i++ {
 			if reached[i] {
@@ -133,7 +134,7 @@ func TestMobilityChurnDoesNotPanicRouting(t *testing.T) {
 	})
 	sim.NewTicker(n.s, 3*sim.Second, func() {
 		src, dst := rng.Intn(12), rng.Intn(12)
-		n.routers[src].Send(dst, 24, "stress")
+		n.routers[src].Send(dst, 24, netif.TestMsg(9))
 	})
 	// Also cycle a node off and on.
 	sim.NewTicker(n.s, 45*sim.Second, func() {

@@ -15,8 +15,6 @@
 //     routes, rather than via per-route precursor lists.
 package aodv
 
-import "fmt"
-
 // Nominal on-air packet sizes in bytes, used for traffic and energy
 // accounting. Values follow the field layouts of the AODV draft.
 const (
@@ -28,54 +26,24 @@ const (
 	sizeBcastHdr   = 16
 )
 
-// rreq is a route request, flooded with an expanding-ring TTL.
-type rreq struct {
-	Origin    int
-	OriginSeq uint32
-	ID        uint32 // per-origin broadcast id for duplicate suppression
-	Dst       int
-	DstSeq    uint32 // last known sequence number for Dst (0 = unknown)
-	HopCount  int    // hops traveled so far
-	TTL       int    // remaining hops the request may still travel
-}
+// Frames travel as netif.Packet values (no per-hop boxing). AODV uses:
+//
+//   - PktRREQ: Origin, OriginSeq, ID (per-origin broadcast id for
+//     duplicate suppression), Dst, DstSeq (last known sequence number
+//     for Dst, 0 = unknown), HopCount, TTL (remaining expanding-ring
+//     hops).
+//   - PktRREP: Origin (the requester the reply travels to), Dst (the
+//     destination the route leads to), DstSeq, HopCount (hops from the
+//     replying node to Dst).
+//   - PktRERR: Unreachable — the destinations lost by a broken link,
+//     each with the sender's last known sequence number.
+//   - PktData: Origin, Dst, HopCount, TTL (remaining hop budget;
+//     guards against transient loops), Size, Msg.
+//   - PktBcast: the shared route.Bcaster carrier; like an RREQ it
+//     carries the origin's sequence number, so forwarding it installs a
+//     reverse route to the origin — responders can answer by unicast
+//     without a fresh route discovery, exactly the pattern the paper's
+//     connect messages rely on (see Router's Accept hook).
 
-// rrep is a route reply, unicast hop-by-hop along the reverse route.
-type rrep struct {
-	Origin   int // the requester the reply travels to
-	Dst      int // the destination the route leads to
-	DstSeq   uint32
-	HopCount int // hops from the replying node to Dst
-}
-
-// unreachable names one destination lost by a broken link.
-type unreachable struct {
-	Dst int
-	Seq uint32
-}
-
-// rerr announces broken routes to upstream users of the link.
-type rerr struct {
-	Unreachable []unreachable
-}
-
-func (e rerr) size() int { return sizeRERRBase + sizeRERRPerDst*len(e.Unreachable) }
-
-// data is an application packet routed hop-by-hop.
-type data struct {
-	Origin   int
-	Dst      int
-	HopCount int // hops traveled so far
-	TTL      int // remaining hop budget; guards against (transient) loops
-	Size     int // application payload size in bytes
-	Payload  any
-}
-
-// The controlled-broadcast packet is the shared route.Bcast carrier;
-// like an RREQ it carries the origin's sequence number, so forwarding it
-// installs a reverse route to the origin — responders can answer by
-// unicast without a fresh route discovery, exactly the pattern the
-// paper's connect messages rely on (see Router's Accept hook).
-
-func (p data) String() string {
-	return fmt.Sprintf("data{%d->%d hops=%d ttl=%d}", p.Origin, p.Dst, p.HopCount, p.TTL)
-}
+// rerrSize is the on-air size of an RERR naming n destinations.
+func rerrSize(n int) int { return sizeRERRBase + sizeRERRPerDst*n }

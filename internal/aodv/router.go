@@ -109,7 +109,7 @@ type Router struct {
 	rreqID   uint32
 	seenRREQ *route.DupCache
 	bcast    *route.Bcaster
-	pending  *route.Pending[data]
+	pending  *route.Pending[netif.Packet]
 
 	// Callback for the typed scheduling API, bound once at construction
 	// so the hot paths schedule without a per-call closure allocation.
@@ -130,7 +130,7 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 		table:    newRouteTable(),
 		seenRREQ: route.NewDupCache(core, cache),
 		bcast:    route.NewBcaster(core, med, sizeBcastHdr, 0, cache),
-		pending:  route.NewPending[data](cfg.BufferCap),
+		pending:  route.NewPending[netif.Packet](cfg.BufferCap),
 	}
 	r.bcast.Disable = cfg.DisableBcastDupCache
 	r.bcast.Accept = r.acceptBcast
@@ -150,7 +150,7 @@ func (r *Router) HopsTo(dst int) (int, bool) {
 
 // Broadcast floods payload to every node within ttl ad-hoc hops using the
 // controlled broadcast (duplicate-suppressed, TTL-limited).
-func (r *Router) Broadcast(ttl, size int, payload any) {
+func (r *Router) Broadcast(ttl, size int, payload netif.Msg) {
 	if ttl <= 0 {
 		panic("aodv: Broadcast with non-positive TTL")
 	}
@@ -164,7 +164,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 // acceptBcast is the per-hop side effect of the controlled broadcast:
 // like an RREQ, a broadcast teaches relays the way back to its origin,
 // so responders can reply by unicast immediately.
-func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
+func (r *Router) acceptBcast(prev int, b *netif.Packet) int {
 	now := r.sim.Now()
 	r.table.update(b.Origin, prev, b.HopCount, b.OriginSeq, true, now, r.cfg.ActiveRouteTimeout)
 	if prev != b.Origin {
@@ -176,7 +176,7 @@ func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
 // Send routes an application payload of the given size to dst,
 // discovering a route on demand. Sending to self delivers locally with
 // zero hops on the next event-loop turn.
-func (r *Router) Send(dst, size int, payload any) {
+func (r *Router) Send(dst, size int, payload netif.Msg) {
 	if dst == r.ID() {
 		r.SelfDeliver(payload)
 		return
@@ -185,7 +185,7 @@ func (r *Router) Send(dst, size int, payload any) {
 	if !r.med.Up(r.ID()) {
 		return
 	}
-	pkt := data{Origin: r.ID(), Dst: dst, HopCount: 0, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
+	pkt := netif.Packet{Kind: netif.PktData, Origin: r.ID(), Dst: dst, HopCount: 0, TTL: r.cfg.DataTTL, Size: size, Msg: payload}
 	if _, ok := r.table.get(dst, r.sim.Now()); ok {
 		r.forwardData(pkt)
 		return
@@ -196,7 +196,7 @@ func (r *Router) Send(dst, size int, payload any) {
 // enqueue buffers pkt awaiting a route and kicks discovery if necessary.
 // Transit packets (local repair) share the buffer with locally
 // originated ones.
-func (r *Router) enqueue(pkt data) {
+func (r *Router) enqueue(pkt netif.Packet) {
 	d, inProgress := r.pending.Get(pkt.Dst)
 	if !inProgress {
 		d = r.pending.Start(pkt.Dst)
@@ -212,21 +212,21 @@ func (r *Router) enqueue(pkt data) {
 	if !r.pending.Push(d, pkt) {
 		r.Count.DataDropped++
 		if pkt.Origin == r.ID() {
-			r.FailSend(pkt.Dst, pkt.Payload)
+			r.FailSend(pkt.Dst, pkt.Msg)
 		}
 	}
 }
 
 // sendRREQ emits one ring of the expanding-ring search and arms the
 // retry timer.
-func (r *Router) sendRREQ(dst int, d *route.Discovery[data]) {
+func (r *Router) sendRREQ(dst int, d *route.Discovery[netif.Packet]) {
 	r.rreqID++
 	r.seq++
 	var dstSeq uint32
 	if e, ok := r.table.raw(dst); ok && e.haveSeq {
 		dstSeq = e.seq
 	}
-	q := rreq{Origin: r.ID(), OriginSeq: r.seq, ID: r.rreqID, Dst: dst, DstSeq: dstSeq, HopCount: 0, TTL: d.TTL}
+	q := netif.Packet{Kind: netif.PktRREQ, Origin: r.ID(), OriginSeq: r.seq, ID: r.rreqID, Dst: dst, DstSeq: dstSeq, HopCount: 0, TTL: d.TTL}
 	r.seenRREQ.Mark(route.Key{Origin: r.ID(), ID: q.ID})
 	r.Count.CtrlOrig++
 	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: sizeRREQ, Payload: q})
@@ -237,11 +237,11 @@ func (r *Router) sendRREQ(dst int, d *route.Discovery[data]) {
 
 // discTimeout unpacks the typed-arg timer payload for discoveryTimeout.
 func (r *Router) discTimeout(a sim.Arg) {
-	r.discoveryTimeout(a.I0, a.X.(*route.Discovery[data]))
+	r.discoveryTimeout(a.I0, a.X.(*route.Discovery[netif.Packet]))
 }
 
 // discoveryTimeout escalates the ring or gives up.
-func (r *Router) discoveryTimeout(dst int, d *route.Discovery[data]) {
+func (r *Router) discoveryTimeout(dst int, d *route.Discovery[netif.Packet]) {
 	if !r.pending.Current(dst, d) { // completed or superseded
 		return
 	}
@@ -263,7 +263,7 @@ func (r *Router) discoveryTimeout(dst int, d *route.Discovery[data]) {
 		for _, pkt := range d.Queue {
 			r.Count.DataDropped++
 			if pkt.Origin == r.ID() {
-				r.FailSend(dst, pkt.Payload)
+				r.FailSend(dst, pkt.Msg)
 			} else if !announced {
 				// Failed local repair: tell upstream users of the route.
 				r.sendRERRFor(dst, r.sim.Now())
@@ -290,7 +290,7 @@ func (r *Router) completeDiscovery(dst int) {
 // broken route triggers re-discovery — also for transit packets (AODV's
 // local repair, RFC 3561 §6.12): the relay buffers the packet and
 // searches for the destination itself rather than dropping.
-func (r *Router) forwardData(pkt data) {
+func (r *Router) forwardData(pkt netif.Packet) {
 	now := r.sim.Now()
 	e, ok := r.table.get(pkt.Dst, now)
 	if !ok {
@@ -324,41 +324,41 @@ func (r *Router) linkBreak(via int, now sim.Time) {
 // sendRERRFor reports a single unroutable destination.
 func (r *Router) sendRERRFor(dst int, now sim.Time) {
 	seq, _ := r.table.invalidate(dst, now)
-	r.emitRERR([]unreachable{{Dst: dst, Seq: seq}}, false)
+	r.emitRERR([]netif.Unreachable{{Dst: dst, Seq: seq}}, false)
 }
 
-func (r *Router) emitRERR(lost []unreachable, relay bool) {
+func (r *Router) emitRERR(lost []netif.Unreachable, relay bool) {
 	if !r.med.Up(r.ID()) {
 		return
 	}
-	e := rerr{Unreachable: lost}
+	e := netif.Packet{Kind: netif.PktRERR, Unreachable: lost}
 	if relay {
 		r.Count.CtrlRelayed++
 	} else {
 		r.Count.CtrlOrig++
 	}
-	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: e.size(), Payload: e})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: rerrSize(len(lost)), Payload: e})
 }
 
-// HandleFrame is the radio receive callback; it dispatches on packet type.
+// HandleFrame is the radio receive callback; it dispatches on packet kind.
 func (r *Router) HandleFrame(f radio.Frame) {
-	switch pkt := f.Payload.(type) {
-	case rreq:
-		r.handleRREQ(f.Src, pkt)
-	case rrep:
-		r.handleRREP(f.Src, pkt)
-	case rerr:
-		r.handleRERR(f.Src, pkt)
-	case data:
-		r.handleData(f.Src, pkt)
-	case route.Bcast:
-		r.bcast.Handle(f.Src, pkt)
+	switch f.Payload.Kind {
+	case netif.PktRREQ:
+		r.handleRREQ(f.Src, f.Payload)
+	case netif.PktRREP:
+		r.handleRREP(f.Src, f.Payload)
+	case netif.PktRERR:
+		r.handleRERR(f.Src, f.Payload)
+	case netif.PktData:
+		r.handleData(f.Src, f.Payload)
+	case netif.PktBcast:
+		r.bcast.Handle(f.Src, f.Payload)
 	default:
-		panic(fmt.Sprintf("aodv: unknown payload type %T", f.Payload))
+		panic(fmt.Sprintf("aodv: unknown packet kind %d", f.Payload.Kind))
 	}
 }
 
-func (r *Router) handleRREQ(prev int, q rreq) {
+func (r *Router) handleRREQ(prev int, q netif.Packet) {
 	if q.Origin == r.ID() {
 		return
 	}
@@ -382,12 +382,12 @@ func (r *Router) handleRREQ(prev int, q rreq) {
 			r.seq = q.DstSeq
 		}
 		r.seq++
-		r.sendRREP(rrep{Origin: q.Origin, Dst: r.ID(), DstSeq: r.seq, HopCount: 0}, now, false)
+		r.sendRREP(netif.Packet{Kind: netif.PktRREP, Origin: q.Origin, Dst: r.ID(), DstSeq: r.seq, HopCount: 0}, now, false)
 		return
 	}
 	if e, ok := r.table.get(q.Dst, now); ok && e.haveSeq && !seqGreater(q.DstSeq, e.seq) {
 		// Intermediate node with a route at least as fresh as requested.
-		r.sendRREP(rrep{Origin: q.Origin, Dst: q.Dst, DstSeq: e.seq, HopCount: e.hopCount}, now, false)
+		r.sendRREP(netif.Packet{Kind: netif.PktRREP, Origin: q.Origin, Dst: q.Dst, DstSeq: e.seq, HopCount: e.hopCount}, now, false)
 		return
 	}
 	if q.TTL > 1 {
@@ -398,7 +398,7 @@ func (r *Router) handleRREQ(prev int, q rreq) {
 }
 
 // sendRREP unicasts a reply one hop toward the requester.
-func (r *Router) sendRREP(p rrep, now sim.Time, relay bool) {
+func (r *Router) sendRREP(p netif.Packet, now sim.Time, relay bool) {
 	e, ok := r.table.get(p.Origin, now)
 	if !ok || !r.med.InRange(r.ID(), e.nextHop) {
 		return // reverse route already gone; the ring will retry
@@ -412,7 +412,7 @@ func (r *Router) sendRREP(p rrep, now sim.Time, relay bool) {
 	r.med.Send(radio.Frame{Src: r.ID(), Dst: e.nextHop, Size: sizeRREP, Payload: p})
 }
 
-func (r *Router) handleRREP(prev int, p rrep) {
+func (r *Router) handleRREP(prev int, p netif.Packet) {
 	now := r.sim.Now()
 	p.HopCount++
 	// Learn the forward route to the replied-for destination.
@@ -425,14 +425,14 @@ func (r *Router) handleRREP(prev int, p rrep) {
 	r.sendRREP(p, now, true)
 }
 
-func (r *Router) handleRERR(prev int, e rerr) {
+func (r *Router) handleRERR(prev int, e netif.Packet) {
 	now := r.sim.Now()
-	var propagate []unreachable
+	var propagate []netif.Unreachable
 	for _, u := range e.Unreachable {
 		if ent, ok := r.table.get(u.Dst, now); ok && ent.nextHop == prev {
 			seq, was := r.table.invalidate(u.Dst, now)
 			if was {
-				propagate = append(propagate, unreachable{Dst: u.Dst, Seq: seq})
+				propagate = append(propagate, netif.Unreachable{Dst: u.Dst, Seq: seq})
 			}
 		}
 	}
@@ -441,14 +441,14 @@ func (r *Router) handleRERR(prev int, e rerr) {
 	}
 }
 
-func (r *Router) handleData(prev int, pkt data) {
+func (r *Router) handleData(prev int, pkt netif.Packet) {
 	now := r.sim.Now()
 	pkt.HopCount++
 	// Path accumulation: we now know a route back to the packet origin.
 	r.table.update(pkt.Origin, prev, pkt.HopCount, 0, false, now, r.cfg.ActiveRouteTimeout)
 	r.table.update(prev, prev, 1, 0, false, now, r.cfg.ActiveRouteTimeout)
 	if pkt.Dst == r.ID() {
-		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Payload)
+		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Msg)
 		return
 	}
 	if pkt.TTL <= 1 {

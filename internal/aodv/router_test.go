@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"manetp2p/internal/geom"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
 	"manetp2p/internal/sim"
 )
@@ -47,7 +48,7 @@ func newTestNet(t *testing.T, seed int64, pts []geom.Point, cfg Config) *testNet
 		r := NewRouter(i, s, med, cfg)
 		r.OnUnicast(func(d Delivery) { n.unicast[i] = append(n.unicast[i], d) })
 		r.OnBroadcast(func(d Delivery) { n.bcasts[i] = append(n.bcasts[i], d) })
-		r.OnSendFailed(func(dst int, _ any) { n.failed[i] = append(n.failed[i], dst) })
+		r.OnSendFailed(func(dst int, _ netif.Msg) { n.failed[i] = append(n.failed[i], dst) })
 		med.Join(i, p, r.HandleFrame)
 		n.routers[i] = r
 	}
@@ -66,18 +67,18 @@ func line(n int) []geom.Point {
 
 func TestUnicastOverMultipleHops(t *testing.T) {
 	n := newTestNet(t, 1, line(5), Config{})
-	n.routers[0].Send(4, 100, "payload")
+	n.routers[0].Send(4, 100, netif.TestMsg(11))
 	n.s.Run(10 * sim.Second)
 	got := n.unicast[4]
 	if len(got) != 1 {
 		t.Fatalf("node 4 deliveries = %v, want 1", got)
 	}
-	if got[0].From != 0 || got[0].Hops != 4 || got[0].Payload != "payload" {
+	if got[0].From != 0 || got[0].Hops != 4 || got[0].Payload != netif.TestMsg(11) {
 		t.Errorf("delivery = %+v, want from 0, 4 hops", got[0])
 	}
 	// Subsequent sends reuse the route: no new discovery.
 	before := n.routers[0].Stats().Discoveries
-	n.routers[0].Send(4, 100, "again")
+	n.routers[0].Send(4, 100, netif.TestMsg(12))
 	n.s.Run(20 * sim.Second)
 	if len(n.unicast[4]) != 2 {
 		t.Fatal("second packet not delivered")
@@ -89,7 +90,7 @@ func TestUnicastOverMultipleHops(t *testing.T) {
 
 func TestSendToSelf(t *testing.T) {
 	n := newTestNet(t, 1, line(2), Config{})
-	n.routers[0].Send(0, 10, "me")
+	n.routers[0].Send(0, 10, netif.TestMsg(1))
 	n.s.Run(sim.Second)
 	if len(n.unicast[0]) != 1 || n.unicast[0][0].Hops != 0 {
 		t.Fatalf("self delivery = %v, want one with 0 hops", n.unicast[0])
@@ -101,7 +102,7 @@ func TestHopsToAfterDiscovery(t *testing.T) {
 	if _, ok := n.routers[0].HopsTo(3); ok {
 		t.Fatal("HopsTo valid before any discovery")
 	}
-	n.routers[0].Send(3, 10, "x")
+	n.routers[0].Send(3, 10, netif.TestMsg(2))
 	n.s.Run(10 * sim.Second)
 	h, ok := n.routers[0].HopsTo(3)
 	if !ok || h != 3 {
@@ -117,7 +118,7 @@ func TestHopsToAfterDiscovery(t *testing.T) {
 func TestExpandingRingEscalates(t *testing.T) {
 	cfg := Config{TTLStart: 2, TTLIncrement: 2, TTLMax: 10}
 	n := newTestNet(t, 1, line(8), cfg) // 7 hops away: needs 3 rings
-	n.routers[0].Send(7, 10, "far")
+	n.routers[0].Send(7, 10, netif.TestMsg(3))
 	n.s.Run(30 * sim.Second)
 	if len(n.unicast[7]) != 1 {
 		t.Fatalf("far node deliveries = %v, want 1", n.unicast[7])
@@ -131,7 +132,7 @@ func TestDiscoveryFailureNotifies(t *testing.T) {
 	// Node 2 is unreachable (far corner).
 	pts := append(line(2), geom.Point{X: 190, Y: 190})
 	n := newTestNet(t, 1, pts, Config{TTLStart: 2, TTLIncrement: 4, TTLMax: 8, MaxDiscoveryRetries: 1})
-	n.routers[0].Send(2, 10, "void")
+	n.routers[0].Send(2, 10, netif.TestMsg(4))
 	n.s.Run(2 * sim.Minute)
 	if len(n.failed[0]) != 1 || n.failed[0][0] != 2 {
 		t.Fatalf("failed = %v, want [2]", n.failed[0])
@@ -146,7 +147,7 @@ func TestDiscoveryFailureNotifies(t *testing.T) {
 
 func TestBroadcastTTLLimitsReach(t *testing.T) {
 	n := newTestNet(t, 1, line(6), Config{})
-	n.routers[0].Broadcast(2, 50, "hello")
+	n.routers[0].Broadcast(2, 50, netif.TestMsg(5))
 	n.s.Run(sim.Second)
 	wantHops := []int{0, 1, 2, 0, 0, 0} // 0 means not reached (origin gets nothing)
 	for i := 1; i < 6; i++ {
@@ -180,7 +181,7 @@ func clique(n int) []geom.Point {
 
 func TestBroadcastDedupInClique(t *testing.T) {
 	n := newTestNet(t, 1, clique(8), Config{})
-	n.routers[0].Broadcast(6, 50, "flood")
+	n.routers[0].Broadcast(6, 50, netif.TestMsg(6))
 	n.s.Run(sim.Second)
 	for i := 1; i < 8; i++ {
 		if len(n.bcasts[i]) != 1 {
@@ -199,11 +200,11 @@ func TestBroadcastDedupInClique(t *testing.T) {
 
 func TestBroadcastInstallsReverseRoute(t *testing.T) {
 	n := newTestNet(t, 1, line(4), Config{})
-	n.routers[0].Broadcast(6, 50, "discover")
+	n.routers[0].Broadcast(6, 50, netif.TestMsg(7))
 	n.s.Run(sim.Second)
 	// Node 3 heard the flood 3 hops out; it can unicast back without any
 	// route discovery of its own.
-	n.routers[3].Send(0, 20, "reply")
+	n.routers[3].Send(0, 20, netif.TestMsg(8))
 	n.s.Run(2 * sim.Second)
 	if len(n.unicast[0]) != 1 || n.unicast[0][0].From != 3 {
 		t.Fatalf("reply not delivered: %v", n.unicast[0])
@@ -222,7 +223,7 @@ func TestLinkBreakRecoversViaAlternatePath(t *testing.T) {
 		{X: 66, Y: 50},
 	}
 	n := newTestNet(t, 1, pts, Config{})
-	n.routers[0].Send(3, 10, "first")
+	n.routers[0].Send(3, 10, netif.TestMsg(13))
 	n.s.Run(5 * sim.Second)
 	if len(n.unicast[3]) != 1 {
 		t.Fatal("initial packet not delivered")
@@ -233,12 +234,12 @@ func TestLinkBreakRecoversViaAlternatePath(t *testing.T) {
 		relay = 2
 	}
 	n.med.SetPos(relay, geom.Point{X: 150, Y: 150})
-	n.routers[0].Send(3, 10, "second")
+	n.routers[0].Send(3, 10, netif.TestMsg(14))
 	n.s.Run(60 * sim.Second)
 	if len(n.unicast[3]) != 2 {
 		t.Fatalf("deliveries = %d, want 2 (recovery via alternate relay)", len(n.unicast[3]))
 	}
-	if n.unicast[3][1].Payload != "second" {
+	if n.unicast[3][1].Payload != netif.TestMsg(14) {
 		t.Errorf("second delivery = %+v", n.unicast[3][1])
 	}
 }
@@ -248,10 +249,10 @@ func TestRERRPropagates(t *testing.T) {
 	// vanishes; next packet from 0 must trigger RERRs that invalidate the
 	// stale route at node 1 as well.
 	n := newTestNet(t, 1, line(4), Config{})
-	n.routers[0].Send(3, 10, "warm")
+	n.routers[0].Send(3, 10, netif.TestMsg(15))
 	n.s.Run(5 * sim.Second)
 	n.med.Leave(3)
-	n.routers[0].Send(3, 10, "lost")
+	n.routers[0].Send(3, 10, netif.TestMsg(16))
 	n.s.Run(10 * sim.Second)
 	var rerrs uint64
 	for _, r := range n.routers[:3] {
@@ -268,12 +269,12 @@ func TestRERRPropagates(t *testing.T) {
 func TestIntermediateNodeReplies(t *testing.T) {
 	n := newTestNet(t, 1, line(5), Config{})
 	// Establish 4's route knowledge at relay nodes via 0->4 traffic.
-	n.routers[0].Send(4, 10, "warm")
+	n.routers[0].Send(4, 10, netif.TestMsg(17))
 	n.s.Run(5 * sim.Second)
 	// New requester 1 discovers 4: node 1..3 have fresh routes, so an
 	// intermediate RREP should answer without the RREQ reaching 4 — but
 	// either way the data must arrive.
-	n.routers[1].Send(4, 10, "q")
+	n.routers[1].Send(4, 10, netif.TestMsg(18))
 	n.s.Run(10 * sim.Second)
 	if len(n.unicast[4]) != 2 {
 		t.Fatalf("deliveries at 4 = %d, want 2", len(n.unicast[4]))
@@ -283,7 +284,7 @@ func TestIntermediateNodeReplies(t *testing.T) {
 func TestDataTTLExhaustionDrops(t *testing.T) {
 	cfg := Config{DataTTL: 2} // 2 hops max; target is 3 hops away
 	n := newTestNet(t, 1, line(4), cfg)
-	n.routers[0].Send(3, 10, "short-leash")
+	n.routers[0].Send(3, 10, netif.TestMsg(19))
 	n.s.Run(20 * sim.Second)
 	if len(n.unicast[3]) != 0 {
 		t.Fatal("packet delivered despite TTL < path length")
@@ -293,8 +294,8 @@ func TestDataTTLExhaustionDrops(t *testing.T) {
 func TestBroadcastFromDownNodeIsNoop(t *testing.T) {
 	n := newTestNet(t, 1, line(3), Config{})
 	n.med.Leave(0)
-	n.routers[0].Broadcast(3, 10, "ghost")
-	n.routers[0].Send(2, 10, "ghost")
+	n.routers[0].Broadcast(3, 10, netif.TestMsg(20))
+	n.routers[0].Send(2, 10, netif.TestMsg(21))
 	n.s.Run(5 * sim.Second)
 	if len(n.bcasts[1])+len(n.unicast[2]) != 0 {
 		t.Fatal("down node transmitted")
@@ -306,7 +307,7 @@ func TestBufferOverflowFailsSend(t *testing.T) {
 	cfg := Config{BufferCap: 2, TTLStart: 2, TTLIncrement: 2, TTLMax: 4, MaxDiscoveryRetries: 1}
 	n := newTestNet(t, 1, pts, cfg)
 	for i := 0; i < 5; i++ {
-		n.routers[0].Send(2, 10, i)
+		n.routers[0].Send(2, 10, netif.TestMsg(uint32(i)))
 	}
 	// 3 of 5 must fail immediately on buffer overflow; the other 2 fail
 	// when discovery gives up.
@@ -333,7 +334,7 @@ func TestDisabledDupCacheCausesStorm(t *testing.T) {
 			routers[i] = NewRouter(i, s, med, Config{DisableBcastDupCache: disable})
 			med.Join(i, geom.Point{X: 50 + float64(i%3), Y: 50 + float64(i/3)}, routers[i].HandleFrame)
 		}
-		routers[0].Broadcast(4, 16, "storm?")
+		routers[0].Broadcast(4, 16, netif.TestMsg(23))
 		s.Run(10 * sim.Second)
 		var rx uint64
 		for i := 0; i < 8; i++ {
@@ -372,7 +373,7 @@ func TestQuickUnicastOnRandomTopology(t *testing.T) {
 			return true
 		}
 		n := newTestNet(t, seed, pts, Config{})
-		n.routers[0].Send(target, 10, "ping")
+		n.routers[0].Send(target, 10, netif.TestMsg(22))
 		n.s.Run(time30s())
 		if len(n.unicast[target]) != 1 {
 			return false
@@ -435,7 +436,7 @@ func TestQuickBroadcastReach(t *testing.T) {
 		}
 		dist := bfs(adjacency(pts, 10), 0)
 		n := newTestNet(t, seed, pts, Config{})
-		n.routers[0].Broadcast(ttl, 10, "x")
+		n.routers[0].Broadcast(ttl, 10, netif.TestMsg(24))
 		n.s.Run(time30s())
 		for i := 1; i < nodes; i++ {
 			reached := len(n.bcasts[i]) > 0

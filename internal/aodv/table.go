@@ -1,8 +1,10 @@
 package aodv
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
+	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
 )
 
@@ -111,15 +113,17 @@ func (t *routeTable) invalidate(dst int, now sim.Time) (uint32, bool) {
 // invalidateVia tears down all valid routes whose next hop is via and
 // returns the affected destinations (in id order, so identical runs emit
 // identical RERRs) with their bumped sequence numbers.
-func (t *routeTable) invalidateVia(via int, now sim.Time) []unreachable {
-	var out []unreachable
+func (t *routeTable) invalidateVia(via int, now sim.Time) []netif.Unreachable {
+	var out []netif.Unreachable
 	for dst, e := range t.entries {
 		if e.valid && e.validUntil >= now && e.nextHop == via {
 			seq, _ := t.invalidate(dst, now)
-			out = append(out, unreachable{Dst: dst, Seq: seq})
+			out = append(out, netif.Unreachable{Dst: dst, Seq: seq})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	// slices.SortFunc, not sort.Slice: the latter's reflection-based
+	// swapper allocates per call, and teardown runs on every link break.
+	slices.SortFunc(out, func(a, b netif.Unreachable) int { return cmp.Compare(a.Dst, b.Dst) })
 	return out
 }
 

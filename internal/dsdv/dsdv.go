@@ -26,30 +26,15 @@ const (
 	infinityMetric = 1 << 16
 )
 
-// advEntry is one advertised route.
-type advEntry struct {
-	Dst    int
-	Metric int
-	Seq    uint32
-}
+// Frames travel as netif.Packet values (no per-hop boxing). DSDV uses:
+//
+//   - PktUpdate: Origin (the advertising neighbor), Entries (the
+//     advertised routes).
+//   - PktData: Origin, Dst, HopCount, TTL, Size, Msg.
+//   - PktBcast: the shared route.Bcaster carrier.
 
-// update is a (single-hop) table advertisement.
-type update struct {
-	From    int
-	Entries []advEntry
-}
-
-func (u update) size() int { return sizeUpdateBase + sizePerEntry*len(u.Entries) }
-
-// data is an application packet routed hop-by-hop.
-type data struct {
-	Origin   int
-	Dst      int
-	HopCount int
-	TTL      int
-	Size     int
-	Payload  any
-}
+// updateSize is the on-air size of an advertisement with n entries.
+func updateSize(n int) int { return sizeUpdateBase + sizePerEntry*n }
 
 // tableRow is one routing-table entry.
 type tableRow struct {
@@ -112,7 +97,7 @@ func (c Config) withDefaults() Config {
 
 // waiting is a packet parked until a route settles.
 type waiting struct {
-	pkt     data
+	pkt     netif.Packet
 	expires sim.Time
 }
 
@@ -130,6 +115,10 @@ type Router struct {
 	bcast  *route.Bcaster
 	parked *route.Pending[waiting]
 	ticker *sim.Ticker
+
+	// advScratch is the reused destination-sort buffer for advertise;
+	// purely local to one call.
+	advScratch []int
 
 	// Callback for the typed scheduling API, bound once at construction
 	// so the hot paths schedule without a per-call closure allocation.
@@ -188,19 +177,24 @@ func (r *Router) advertise() {
 	}
 	r.expireStale()
 	r.seq += 2
-	entries := []advEntry{{Dst: r.ID(), Metric: 0, Seq: r.seq}}
-	dsts := make([]int, 0, len(r.table))
+	// The entries slice must be freshly allocated each advertisement: it
+	// rides inside the Packet shared by every queued delivery of this
+	// frame, while the next advertisement is built before those arrive.
+	entries := make([]netif.AdvEntry, 0, 1+len(r.table))
+	entries = append(entries, netif.AdvEntry{Dst: r.ID(), Metric: 0, Seq: r.seq})
+	dsts := r.advScratch[:0]
 	for dst := range r.table {
 		dsts = append(dsts, dst)
 	}
 	sort.Ints(dsts)
+	r.advScratch = dsts
 	for _, dst := range dsts {
 		rt := r.table[dst]
-		entries = append(entries, advEntry{Dst: dst, Metric: rt.metric, Seq: rt.seq})
+		entries = append(entries, netif.AdvEntry{Dst: dst, Metric: rt.metric, Seq: rt.seq})
 	}
-	u := update{From: r.ID(), Entries: entries}
+	u := netif.Packet{Kind: netif.PktUpdate, Origin: r.ID(), Entries: entries}
 	r.Count.CtrlOrig++
-	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: u.size(), Payload: u})
+	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: updateSize(len(entries)), Payload: u})
 }
 
 // expireStale marks routes unheard within the timeout as broken (odd
@@ -217,7 +211,7 @@ func (r *Router) expireStale() {
 }
 
 // handleUpdate merges a neighbor's advertisement.
-func (r *Router) handleUpdate(u update) {
+func (r *Router) handleUpdate(u netif.Packet) {
 	now := r.sim.Now()
 	for _, e := range u.Entries {
 		if e.Dst == r.ID() {
@@ -230,17 +224,17 @@ func (r *Router) handleUpdate(u update) {
 		rt, ok := r.table[e.Dst]
 		if !ok {
 			if metric < infinityMetric {
-				r.table[e.Dst] = &tableRow{nextHop: u.From, metric: metric, seq: e.Seq, heard: now}
+				r.table[e.Dst] = &tableRow{nextHop: u.Origin, metric: metric, seq: e.Seq, heard: now}
 				r.unpark(e.Dst)
 			}
 			continue
 		}
 		newer := seqGreater(e.Seq, rt.seq)
 		better := e.Seq == rt.seq && metric < rt.metric
-		sameRoute := rt.nextHop == u.From
+		sameRoute := rt.nextHop == u.Origin
 		switch {
 		case newer, better:
-			rt.nextHop = u.From
+			rt.nextHop = u.Origin
 			rt.metric = metric
 			rt.seq = e.Seq
 			rt.heard = now
@@ -257,7 +251,7 @@ func (r *Router) handleUpdate(u update) {
 func seqGreater(a, b uint32) bool { return int32(a-b) > 0 }
 
 // Broadcast floods payload within ttl hops (controlled broadcast).
-func (r *Router) Broadcast(ttl, size int, payload any) {
+func (r *Router) Broadcast(ttl, size int, payload netif.Msg) {
 	if ttl <= 0 {
 		panic("dsdv: Broadcast with non-positive TTL")
 	}
@@ -269,7 +263,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 
 // Send routes payload to dst; with no route it parks the packet for the
 // settling time (proactive protocols have no discovery to kick).
-func (r *Router) Send(dst, size int, payload any) {
+func (r *Router) Send(dst, size int, payload netif.Msg) {
 	if dst == r.ID() {
 		r.SelfDeliver(payload)
 		return
@@ -278,7 +272,7 @@ func (r *Router) Send(dst, size int, payload any) {
 	if !r.med.Up(r.ID()) {
 		return
 	}
-	pkt := data{Origin: r.ID(), Dst: dst, TTL: r.cfg.DataTTL, Size: size, Payload: payload}
+	pkt := netif.Packet{Kind: netif.PktData, Origin: r.ID(), Dst: dst, TTL: r.cfg.DataTTL, Size: size, Msg: payload}
 	if _, ok := r.valid(dst); ok {
 		r.forward(pkt)
 		return
@@ -287,7 +281,7 @@ func (r *Router) Send(dst, size int, payload any) {
 }
 
 // park holds a packet hoping an advertisement brings a route.
-func (r *Router) park(pkt data) {
+func (r *Router) park(pkt netif.Packet) {
 	d, ok := r.parked.Get(pkt.Dst)
 	if !ok {
 		d = r.parked.Start(pkt.Dst)
@@ -295,7 +289,7 @@ func (r *Router) park(pkt data) {
 	w := waiting{pkt: pkt, expires: r.sim.Now() + r.cfg.SettlingTime}
 	if !r.parked.Push(d, w) {
 		r.Count.DataDropped++
-		r.FailSend(pkt.Dst, pkt.Payload)
+		r.FailSend(pkt.Dst, pkt.Msg)
 		return
 	}
 	r.sim.ScheduleArg(r.cfg.SettlingTime+sim.Millisecond, r.expireParkedFn, sim.Arg{I0: pkt.Dst})
@@ -315,7 +309,7 @@ func (r *Router) expireParked(dst int) {
 	for _, w := range d.Queue {
 		if w.expires <= now {
 			r.Count.DataDropped++
-			r.FailSend(dst, w.pkt.Payload)
+			r.FailSend(dst, w.pkt.Msg)
 			continue
 		}
 		keep = append(keep, w)
@@ -340,7 +334,7 @@ func (r *Router) unpark(dst int) {
 }
 
 // forward moves a packet one hop along the table.
-func (r *Router) forward(pkt data) {
+func (r *Router) forward(pkt netif.Packet) {
 	rt, ok := r.valid(pkt.Dst)
 	if !ok {
 		if pkt.Origin == r.ID() {
@@ -367,24 +361,24 @@ func (r *Router) forward(pkt data) {
 	r.med.Send(radio.Frame{Src: r.ID(), Dst: rt.nextHop, Size: pkt.Size + sizeDataHdr, Payload: pkt})
 }
 
-// HandleFrame dispatches radio arrivals.
+// HandleFrame dispatches radio arrivals on packet kind.
 func (r *Router) HandleFrame(f radio.Frame) {
-	switch pkt := f.Payload.(type) {
-	case update:
-		r.handleUpdate(pkt)
-	case data:
-		r.handleData(pkt)
-	case route.Bcast:
-		r.bcast.Handle(f.Src, pkt)
+	switch f.Payload.Kind {
+	case netif.PktUpdate:
+		r.handleUpdate(f.Payload)
+	case netif.PktData:
+		r.handleData(f.Payload)
+	case netif.PktBcast:
+		r.bcast.Handle(f.Src, f.Payload)
 	default:
-		panic(fmt.Sprintf("dsdv: unknown payload type %T", f.Payload))
+		panic(fmt.Sprintf("dsdv: unknown packet kind %d", f.Payload.Kind))
 	}
 }
 
-func (r *Router) handleData(pkt data) {
+func (r *Router) handleData(pkt netif.Packet) {
 	pkt.HopCount++
 	if pkt.Dst == r.ID() {
-		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Payload)
+		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Msg)
 		return
 	}
 	if pkt.TTL <= 1 {

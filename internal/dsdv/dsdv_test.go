@@ -43,7 +43,7 @@ func newTestNet(t *testing.T, seed int64, pts []geom.Point, cfg Config) *testNet
 		r := NewRouter(i, s, med, cfg)
 		r.OnUnicast(func(d netif.Delivery) { n.unicast[i] = append(n.unicast[i], d) })
 		r.OnBroadcast(func(d netif.Delivery) { n.bcasts[i] = append(n.bcasts[i], d) })
-		r.OnSendFailed(func(dst int, _ any) { n.failed[i] = append(n.failed[i], dst) })
+		r.OnSendFailed(func(dst int, _ netif.Msg) { n.failed[i] = append(n.failed[i], dst) })
 		med.Join(i, p, r.HandleFrame)
 		n.routers[i] = r
 	}
@@ -87,7 +87,7 @@ func TestTablesConvergeOnChain(t *testing.T) {
 func TestDataDeliveredProactively(t *testing.T) {
 	n := newTestNet(t, 2, line(5), Config{})
 	settle(n, 5)
-	n.routers[0].Send(4, 100, "payload")
+	n.routers[0].Send(4, 100, netif.TestMsg(1))
 	n.s.Run(n.s.Now() + sim.Second)
 	got := n.unicast[4]
 	if len(got) != 1 || got[0].Hops != 4 || got[0].From != 0 {
@@ -99,7 +99,7 @@ func TestSendBeforeConvergenceParksThenDelivers(t *testing.T) {
 	// A send right at t=0 has no route yet; the settling buffer must
 	// hold it until advertisements arrive, then deliver.
 	n := newTestNet(t, 3, line(3), Config{SettlingTime: 40 * sim.Second})
-	n.routers[0].Send(2, 10, "early")
+	n.routers[0].Send(2, 10, netif.TestMsg(2))
 	n.s.Run(n.s.Now() + 50*sim.Second)
 	if len(n.unicast[2]) != 1 {
 		t.Fatalf("deliveries = %d, want 1 (parked packet must flush)", len(n.unicast[2]))
@@ -109,7 +109,7 @@ func TestSendBeforeConvergenceParksThenDelivers(t *testing.T) {
 func TestUnreachableFailsAfterSettling(t *testing.T) {
 	pts := append(line(2), geom.Point{X: 190, Y: 190})
 	n := newTestNet(t, 4, pts, Config{SettlingTime: 10 * sim.Second})
-	n.routers[0].Send(2, 10, "void")
+	n.routers[0].Send(2, 10, netif.TestMsg(3))
 	n.s.Run(n.s.Now() + sim.Minute)
 	if len(n.failed[0]) != 1 || n.failed[0][0] != 2 {
 		t.Fatalf("failed = %v, want [2]", n.failed[0])
@@ -127,7 +127,7 @@ func TestBrokenRouteHealsViaNewAdvertisements(t *testing.T) {
 	}
 	n := newTestNet(t, 5, pts, Config{})
 	settle(n, 3)
-	n.routers[0].Send(3, 10, "first")
+	n.routers[0].Send(3, 10, netif.TestMsg(4))
 	n.s.Run(n.s.Now() + sim.Second)
 	if len(n.unicast[3]) != 1 {
 		t.Fatal("initial delivery failed")
@@ -139,7 +139,7 @@ func TestBrokenRouteHealsViaNewAdvertisements(t *testing.T) {
 	n.med.Leave(relay)
 	// Wait out the route timeout plus a couple of update periods.
 	n.s.Run(n.s.Now() + DefaultConfig().RouteTimeout + 4*DefaultConfig().UpdatePeriod)
-	n.routers[0].Send(3, 10, "second")
+	n.routers[0].Send(3, 10, netif.TestMsg(5))
 	n.s.Run(n.s.Now() + 30*sim.Second)
 	if len(n.unicast[3]) != 2 {
 		t.Fatalf("deliveries = %d, want 2 (healed via alternate relay)", len(n.unicast[3]))
@@ -176,7 +176,7 @@ func TestPeriodicOverheadAccrues(t *testing.T) {
 
 func TestBroadcastControlled(t *testing.T) {
 	n := newTestNet(t, 8, line(6), Config{})
-	n.routers[0].Broadcast(2, 10, "hello")
+	n.routers[0].Broadcast(2, 10, netif.TestMsg(6))
 	n.s.Run(n.s.Now() + sim.Second)
 	for i := 1; i <= 2; i++ {
 		if len(n.bcasts[i]) != 1 || n.bcasts[i][0].Hops != i {
@@ -190,7 +190,7 @@ func TestBroadcastControlled(t *testing.T) {
 
 func TestSendToSelf(t *testing.T) {
 	n := newTestNet(t, 9, line(2), Config{})
-	n.routers[0].Send(0, 10, "me")
+	n.routers[0].Send(0, 10, netif.TestMsg(7))
 	n.s.Run(n.s.Now() + sim.Second)
 	if len(n.unicast[0]) != 1 || n.unicast[0][0].Hops != 0 {
 		t.Fatalf("self delivery = %+v", n.unicast[0])

@@ -28,45 +28,21 @@ const (
 	sizePerHop    = 4
 )
 
-// rreq floods outward accumulating the path traveled.
-type rreq struct {
-	Origin int
-	ID     uint32
-	Dst    int
-	TTL    int
-	Path   []int // nodes traversed so far, excluding the origin
-}
-
-// rrep returns the discovered path to the origin.
-type rrep struct {
-	Origin int
-	Dst    int
-	Path   []int // full path origin -> ... -> dst, excluding both ends
-	Pos    int   // index of the current hop on the reversed way back
-}
-
-// rerr tells the origin a link on its source route broke.
-type rerr struct {
-	Origin int
-	BadA   int   // upstream end of the broken link
-	BadB   int   // downstream end
-	Path   []int // reversed prefix back to the origin
-	Pos    int
-}
-
-// data carries its complete source route.
-type data struct {
-	Origin  int
-	Dst     int
-	Path    []int // intermediate hops origin -> dst
-	Pos     int   // next hop index into Path; len(Path) means deliver to Dst
-	Size    int
-	Payload any
-}
-
-// The controlled broadcast is the shared route.Bcast carrier; DSR
-// piggybacks the traversed path so receivers learn a source route back
-// to the origin for free (see the Router's Accept/PrepRelay hooks).
+// Frames travel as netif.Packet values (no per-hop boxing). DSR uses:
+//
+//   - PktRREQ: Origin, ID, Dst, TTL, Path (nodes traversed so far,
+//     excluding the origin).
+//   - PktRREP: Origin, Dst, Path (full path origin -> ... -> dst,
+//     excluding both ends), Pos (index of the current hop on the
+//     reversed way back).
+//   - PktRERR: Origin, BadA/BadB (upstream/downstream ends of the
+//     broken link), Path (reversed prefix back to the origin), Pos.
+//   - PktData: Origin, Dst, Path (intermediate hops origin -> dst),
+//     Pos (next hop index into Path; len(Path) means deliver to Dst),
+//     Size, Msg.
+//   - PktBcast: the shared route.Bcaster carrier; DSR piggybacks the
+//     traversed path so receivers learn a source route back to the
+//     origin for free (see the Router's Accept/PrepRelay hooks).
 
 // cachedRoute is one known source route.
 type cachedRoute struct {
@@ -140,7 +116,11 @@ type Router struct {
 	rreqID   uint32
 	seenRREQ *route.DupCache
 	bcast    *route.Bcaster
-	pending  *route.Pending[data]
+	pending  *route.Pending[netif.Packet]
+
+	// Reversal scratch for route learning: every learnRoute caller
+	// copies, so the reversed view can live in one reused buffer.
+	revScratch []int
 
 	// Callback for the typed scheduling API, bound once at construction
 	// so the hot paths schedule without a per-call closure allocation.
@@ -163,7 +143,7 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 		cache:    make(map[int]cachedRoute),
 		seenRREQ: route.NewDupCache(core, cache),
 		bcast:    route.NewBcaster(core, med, sizeBcastBase, sizePerHop, cache),
-		pending:  route.NewPending[data](cfg.BufferCap),
+		pending:  route.NewPending[netif.Packet](cfg.BufferCap),
 	}
 	r.bcast.Accept = r.acceptBcast
 	r.bcast.PrepRelay = r.prepBcastRelay
@@ -174,20 +154,20 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 // acceptBcast learns the reverse source route a broadcast accumulated;
 // the delivered hop count is the path length, not the shared carrier's
 // hop counter.
-func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
-	r.learnRoute(b.Origin, reversed(b.Path))
+func (r *Router) acceptBcast(prev int, b *netif.Packet) int {
+	r.learnRoute(b.Origin, r.reversed(b.Path))
 	return len(b.Path) + 1
 }
 
 // prepBcastRelay appends this node to the traversed path — after
 // delivery, so the reported path excludes the relaying node itself.
-func (r *Router) prepBcastRelay(b *route.Bcast) {
+func (r *Router) prepBcastRelay(b *netif.Packet) {
 	b.Path = append(append([]int(nil), b.Path...), r.ID())
 }
 
 // discTimeout unpacks the typed-arg timer payload for discoveryTimeout.
 func (r *Router) discTimeout(a sim.Arg) {
-	r.discoveryTimeout(a.I0, a.X.(*route.Discovery[data]))
+	r.discoveryTimeout(a.I0, a.X.(*route.Discovery[netif.Packet]))
 }
 
 // HopsTo reports the cached route length to dst.
@@ -254,7 +234,7 @@ func (r *Router) dropRoutesVia(a, b int) {
 
 // Broadcast floods payload within ttl hops, with duplicate suppression
 // and path accumulation.
-func (r *Router) Broadcast(ttl, size int, payload any) {
+func (r *Router) Broadcast(ttl, size int, payload netif.Msg) {
 	if ttl <= 0 {
 		panic("dsr: Broadcast with non-positive TTL")
 	}
@@ -265,7 +245,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 }
 
 // Send routes payload to dst, discovering a source route on demand.
-func (r *Router) Send(dst, size int, payload any) {
+func (r *Router) Send(dst, size int, payload netif.Msg) {
 	if dst == r.ID() {
 		r.SelfDeliver(payload)
 		return
@@ -274,7 +254,7 @@ func (r *Router) Send(dst, size int, payload any) {
 	if !r.med.Up(r.ID()) {
 		return
 	}
-	pkt := data{Origin: r.ID(), Dst: dst, Size: size, Payload: payload}
+	pkt := netif.Packet{Kind: netif.PktData, Origin: r.ID(), Dst: dst, Size: size, Msg: payload}
 	if cr, ok := r.route(dst); ok {
 		pkt.Path = cr.path
 		r.forward(pkt)
@@ -283,7 +263,7 @@ func (r *Router) Send(dst, size int, payload any) {
 	r.enqueue(pkt)
 }
 
-func (r *Router) enqueue(pkt data) {
+func (r *Router) enqueue(pkt netif.Packet) {
 	d, inProgress := r.pending.Get(pkt.Dst)
 	if !inProgress {
 		d = r.pending.Start(pkt.Dst)
@@ -292,13 +272,13 @@ func (r *Router) enqueue(pkt data) {
 	}
 	if !r.pending.Push(d, pkt) {
 		r.Count.DataDropped++
-		r.FailSend(pkt.Dst, pkt.Payload)
+		r.FailSend(pkt.Dst, pkt.Msg)
 	}
 }
 
-func (r *Router) sendRREQ(dst int, d *route.Discovery[data]) {
+func (r *Router) sendRREQ(dst int, d *route.Discovery[netif.Packet]) {
 	r.rreqID++
-	q := rreq{Origin: r.ID(), ID: r.rreqID, Dst: dst, TTL: r.cfg.DiscoveryTTL}
+	q := netif.Packet{Kind: netif.PktRREQ, Origin: r.ID(), ID: r.rreqID, Dst: dst, TTL: r.cfg.DiscoveryTTL}
 	r.seenRREQ.Mark(route.Key{Origin: r.ID(), ID: q.ID})
 	r.Count.CtrlOrig++
 	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: sizeRREQBase, Payload: q})
@@ -306,7 +286,7 @@ func (r *Router) sendRREQ(dst int, d *route.Discovery[data]) {
 	d.Timer = r.sim.ScheduleArg(wait, r.discTimeoutFn, sim.Arg{I0: dst, X: d})
 }
 
-func (r *Router) discoveryTimeout(dst int, d *route.Discovery[data]) {
+func (r *Router) discoveryTimeout(dst int, d *route.Discovery[netif.Packet]) {
 	if !r.pending.Current(dst, d) {
 		return
 	}
@@ -320,7 +300,7 @@ func (r *Router) discoveryTimeout(dst int, d *route.Discovery[data]) {
 		r.Count.DiscoverFailed++
 		for _, pkt := range d.Queue {
 			r.Count.DataDropped++
-			r.FailSend(dst, pkt.Payload)
+			r.FailSend(dst, pkt.Msg)
 		}
 		return
 	}
@@ -347,7 +327,7 @@ func (r *Router) completeDiscovery(dst int) {
 
 // forward transmits pkt to its next source-route hop, raising RERR on a
 // broken link.
-func (r *Router) forward(pkt data) {
+func (r *Router) forward(pkt netif.Packet) {
 	next := pkt.Dst
 	if pkt.Pos < len(pkt.Path) {
 		next = pkt.Path[pkt.Pos]
@@ -385,11 +365,11 @@ func (r *Router) linkBroken(origin, a, b int, path []int, pos int) {
 			prefix = append(prefix, path[i])
 		}
 	}
-	e := rerr{Origin: origin, BadA: a, BadB: b, Path: prefix}
+	e := netif.Packet{Kind: netif.PktRERR, Origin: origin, BadA: a, BadB: b, Path: prefix}
 	r.sendRERR(e, false)
 }
 
-func (r *Router) sendRERR(e rerr, relay bool) {
+func (r *Router) sendRERR(e netif.Packet, relay bool) {
 	next := e.Origin
 	if e.Pos < len(e.Path) {
 		next = e.Path[e.Pos]
@@ -405,25 +385,25 @@ func (r *Router) sendRERR(e rerr, relay bool) {
 	r.med.Send(radio.Frame{Src: r.ID(), Dst: next, Size: sizeRERR + sizePerHop*len(e.Path), Payload: e})
 }
 
-// HandleFrame dispatches radio arrivals.
+// HandleFrame dispatches radio arrivals on packet kind.
 func (r *Router) HandleFrame(f radio.Frame) {
-	switch pkt := f.Payload.(type) {
-	case rreq:
-		r.handleRREQ(pkt)
-	case rrep:
-		r.handleRREP(pkt)
-	case rerr:
-		r.handleRERR(pkt)
-	case data:
-		r.handleData(pkt)
-	case route.Bcast:
-		r.bcast.Handle(f.Src, pkt)
+	switch f.Payload.Kind {
+	case netif.PktRREQ:
+		r.handleRREQ(f.Payload)
+	case netif.PktRREP:
+		r.handleRREP(f.Payload)
+	case netif.PktRERR:
+		r.handleRERR(f.Payload)
+	case netif.PktData:
+		r.handleData(f.Payload)
+	case netif.PktBcast:
+		r.bcast.Handle(f.Src, f.Payload)
 	default:
-		panic(fmt.Sprintf("dsr: unknown payload type %T", f.Payload))
+		panic(fmt.Sprintf("dsr: unknown packet kind %d", f.Payload.Kind))
 	}
 }
 
-func (r *Router) handleRREQ(q rreq) {
+func (r *Router) handleRREQ(q netif.Packet) {
 	if q.Origin == r.ID() {
 		return
 	}
@@ -434,11 +414,10 @@ func (r *Router) handleRREQ(q rreq) {
 	}
 	r.seenRREQ.Mark(k)
 	// Learn the reverse route from the accumulated path.
-	rev := reversed(q.Path)
-	r.learnRoute(q.Origin, rev)
+	r.learnRoute(q.Origin, r.reversed(q.Path))
 	if q.Dst == r.ID() {
 		// Answer along the reversed accumulated path.
-		p := rrep{Origin: q.Origin, Dst: r.ID(), Path: append([]int(nil), q.Path...)}
+		p := netif.Packet{Kind: netif.PktRREP, Origin: q.Origin, Dst: r.ID(), Path: append([]int(nil), q.Path...)}
 		r.sendRREP(p, false)
 		return
 	}
@@ -457,7 +436,7 @@ func (r *Router) handleRREQ(q rreq) {
 // sendRREP moves a route reply one hop backwards along the discovered
 // path (Path holds intermediates origin->dst; the reply walks it in
 // reverse: Pos counts how many reverse hops were taken).
-func (r *Router) sendRREP(p rrep, relay bool) {
+func (r *Router) sendRREP(p netif.Packet, relay bool) {
 	next := p.Origin
 	if idx := len(p.Path) - 1 - p.Pos; idx >= 0 {
 		next = p.Path[idx]
@@ -476,7 +455,7 @@ func (r *Router) sendRREP(p rrep, relay bool) {
 	})
 }
 
-func (r *Router) handleRREP(p rrep) {
+func (r *Router) handleRREP(p netif.Packet) {
 	// Everyone on the way back learns the route to the reply's subject.
 	idx := len(p.Path) - 1 - p.Pos // our position in the path
 	if p.Origin == r.ID() {
@@ -492,7 +471,7 @@ func (r *Router) handleRREP(p rrep) {
 	r.sendRREP(p, true)
 }
 
-func (r *Router) handleRERR(e rerr) {
+func (r *Router) handleRERR(e netif.Packet) {
 	r.dropRoutesVia(e.BadA, e.BadB)
 	if e.Origin == r.ID() {
 		return
@@ -503,15 +482,11 @@ func (r *Router) handleRERR(e rerr) {
 	}
 }
 
-func (r *Router) handleData(pkt data) {
+func (r *Router) handleData(pkt netif.Packet) {
 	if pkt.Dst == r.ID() {
 		// Learn the reverse route from the traversed prefix.
-		rev := make([]int, 0, len(pkt.Path))
-		for i := len(pkt.Path) - 1; i >= 0; i-- {
-			rev = append(rev, pkt.Path[i])
-		}
-		r.learnRoute(pkt.Origin, rev)
-		r.DeliverUnicast(pkt.Origin, len(pkt.Path)+1, pkt.Payload)
+		r.learnRoute(pkt.Origin, r.reversed(pkt.Path))
+		r.DeliverUnicast(pkt.Origin, len(pkt.Path)+1, pkt.Msg)
 		return
 	}
 	if pkt.Pos >= len(pkt.Path) || pkt.Path[pkt.Pos] != r.ID() {
@@ -522,10 +497,14 @@ func (r *Router) handleData(pkt data) {
 	r.forward(pkt)
 }
 
-func reversed(path []int) []int {
-	out := make([]int, 0, len(path))
+// reversed returns path back-to-front in the router's reusable scratch
+// buffer. The view is only valid until the next call; every caller
+// hands it straight to learnRoute, which copies what it keeps.
+func (r *Router) reversed(path []int) []int {
+	out := r.revScratch[:0]
 	for i := len(path) - 1; i >= 0; i-- {
 		out = append(out, path[i])
 	}
+	r.revScratch = out
 	return out
 }

@@ -46,7 +46,7 @@ func newTestNet(t *testing.T, seed int64, pts []geom.Point, cfg Config) *testNet
 		r := NewRouter(i, s, med, cfg)
 		r.OnUnicast(func(d netif.Delivery) { n.unicast[i] = append(n.unicast[i], d) })
 		r.OnBroadcast(func(d netif.Delivery) { n.bcasts[i] = append(n.bcasts[i], d) })
-		r.OnSendFailed(func(dst int, _ any) { n.failed[i] = append(n.failed[i], dst) })
+		r.OnSendFailed(func(dst int, _ netif.Msg) { n.failed[i] = append(n.failed[i], dst) })
 		med.Join(i, p, r.HandleFrame)
 		n.routers[i] = r
 	}
@@ -63,13 +63,13 @@ func line(n int) []geom.Point {
 
 func TestSourceRouteDelivery(t *testing.T) {
 	n := newTestNet(t, 1, line(5), Config{})
-	n.routers[0].Send(4, 100, "payload")
+	n.routers[0].Send(4, 100, netif.TestMsg(11))
 	n.s.Run(10 * sim.Second)
 	got := n.unicast[4]
 	if len(got) != 1 {
 		t.Fatalf("deliveries = %v, want 1", got)
 	}
-	if got[0].From != 0 || got[0].Hops != 4 || got[0].Payload != "payload" {
+	if got[0].From != 0 || got[0].Hops != 4 || got[0].Payload != netif.TestMsg(11) {
 		t.Errorf("delivery = %+v, want from 0 over 4 hops", got[0])
 	}
 	// Route cached at the origin...
@@ -82,7 +82,7 @@ func TestSourceRouteDelivery(t *testing.T) {
 	}
 	// Second send reuses the cache: no new discovery.
 	before := n.routers[0].Stats().Discoveries
-	n.routers[0].Send(4, 10, "again")
+	n.routers[0].Send(4, 10, netif.TestMsg(12))
 	n.s.Run(12 * sim.Second)
 	if len(n.unicast[4]) != 2 {
 		t.Fatal("second packet lost")
@@ -94,7 +94,7 @@ func TestSourceRouteDelivery(t *testing.T) {
 
 func TestIntermediatePrefixRoutesLearned(t *testing.T) {
 	n := newTestNet(t, 2, line(6), Config{})
-	n.routers[0].Send(5, 10, "x")
+	n.routers[0].Send(5, 10, netif.TestMsg(1))
 	n.s.Run(10 * sim.Second)
 	// The origin learned prefix routes to every intermediate hop.
 	for dst := 1; dst <= 5; dst++ {
@@ -106,7 +106,7 @@ func TestIntermediatePrefixRoutesLearned(t *testing.T) {
 
 func TestSendToSelf(t *testing.T) {
 	n := newTestNet(t, 3, line(2), Config{})
-	n.routers[0].Send(0, 10, "me")
+	n.routers[0].Send(0, 10, netif.TestMsg(2))
 	n.s.Run(sim.Second)
 	if len(n.unicast[0]) != 1 || n.unicast[0][0].Hops != 0 {
 		t.Fatalf("self delivery = %v", n.unicast[0])
@@ -117,7 +117,7 @@ func TestDiscoveryFailureNotifies(t *testing.T) {
 	pts := append(line(2), geom.Point{X: 190, Y: 190})
 	cfg := Config{MaxDiscoveryRetries: 1, DiscoveryTTL: 6}
 	n := newTestNet(t, 4, pts, cfg)
-	n.routers[0].Send(2, 10, "void")
+	n.routers[0].Send(2, 10, netif.TestMsg(3))
 	n.s.Run(time2min())
 	if len(n.failed[0]) != 1 || n.failed[0][0] != 2 {
 		t.Fatalf("failed = %v, want [2]", n.failed[0])
@@ -136,7 +136,7 @@ func TestBrokenLinkRecoveryAtOrigin(t *testing.T) {
 		{X: 50, Y: 50}, {X: 58, Y: 44}, {X: 58, Y: 56}, {X: 66, Y: 50},
 	}
 	n := newTestNet(t, 5, pts, Config{})
-	n.routers[0].Send(3, 10, "first")
+	n.routers[0].Send(3, 10, netif.TestMsg(4))
 	n.s.Run(5 * sim.Second)
 	if len(n.unicast[3]) != 1 {
 		t.Fatal("first packet lost")
@@ -148,7 +148,7 @@ func TestBrokenLinkRecoveryAtOrigin(t *testing.T) {
 	n.med.SetPos(relay, geom.Point{X: 150, Y: 150})
 	// Wait out the route cache so the origin must rediscover cleanly.
 	n.s.Run(30 * sim.Second)
-	n.routers[0].Send(3, 10, "second")
+	n.routers[0].Send(3, 10, netif.TestMsg(5))
 	n.s.Run(90 * sim.Second)
 	if len(n.unicast[3]) != 2 {
 		t.Fatalf("deliveries = %d, want 2 (recovery)", len(n.unicast[3]))
@@ -161,13 +161,13 @@ func TestRERRReachesOriginFromMidPath(t *testing.T) {
 	// RERR back; the origin's retry then fails or rediscovers — either
 	// way no stale route survives at the origin.
 	n := newTestNet(t, 6, line(5), Config{})
-	n.routers[0].Send(4, 10, "warm")
+	n.routers[0].Send(4, 10, netif.TestMsg(6))
 	n.s.Run(5 * sim.Second)
 	if len(n.unicast[4]) != 1 {
 		t.Fatal("warmup lost")
 	}
 	n.med.SetPos(4, geom.Point{X: 190, Y: 190})
-	n.routers[0].Send(4, 10, "breaks")
+	n.routers[0].Send(4, 10, netif.TestMsg(7))
 	n.s.Run(time2min())
 	if len(n.unicast[4]) != 1 {
 		t.Fatal("packet delivered to unreachable node")
@@ -186,7 +186,7 @@ func TestRERRReachesOriginFromMidPath(t *testing.T) {
 
 func TestBroadcastReachAndReverseRoutes(t *testing.T) {
 	n := newTestNet(t, 7, line(6), Config{})
-	n.routers[0].Broadcast(3, 50, "hello")
+	n.routers[0].Broadcast(3, 50, netif.TestMsg(8))
 	n.s.Run(sim.Second)
 	for i := 1; i <= 3; i++ {
 		if len(n.bcasts[i]) != 1 || n.bcasts[i][0].Hops != i {
@@ -200,7 +200,7 @@ func TestBroadcastReachAndReverseRoutes(t *testing.T) {
 	}
 	// Receivers learned routes back to the origin and can reply without
 	// discovery.
-	n.routers[3].Send(0, 10, "reply")
+	n.routers[3].Send(0, 10, netif.TestMsg(9))
 	n.s.Run(2 * sim.Second)
 	if len(n.unicast[0]) != 1 {
 		t.Fatal("reply lost")
@@ -216,7 +216,7 @@ func TestBroadcastDedup(t *testing.T) {
 		pts[i] = geom.Point{X: 50 + float64(i%3), Y: 50 + float64(i/3)}
 	}
 	n := newTestNet(t, 8, pts, Config{})
-	n.routers[0].Broadcast(5, 10, "flood")
+	n.routers[0].Broadcast(5, 10, netif.TestMsg(10))
 	n.s.Run(sim.Second)
 	for i := 1; i < 8; i++ {
 		if len(n.bcasts[i]) != 1 {
@@ -228,7 +228,7 @@ func TestBroadcastDedup(t *testing.T) {
 func TestRouteExpiry(t *testing.T) {
 	cfg := Config{RouteLifetime: 5 * sim.Second}
 	n := newTestNet(t, 9, line(3), cfg)
-	n.routers[0].Send(2, 10, "x")
+	n.routers[0].Send(2, 10, netif.TestMsg(13))
 	n.s.Run(2 * sim.Second)
 	if _, ok := n.routers[0].HopsTo(2); !ok {
 		t.Fatal("route not cached")
@@ -261,7 +261,7 @@ func TestQuickDSRRandomTopology(t *testing.T) {
 			return true
 		}
 		n := newTestNet(t, seed, pts, Config{})
-		n.routers[0].Send(target, 10, "ping")
+		n.routers[0].Send(target, 10, netif.TestMsg(14))
 		n.s.Run(30 * sim.Second)
 		if len(n.unicast[target]) != 1 {
 			return false

@@ -19,16 +19,10 @@ const (
 	sizeHdr = 12
 )
 
-// unicast is a flooded packet that only Dst delivers.
-type unicast struct {
-	Origin  int
-	ID      uint32
-	Dst     int
-	TTL     int
-	Hops    int
-	Size    int
-	Payload any
-}
+// Frames travel as netif.Packet values (no per-hop boxing). Flooded
+// unicasts are PktData packets (Origin, ID for duplicate suppression,
+// Dst, TTL, HopCount, Size, Msg) that only Dst delivers; controlled
+// broadcasts are the shared PktBcast carrier.
 
 // Config tunes the flooding layer.
 type Config struct {
@@ -93,7 +87,7 @@ func NewRouter(id int, s *sim.Sim, med *radio.Medium, cfg Config) *Router {
 }
 
 // acceptBcast records the hop distance broadcasts reveal.
-func (r *Router) acceptBcast(prev int, b *route.Bcast) int {
+func (r *Router) acceptBcast(prev int, b *netif.Packet) int {
 	r.lastHops[b.Origin] = b.HopCount
 	return b.HopCount
 }
@@ -106,7 +100,7 @@ func (r *Router) HopsTo(dst int) (int, bool) {
 }
 
 // Broadcast floods payload within ttl hops.
-func (r *Router) Broadcast(ttl, size int, payload any) {
+func (r *Router) Broadcast(ttl, size int, payload netif.Msg) {
 	if ttl <= 0 {
 		panic("flood: Broadcast with non-positive TTL")
 	}
@@ -119,7 +113,7 @@ func (r *Router) Broadcast(ttl, size int, payload any) {
 // Send floods payload with the unicast TTL; only dst delivers it.
 // Flooding gets no failure feedback, so OnSendFailed only fires for
 // sends from a down node — silence is the usual failure mode.
-func (r *Router) Send(dst, size int, payload any) {
+func (r *Router) Send(dst, size int, payload netif.Msg) {
 	if dst == r.ID() {
 		r.SelfDeliver(payload)
 		return
@@ -130,24 +124,24 @@ func (r *Router) Send(dst, size int, payload any) {
 		return
 	}
 	r.nextID++
-	pkt := unicast{Origin: r.ID(), ID: r.nextID, Dst: dst, TTL: r.cfg.UnicastTTL, Size: size, Payload: payload}
+	pkt := netif.Packet{Kind: netif.PktData, Origin: r.ID(), ID: r.nextID, Dst: dst, TTL: r.cfg.UnicastTTL, Size: size, Msg: payload}
 	r.seen.Mark(route.Key{Origin: r.ID(), ID: pkt.ID})
 	r.med.Send(radio.Frame{Src: r.ID(), Dst: radio.BroadcastAddr, Size: pkt.Size + sizeHdr, Payload: pkt})
 }
 
 // HandleFrame is the radio receive callback.
 func (r *Router) HandleFrame(f radio.Frame) {
-	switch pkt := f.Payload.(type) {
-	case route.Bcast:
-		r.bcast.Handle(f.Src, pkt)
-	case unicast:
-		r.handleUnicast(pkt)
+	switch f.Payload.Kind {
+	case netif.PktBcast:
+		r.bcast.Handle(f.Src, f.Payload)
+	case netif.PktData:
+		r.handleUnicast(f.Payload)
 	default:
-		panic(fmt.Sprintf("flood: unknown payload type %T", f.Payload))
+		panic(fmt.Sprintf("flood: unknown packet kind %d", f.Payload.Kind))
 	}
 }
 
-func (r *Router) handleUnicast(pkt unicast) {
+func (r *Router) handleUnicast(pkt netif.Packet) {
 	if pkt.Origin == r.ID() {
 		return
 	}
@@ -157,10 +151,10 @@ func (r *Router) handleUnicast(pkt unicast) {
 		return
 	}
 	r.seen.Mark(k)
-	pkt.Hops++
-	r.lastHops[pkt.Origin] = pkt.Hops
+	pkt.HopCount++
+	r.lastHops[pkt.Origin] = pkt.HopCount
 	if pkt.Dst == r.ID() {
-		r.DeliverUnicast(pkt.Origin, pkt.Hops, pkt.Payload)
+		r.DeliverUnicast(pkt.Origin, pkt.HopCount, pkt.Msg)
 		return // the destination need not keep relaying
 	}
 	if pkt.TTL > 1 {

@@ -57,7 +57,7 @@ func line(n int) []geom.Point {
 
 func TestUnicastDeliveredByFlood(t *testing.T) {
 	n := newTestNet(t, 1, line(5), Config{})
-	n.routers[0].Send(4, 10, "hi")
+	n.routers[0].Send(4, 10, netif.TestMsg(1))
 	n.s.Run(5 * sim.Second)
 	if len(n.unicast[4]) != 1 || n.unicast[4][0].Hops != 4 {
 		t.Fatalf("deliveries = %+v, want one at 4 hops", n.unicast[4])
@@ -80,12 +80,12 @@ func TestUnicastDeliveredByFlood(t *testing.T) {
 func TestUnicastTTLBound(t *testing.T) {
 	cfg := Config{UnicastTTL: 3}
 	n := newTestNet(t, 2, line(6), cfg)
-	n.routers[0].Send(5, 10, "far")
+	n.routers[0].Send(5, 10, netif.TestMsg(2))
 	n.s.Run(5 * sim.Second)
 	if len(n.unicast[5]) != 0 {
 		t.Error("flood delivered beyond its TTL")
 	}
-	n.routers[0].Send(3, 10, "near")
+	n.routers[0].Send(3, 10, netif.TestMsg(3))
 	n.s.Run(10 * sim.Second)
 	if len(n.unicast[3]) != 1 {
 		t.Error("flood within TTL not delivered")
@@ -94,7 +94,7 @@ func TestUnicastTTLBound(t *testing.T) {
 
 func TestBroadcastReach(t *testing.T) {
 	n := newTestNet(t, 3, line(6), Config{})
-	n.routers[0].Broadcast(2, 10, "hello")
+	n.routers[0].Broadcast(2, 10, netif.TestMsg(4))
 	n.s.Run(sim.Second)
 	for i := 1; i <= 2; i++ {
 		if len(n.bcasts[i]) != 1 || n.bcasts[i][0].Hops != i {
@@ -114,7 +114,7 @@ func TestDuplicateSuppression(t *testing.T) {
 		pts[i] = geom.Point{X: 50 + float64(i%3), Y: 50 + float64(i/3)}
 	}
 	n := newTestNet(t, 4, pts, Config{})
-	n.routers[0].Send(8, 10, "x")
+	n.routers[0].Send(8, 10, netif.TestMsg(5))
 	n.s.Run(sim.Second)
 	if len(n.unicast[8]) != 1 {
 		t.Fatalf("deliveries = %d, want exactly 1 despite many paths", len(n.unicast[8]))
@@ -132,7 +132,7 @@ func TestDestinationDoesNotRelay(t *testing.T) {
 	// Chain 0-1-2: when 1 is the destination, 2 must not receive the
 	// packet at all (1 stops relaying).
 	n := newTestNet(t, 5, line(3), Config{})
-	n.routers[0].Send(1, 10, "stop-here")
+	n.routers[0].Send(1, 10, netif.TestMsg(6))
 	n.s.Run(5 * sim.Second)
 	if got := n.routers[2].Stats().DupHits + n.routers[2].Stats().DataForwarded; got != 0 {
 		t.Errorf("node past the destination saw traffic (dup+relay=%d)", got)
@@ -141,7 +141,7 @@ func TestDestinationDoesNotRelay(t *testing.T) {
 
 func TestSendToSelf(t *testing.T) {
 	n := newTestNet(t, 6, line(2), Config{})
-	n.routers[0].Send(0, 10, "me")
+	n.routers[0].Send(0, 10, netif.TestMsg(7))
 	n.s.Run(sim.Second)
 	if len(n.unicast[0]) != 1 || n.unicast[0][0].Hops != 0 {
 		t.Fatalf("self delivery = %+v", n.unicast[0])
@@ -151,9 +151,9 @@ func TestSendToSelf(t *testing.T) {
 func TestDownNodeFailsSend(t *testing.T) {
 	n := newTestNet(t, 7, line(2), Config{})
 	failed := 0
-	n.routers[0].OnSendFailed(func(int, any) { failed++ })
+	n.routers[0].OnSendFailed(func(int, netif.Msg) { failed++ })
 	n.med.Leave(0)
-	n.routers[0].Send(1, 10, "ghost")
+	n.routers[0].Send(1, 10, netif.TestMsg(8))
 	n.s.Run(sim.Second)
 	if failed != 1 {
 		t.Errorf("failed = %d, want 1", failed)

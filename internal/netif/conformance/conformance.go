@@ -139,7 +139,7 @@ func testBroadcastTTL(t *testing.T, f Factory) {
 	for i := range base {
 		base[i] = len(n.bcasts[i]) // proactive warm-up traffic, if any
 	}
-	n.routers[0].Broadcast(2, 10, "two-hops")
+	n.routers[0].Broadcast(2, 10, netif.TestMsg(201))
 	n.s.Run(n.s.Now() + 5*sim.Second)
 	for i := 1; i <= 2; i++ {
 		got := n.bcasts[i][base[i]:]
@@ -159,7 +159,7 @@ func testBroadcastTTL(t *testing.T, f Factory) {
 	for i := range base {
 		base[i] = len(n.bcasts[i])
 	}
-	n.routers[0].Broadcast(1, 10, "one-hop")
+	n.routers[0].Broadcast(1, 10, netif.TestMsg(101))
 	n.s.Run(n.s.Now() + 5*sim.Second)
 	if got := n.bcasts[1][base[1]:]; len(got) != 1 || got[0].Hops != 1 {
 		t.Errorf("ttl=1 neighbor deliveries = %+v, want one at 1 hop", got)
@@ -177,7 +177,7 @@ func testBroadcastTTL(t *testing.T, f Factory) {
 func testSelfDelivery(t *testing.T, f Factory) {
 	n := newNet(t, f, 2, line(2))
 	before := len(n.unicast[0])
-	n.routers[0].Send(0, 10, "loopback")
+	n.routers[0].Send(0, 10, netif.TestMsg(7))
 	if got := len(n.unicast[0]); got != before {
 		t.Fatal("self delivery dispatched synchronously from inside Send")
 	}
@@ -237,22 +237,23 @@ func testSendFailedOnce(t *testing.T, f Factory) {
 	n := newNet(t, f, 4, pts)
 	type failure struct {
 		dst     int
-		payload any
+		payload netif.Msg
 	}
+	doomed := netif.TestMsg(13)
 	var fails []failure
-	n.routers[0].OnSendFailed(func(dst int, payload any) {
+	n.routers[0].OnSendFailed(func(dst int, payload netif.Msg) {
 		fails = append(fails, failure{dst, payload})
 	})
 	if f.SenderDownFails {
 		n.med.Leave(0)
 	}
-	n.routers[0].Send(1, 10, "doomed")
+	n.routers[0].Send(1, 10, doomed)
 	n.s.Run(n.s.Now() + deadline)
 	if len(fails) != 1 {
 		t.Fatalf("OnSendFailed fired %d times, want exactly 1 (%+v)", len(fails), fails)
 	}
-	if fails[0].dst != 1 || fails[0].payload != "doomed" {
-		t.Errorf("failure = %+v, want dst=1 payload=%q", fails[0], "doomed")
+	if fails[0].dst != 1 || fails[0].payload != doomed {
+		t.Errorf("failure = %+v, want dst=1 payload=%+v", fails[0], doomed)
 	}
 	if got := n.routers[0].Stats().SendFailed; got != 1 {
 		t.Errorf("SendFailed = %d, want 1", got)
@@ -267,20 +268,21 @@ func testSendFailedOnce(t *testing.T, f Factory) {
 // corrupt dispatch, and the reply must arrive.
 func testHookReentrancy(t *testing.T, f Factory) {
 	n := newNet(t, f, 5, line(2))
+	ping, pong := netif.TestMsg(1), netif.TestMsg(2)
 	replied := false
 	n.routers[1].OnUnicast(func(d netif.Delivery) {
 		n.unicast[1] = append(n.unicast[1], d)
 		if !replied { // reply to the first arrival only
 			replied = true
-			n.routers[1].Send(d.From, 10, "pong")
+			n.routers[1].Send(d.From, 10, pong)
 		}
 	})
-	n.routers[0].Send(1, 10, "ping")
+	n.routers[0].Send(1, 10, ping)
 	n.s.Run(n.s.Now() + 60*sim.Second)
-	if len(n.unicast[1]) != 1 || n.unicast[1][0].Payload != "ping" {
+	if len(n.unicast[1]) != 1 || n.unicast[1][0].Payload != ping {
 		t.Fatalf("request deliveries = %+v", n.unicast[1])
 	}
-	if len(n.unicast[0]) != 1 || n.unicast[0][0].Payload != "pong" {
+	if len(n.unicast[0]) != 1 || n.unicast[0][0].Payload != pong {
 		t.Fatalf("reply sent from inside the delivery hook never arrived: %+v", n.unicast[0])
 	}
 }
@@ -298,7 +300,7 @@ func testDupCacheBounded(t *testing.T, f Factory) {
 	}
 	base := len(n.bcasts[1])
 	for i := 0; i < storm; i++ {
-		n.routers[0].Broadcast(2, 8, i)
+		n.routers[0].Broadcast(2, 8, netif.TestMsg(uint32(i)))
 		// Drain in slices so in-flight frames do not accumulate without
 		// bound inside the medium.
 		if i%500 == 499 {

@@ -1,0 +1,100 @@
+package netif
+
+// MsgKind discriminates the overlay message union. The kinds mirror the
+// paper's protocol vocabulary one to one: the establishment phase
+// (discover/reply for the basic algorithm, solicit/offer/accept/confirm/
+// reject for the random and regular variants, capture/enslave for the
+// hybrid master election), the keepalive pair, the Gnutella-style
+// query/queryhit search, the bye teardown notice, and the optional
+// download extension's fetch/chunk transfer pair.
+type MsgKind uint8
+
+const (
+	// MsgNone is the zero value: no message. It is never sent; seeing it
+	// in a frame or a size/class table lookup is a programming error.
+	MsgNone MsgKind = iota
+	// MsgDiscover is the basic algorithm's connection-discovery broadcast.
+	MsgDiscover
+	// MsgReply answers a discover: the sender is willing to connect.
+	MsgReply
+	// MsgSolicit asks for connection offers. Rand marks the random
+	// algorithm's long-range solicitation; MasterOnly restricts answers
+	// to hybrid masters.
+	MsgSolicit
+	// MsgOffer answers a solicit with an offer to connect. Hops carries
+	// the broadcast hop distance the solicit traveled.
+	MsgOffer
+	// MsgAccept opens the two-way handshake on a chosen offer.
+	MsgAccept
+	// MsgConfirm completes the handshake begun by an accept.
+	MsgConfirm
+	// MsgReject declines an accept.
+	MsgReject
+	// MsgCapture is the hybrid algorithm's master-election probe; Reply
+	// distinguishes the unicast answer from the broadcast probe.
+	MsgCapture
+	// MsgEnslaveReq asks a better-qualified master to adopt the sender.
+	MsgEnslaveReq
+	// MsgEnslaveAccept grants an enslave request.
+	MsgEnslaveAccept
+	// MsgEnslaveConfirm completes the enslave handshake.
+	MsgEnslaveConfirm
+	// MsgEnslaveReject declines an enslave request.
+	MsgEnslaveReject
+	// MsgPing is a keepalive probe; Seq matches it to its pong.
+	MsgPing
+	// MsgPong answers a ping, echoing its Seq.
+	MsgPong
+	// MsgBye is a best-effort teardown notice for an overlay connection.
+	MsgBye
+	// MsgQuery is a file search flooded (or random-walked, when Walk is
+	// set) over the overlay. Seq carries the query ID, Hops the overlay
+	// hop count so far.
+	MsgQuery
+	// MsgQueryHit answers a query: Holder has File. Seq echoes the query
+	// ID, Hops the overlay distance from the holder.
+	MsgQueryHit
+	// MsgFetchReq asks the holder for one chunk of a file.
+	MsgFetchReq
+	// MsgChunk delivers one chunk; Chunks tells the fetcher the total.
+	MsgChunk
+	// MsgTest is reserved for tests and the netif conformance suite; the
+	// overlay never sends it and assigns it no size or class.
+	MsgTest
+	// NumMsgKinds bounds kind-indexed tables.
+	NumMsgKinds int = iota
+)
+
+// Msg is the overlay message: a compact value-typed tagged union of
+// every kind's fields. It crosses the netif boundary by value — no
+// interface boxing, no per-hop heap allocation — and is comparable, so
+// tests can assert on whole messages. Only the fields of the active
+// Kind are meaningful; the rest stay zero.
+//
+// Field sharing across kinds: Seq carries the ping/pong sequence
+// number, the query ID of query/queryhit, and the tag of MsgTest; Hops
+// carries the offer's broadcast hop distance and the overlay hop count
+// of query/queryhit.
+type Msg struct {
+	Kind MsgKind
+
+	Rand       bool // solicit/offer: random-algorithm long link wanted
+	MasterOnly bool // solicit/offer: only hybrid masters may answer
+	Master     bool // accept/confirm: connecting as master
+	Reply      bool // capture: unicast answer, not broadcast probe
+	Walk       bool // query: random walk instead of flood
+
+	Seq       uint32  // ping/pong seq; query/queryhit ID; test tag
+	Origin    int     // query: originating servent
+	File      int     // query/queryhit/fetchreq/chunk: file rank
+	TTL       int     // query: remaining overlay hops
+	Hops      int     // offer: bcast hops; query/queryhit: overlay hops
+	Holder    int     // queryhit: node holding File
+	Chunk     int     // fetchreq/chunk: chunk index
+	Chunks    int     // chunk: total chunks in the file
+	Qualifier float64 // capture/enslavereq: hybrid master qualifier
+}
+
+// TestMsg returns a tagged MsgTest value for tests and the conformance
+// suite, which need distinguishable payloads without overlay semantics.
+func TestMsg(tag uint32) Msg { return Msg{Kind: MsgTest, Seq: tag} }

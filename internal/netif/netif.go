@@ -11,7 +11,7 @@ package netif
 type Delivery struct {
 	From    int
 	Hops    int
-	Payload any
+	Payload Msg
 }
 
 // Stats is the unified routing-effort counter block every Protocol
@@ -70,9 +70,9 @@ type Protocol interface {
 	ID() int
 	// Send routes an application payload of the given nominal size to
 	// dst, discovering a route on demand if the protocol needs one.
-	Send(dst, size int, payload any)
+	Send(dst, size int, payload Msg)
 	// Broadcast floods the payload to every node within ttl ad-hoc hops.
-	Broadcast(ttl, size int, payload any)
+	Broadcast(ttl, size int, payload Msg)
 	// HopsTo reports the protocol's current distance estimate to dst in
 	// ad-hoc hops, if it has one. It must not trigger discovery.
 	HopsTo(dst int) (int, bool)
@@ -82,7 +82,7 @@ type Protocol interface {
 	OnBroadcast(fn func(Delivery))
 	// OnSendFailed installs the hook invoked when a payload is
 	// abandoned undeliverable.
-	OnSendFailed(fn func(dst int, payload any))
+	OnSendFailed(fn func(dst int, payload Msg))
 	// Stats returns the routing-effort counters accumulated so far.
 	Stats() Stats
 }

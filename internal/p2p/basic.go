@@ -6,7 +6,7 @@ package p2p
 
 // basicStep broadcasts one discovery round and reschedules itself.
 func (sv *Servent) basicStep() {
-	sv.broadcast(sv.par.NHopsBasic, msgDiscover{})
+	sv.broadcast(sv.par.NHopsBasic, Msg{Kind: msgDiscover})
 	sv.scheduleCycle(sv.par.TimerBasic)
 }
 
@@ -17,7 +17,7 @@ func (sv *Servent) onDiscover(from int) {
 	if sv.alg != Basic {
 		return
 	}
-	sv.send(from, msgReply{})
+	sv.send(from, Msg{Kind: msgReply})
 }
 
 // onReply turns a discovery answer into an asymmetric reference: only

@@ -1,0 +1,54 @@
+package p2p
+
+// Benchmark hooks: narrow entry points for the root package's tracked
+// benchmark suite (benchsuite.go), which cannot reach the unexported
+// send/query internals. They bypass the establishment handshake the
+// same way the white-box test harness does, so a benchmark can build a
+// known overlay and drive the hot messaging paths directly.
+
+// BenchLink installs a symmetric established connection between a and b
+// without running the handshake (a is the initiator and pings).
+func BenchLink(a, b *Servent) {
+	a.installConn(&conn{peer: b.id, initiator: true})
+	b.installConn(&conn{peer: a.id, initiator: false})
+}
+
+// BenchSend drives one overlay unicast send toward peer — the
+// kind-indexed size lookup and the router handoff, i.e. the exact path
+// every protocol message leaves a servent on. A stale pong is used so
+// the receive side exercises the full classification and dispatch
+// switch and then drops the message without touching any timer (a
+// per-op deadline reset would grow the event queue with far-future
+// tombstones and dominate the measurement).
+func (sv *Servent) BenchSend(peer int) {
+	sv.send(peer, Msg{Kind: msgPong, Seq: 1<<32 - 1})
+}
+
+// BenchQuery floods one query for file from this servent: a fresh QID
+// fanned out to every overlay neighbor, exactly as runQuery does it,
+// minus the collection-window scheduling (the benchmark drains
+// deliveries itself).
+func (sv *Servent) BenchQuery(file int) {
+	sv.nextQID++
+	sv.curReq = &request{qid: sv.nextQID, file: file}
+	sv.seen[queryKey{sv.id, sv.nextQID}] = struct{}{}
+	q := Msg{Kind: msgQuery, Origin: sv.id, Seq: sv.nextQID, File: file, TTL: sv.par.QueryTTL}
+	for _, peer := range sv.sortedPeers() { // sorted: keeps runs reproducible
+		sv.send(peer, q)
+	}
+}
+
+// BenchAnswers reports the answers accumulated by the open request.
+func (sv *Servent) BenchAnswers() int {
+	if sv.curReq == nil {
+		return 0
+	}
+	return sv.curReq.answers
+}
+
+// BenchResetQuery clears the per-query duplicate-suppression state so a
+// benchmark can replay floods without unbounded map growth.
+func (sv *Servent) BenchResetQuery() {
+	clear(sv.seen)
+	sv.curReq = nil
+}

@@ -20,19 +20,6 @@ const (
 	sizeChunk    = 512 // file payload chunk on the air
 )
 
-// msgFetchReq asks a holder for a file chunk.
-type msgFetchReq struct {
-	File  int
-	Chunk int
-}
-
-// msgChunk carries one file chunk back to the requester.
-type msgChunk struct {
-	File   int
-	Chunk  int
-	Chunks int // total chunks in the file
-}
-
 // xfer tracks one in-progress download at the requester.
 type xfer struct {
 	file    int
@@ -74,7 +61,7 @@ func (sv *Servent) maybeStartDownload(file, holder int) {
 	x.timeout.Reset(sv.par.Download.ChunkWait)
 	sv.xfer = x
 	sv.opt.Tracer.Emit(trace.KindQuery, sv.id, holder, "download start file=%d", file)
-	sv.send(holder, msgFetchReq{File: file, Chunk: 0})
+	sv.send(holder, Msg{Kind: msgFetchReq, File: file, Chunk: 0})
 }
 
 // abortDownload gives up on a stalled transfer.
@@ -88,7 +75,7 @@ func (sv *Servent) abortDownload(x *xfer) {
 }
 
 // onFetchReq serves one chunk if we hold the file.
-func (sv *Servent) onFetchReq(from int, m msgFetchReq) {
+func (sv *Servent) onFetchReq(from int, m Msg) {
 	if !sv.par.Download.Enabled || !sv.HasFile(m.File) {
 		return
 	}
@@ -96,12 +83,12 @@ func (sv *Servent) onFetchReq(from int, m msgFetchReq) {
 	if m.Chunk < 0 || m.Chunk >= cfg.FileChunks {
 		return
 	}
-	sv.send(from, msgChunk{File: m.File, Chunk: m.Chunk, Chunks: cfg.FileChunks})
+	sv.send(from, Msg{Kind: msgChunk, File: m.File, Chunk: m.Chunk, Chunks: cfg.FileChunks})
 }
 
 // onChunk advances the requester's transfer; on completion the file is
 // installed locally (replication).
-func (sv *Servent) onChunk(from int, m msgChunk) {
+func (sv *Servent) onChunk(from int, m Msg) {
 	x := sv.xfer
 	if x == nil || x.holder != from || x.file != m.File || m.Chunk != x.next {
 		return // stale, duplicate or out-of-order chunk
@@ -110,7 +97,7 @@ func (sv *Servent) onChunk(from int, m msgChunk) {
 	x.next++
 	x.timeout.Reset(sv.par.Download.ChunkWait)
 	if x.next < x.chunks {
-		sv.send(from, msgFetchReq{File: x.file, Chunk: x.next})
+		sv.send(from, Msg{Kind: msgFetchReq, File: x.file, Chunk: x.next})
 		return
 	}
 	// Complete: we now hold (and serve) the file.

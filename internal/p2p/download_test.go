@@ -115,8 +115,8 @@ func TestReplicatedFileAnswersLaterQueries(t *testing.T) {
 func TestFetchReqForUnheldFileIgnored(t *testing.T) {
 	w := downloadWorld(t, 64, DownloadConfig{Enabled: true, FileChunks: 2})
 	// Node 1 holds file 0 but not file 1.
-	w.svs[0].send(1, msgFetchReq{File: 1, Chunk: 0})
-	w.svs[0].send(1, msgFetchReq{File: 0, Chunk: 99}) // out of range
+	w.svs[0].send(1, Msg{Kind: msgFetchReq, File: 1, Chunk: 0})
+	w.svs[0].send(1, Msg{Kind: msgFetchReq, File: 0, Chunk: 99}) // out of range
 	w.run(time(5))
 	if got := w.col.Received(0, telemetry.Transfer); got != 0 {
 		t.Errorf("requester received %d chunks for invalid fetches", got)

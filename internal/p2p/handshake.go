@@ -13,11 +13,11 @@ package p2p
 import "manetp2p/internal/sim"
 
 // onSolicit decides whether to offer a connection to the solicitor.
-func (sv *Servent) onSolicit(from int, m msgSolicit, bcastHops int) {
+func (sv *Servent) onSolicit(from int, m Msg, bcastHops int) {
 	if !sv.willingToConnect(from, m.Rand, m.MasterOnly) {
 		return
 	}
-	sv.send(from, msgOffer{Rand: m.Rand, MasterOnly: m.MasterOnly, BcastHops: bcastHops})
+	sv.send(from, Msg{Kind: msgOffer, Rand: m.Rand, MasterOnly: m.MasterOnly, Hops: bcastHops})
 }
 
 // willingToConnect applies the responder-side capacity rules.
@@ -57,11 +57,11 @@ func (sv *Servent) willingToConnect(from int, random, masterOnly bool) bool {
 }
 
 // onOffer is the solicitor receiving a willing responder.
-func (sv *Servent) onOffer(from int, m msgOffer) {
+func (sv *Servent) onOffer(from int, m Msg) {
 	if m.Rand {
 		// Random-link offers are collected, not accepted eagerly.
 		if sv.collecting {
-			sv.offers = append(sv.offers, offerInfo{peer: from, bcastHops: m.BcastHops})
+			sv.offers = append(sv.offers, offerInfo{peer: from, bcastHops: m.Hops})
 		}
 		return
 	}
@@ -86,7 +86,7 @@ func (sv *Servent) acceptOffer(peer int, random, master bool) {
 	h := &handshake{peer: peer, random: random, master: master}
 	h.timeout = sv.s.ScheduleArg(sv.par.HandshakeWait, sv.hsTimeoutFn, sim.Arg{I0: peer, X: h})
 	sv.pending[peer] = h
-	sv.send(peer, msgAccept{Rand: random, Master: master})
+	sv.send(peer, Msg{Kind: msgAccept, Rand: random, Master: master})
 }
 
 // handshakeTimeout releases a reserved slot whose confirm never arrived.
@@ -99,35 +99,35 @@ func (sv *Servent) handshakeTimeout(a sim.Arg) {
 }
 
 // onAccept is the responder committing its half of the connection.
-func (sv *Servent) onAccept(from int, m msgAccept) {
+func (sv *Servent) onAccept(from int, m Msg) {
 	if h, cross := sv.pending[from]; cross {
 		// Crossing handshake: both ends solicited each other and both
 		// sent accepts. Without a tie-break the two accepts reject each
 		// other forever. The higher id keeps its solicitor role; the
 		// lower id yields and answers as responder.
 		if from < sv.id {
-			sv.send(from, msgReject{})
+			sv.send(from, Msg{Kind: msgReject})
 			return
 		}
 		delete(sv.pending, from)
 		h.timeout.Cancel()
 	}
 	if !sv.willingToConnect(from, m.Rand, m.Master) {
-		sv.send(from, msgReject{})
+		sv.send(from, Msg{Kind: msgReject})
 		return
 	}
 	sv.installConn(&conn{peer: from, random: m.Rand, master: m.Master, initiator: false})
-	sv.send(from, msgConfirm{Rand: m.Rand, Master: m.Master})
+	sv.send(from, Msg{Kind: msgConfirm, Rand: m.Rand, Master: m.Master})
 }
 
 // onConfirm finalizes the solicitor's half.
-func (sv *Servent) onConfirm(from int, m msgConfirm) {
+func (sv *Servent) onConfirm(from int, m Msg) {
 	h, ok := sv.pending[from]
 	if !ok {
 		// Our reservation timed out (or we left and rejoined); the
 		// responder installed state we will never maintain — tear it
 		// down explicitly rather than leaving it to keepalive timeouts.
-		sv.send(from, msgBye{})
+		sv.send(from, Msg{Kind: msgBye})
 		return
 	}
 	delete(sv.pending, from)
@@ -158,7 +158,7 @@ func (sv *Servent) startRandomSolicit() {
 	randhops := lo + sv.opt.RNG.Intn(hi-lo+1)
 	sv.collecting = true
 	sv.offers = sv.offers[:0]
-	sv.broadcast(randhops, msgSolicit{Rand: true})
+	sv.broadcast(randhops, Msg{Kind: msgSolicit, Rand: true})
 	sv.s.Schedule(sv.par.OfferWindow, sv.endCollectFn)
 }
 

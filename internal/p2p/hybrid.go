@@ -18,7 +18,7 @@ func (sv *Servent) hybridStep() {
 	switch sv.state {
 	case StateInitial:
 		if sv.nhops != 0 {
-			sv.broadcast(sv.nhops, msgCapture{Qualifier: sv.opt.Qualifier})
+			sv.broadcast(sv.nhops, Msg{Kind: msgCapture, Qualifier: sv.opt.Qualifier})
 			wait := sv.timer
 			sv.advanceNHops()
 			sv.scheduleCycle(wait)
@@ -32,7 +32,7 @@ func (sv *Servent) hybridStep() {
 		// "use the regular algorithm to contact other masters".
 		if sv.nhops != 0 {
 			if sv.needMasterLink() {
-				sv.broadcast(sv.nhops, msgSolicit{MasterOnly: true})
+				sv.broadcast(sv.nhops, Msg{Kind: msgSolicit, MasterOnly: true})
 			}
 			wait := sv.timer
 			sv.advanceNHops()
@@ -101,7 +101,7 @@ func (sv *Servent) outranks(peerQual float64, peerID int) bool {
 // onCapture handles the hybrid discovery broadcast: lower-qualified
 // initial peers try to enslave themselves to the sender; higher-
 // qualified initial peers and masters advertise back.
-func (sv *Servent) onCapture(from int, m msgCapture) {
+func (sv *Servent) onCapture(from int, m Msg) {
 	if sv.alg != Hybrid {
 		return
 	}
@@ -109,12 +109,12 @@ func (sv *Servent) onCapture(from int, m msgCapture) {
 	case sv.state == StateInitial && !sv.outranks(m.Qualifier, from):
 		sv.tryEnslaveTo(from)
 	case (sv.state == StateInitial || sv.state == StateMaster) && sv.outranks(m.Qualifier, from):
-		sv.send(from, msgCapture{Qualifier: sv.opt.Qualifier, Reply: true})
+		sv.send(from, Msg{Kind: msgCapture, Qualifier: sv.opt.Qualifier, Reply: true})
 	}
 }
 
 // onCaptureReply handles a higher-qualified peer's advertisement.
-func (sv *Servent) onCaptureReply(from int, m msgCapture) {
+func (sv *Servent) onCaptureReply(from int, m Msg) {
 	if sv.alg != Hybrid || !m.Reply {
 		return
 	}
@@ -131,7 +131,7 @@ func (sv *Servent) tryEnslaveTo(master int) {
 	}
 	sv.state = StateReserved
 	sv.reservedWith = master
-	sv.send(master, msgEnslaveReq{Qualifier: sv.opt.Qualifier})
+	sv.send(master, Msg{Kind: msgEnslaveReq, Qualifier: sv.opt.Qualifier})
 	sv.reservedEv.Cancel()
 	sv.reservedEv = sv.s.ScheduleArg(sv.par.HandshakeWait, sv.reservedExpFn, sim.Arg{I0: master})
 }
@@ -147,7 +147,7 @@ func (sv *Servent) reservedExpired(a sim.Arg) {
 
 // onEnslaveReq is the master side of the enslavement handshake. An
 // initial peer that receives one becomes a master on the spot.
-func (sv *Servent) onEnslaveReq(from int, _ msgEnslaveReq) {
+func (sv *Servent) onEnslaveReq(from int, _ Msg) {
 	if sv.alg != Hybrid {
 		return
 	}
@@ -157,14 +157,14 @@ func (sv *Servent) onEnslaveReq(from int, _ msgEnslaveReq) {
 		acceptable = false
 	}
 	if !acceptable {
-		sv.send(from, msgEnslaveReject{})
+		sv.send(from, Msg{Kind: msgEnslaveReject})
 		return
 	}
 	if sv.state == StateInitial {
 		sv.becomeMaster()
 		sv.ensureCycle() // start the master-mesh cycle
 	}
-	sv.send(from, msgEnslaveAccept{})
+	sv.send(from, Msg{Kind: msgEnslaveAccept})
 }
 
 // onEnslaveAccept is the slave finalizing: install the master link and
@@ -178,7 +178,7 @@ func (sv *Servent) onEnslaveAccept(from int) {
 	sv.opt.Tracer.Emit(trace.KindState, sv.id, from, "reserved->slave")
 	sv.state = StateSlave
 	sv.installConn(&conn{peer: from, toMaster: true, initiator: true})
-	sv.send(from, msgEnslaveConfirm{})
+	sv.send(from, Msg{Kind: msgEnslaveConfirm})
 	// A slave abandons any half-done mesh business.
 	sv.cycleEv.Cancel()
 	sv.cycleEv = sim.Handle{}
@@ -190,14 +190,14 @@ func (sv *Servent) onEnslaveConfirm(from int) {
 	if sv.alg != Hybrid || sv.state != StateMaster {
 		// We are no longer able to serve; let the slave's keepalive
 		// discover it quickly.
-		sv.send(from, msgBye{})
+		sv.send(from, Msg{Kind: msgBye})
 		return
 	}
 	if _, dup := sv.conns[from]; dup {
 		return
 	}
 	if sv.slaveCount() >= sv.par.MaxNSlaves {
-		sv.send(from, msgBye{})
+		sv.send(from, Msg{Kind: msgBye})
 		return
 	}
 	sv.installConn(&conn{peer: from, toSlave: true, initiator: false})

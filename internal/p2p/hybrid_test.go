@@ -257,7 +257,7 @@ func TestHybridEnslaveRejectWhenFull(t *testing.T) {
 	}
 	// A fresh candidate must be rejected and return to initial.
 	before := master.slaveCount()
-	master.onEnslaveReq(5, msgEnslaveReq{Qualifier: 0.05})
+	master.onEnslaveReq(5, Msg{Kind: msgEnslaveReq, Qualifier: 0.05})
 	w.run(time(5))
 	if master.slaveCount() != before {
 		t.Error("full master accepted another slave")

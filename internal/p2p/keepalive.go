@@ -28,26 +28,26 @@ func (sv *Servent) pingTick(c *conn) {
 	}
 	c.awaitingSeq++
 	c.awaitPong = true
-	sv.send(c.peer, msgPing{Seq: c.awaitingSeq})
+	sv.send(c.peer, Msg{Kind: msgPing, Seq: c.awaitingSeq})
 	c.pingTimer.Reset(sv.par.PongTimeout)
 }
 
 // onPing answers a keepalive probe.
-func (sv *Servent) onPing(from int, m msgPing) {
+func (sv *Servent) onPing(from int, m Msg) {
 	c, ok := sv.conns[from]
 	if !ok {
 		if sv.alg == Basic {
 			// Basic references are asymmetric: the pinged node holds no
 			// state and simply answers (§6.1.1).
-			sv.send(from, msgPong{Seq: m.Seq})
+			sv.send(from, Msg{Kind: msgPong, Seq: m.Seq})
 		} else {
 			// A symmetric-algorithm ping for a connection we do not
 			// have: tell the peer to drop its stale half.
-			sv.send(from, msgBye{})
+			sv.send(from, Msg{Kind: msgBye})
 		}
 		return
 	}
-	sv.send(from, msgPong{Seq: m.Seq})
+	sv.send(from, Msg{Kind: msgPong, Seq: m.Seq})
 	if c.deadline != nil {
 		c.deadline.Reset(sv.deadlineWindow())
 	}
@@ -55,7 +55,7 @@ func (sv *Servent) onPing(from int, m msgPing) {
 
 // onPong completes a probe round trip; adhocHops is the distance the
 // pong traveled, i.e. the current ad-hoc distance to the peer.
-func (sv *Servent) onPong(from int, m msgPong, adhocHops int) {
+func (sv *Servent) onPong(from int, m Msg, adhocHops int) {
 	c, ok := sv.conns[from]
 	if !ok || !c.awaitPong || m.Seq != c.awaitingSeq {
 		return

@@ -3,6 +3,7 @@ package p2p
 import (
 	"testing"
 
+	"manetp2p/internal/netif"
 	"manetp2p/internal/telemetry"
 )
 
@@ -48,11 +49,11 @@ func TestStalePongSeqIgnored(t *testing.T) {
 	// Fabricate an awaited probe, then deliver a pong with a stale seq.
 	c.awaitPong = true
 	c.awaitingSeq = 7
-	sv.onPong(1, msgPong{Seq: 3}, 1)
+	sv.onPong(1, Msg{Kind: msgPong, Seq: 3}, 1)
 	if !c.awaitPong {
 		t.Error("stale pong cleared the awaiting flag")
 	}
-	sv.onPong(1, msgPong{Seq: 7}, 1)
+	sv.onPong(1, Msg{Kind: msgPong, Seq: 7}, 1)
 	if c.awaitPong {
 		t.Error("matching pong not accepted")
 	}
@@ -62,7 +63,7 @@ func TestPongFromStrangerIgnored(t *testing.T) {
 	w := pairWorld(t, 52)
 	sv := w.svs[0]
 	before := sv.ConnCount()
-	sv.onPong(9, msgPong{Seq: 1}, 1) // no such connection
+	sv.onPong(9, Msg{Kind: msgPong, Seq: 1}, 1) // no such connection
 	if sv.ConnCount() != before {
 		t.Error("stranger pong mutated connections")
 	}
@@ -182,7 +183,7 @@ func TestStrayConfirmGetsBye(t *testing.T) {
 	// Node 1 has installed its half (as if it accepted long ago) and
 	// sends the final handshake step; node 0 no longer tracks it.
 	w.svs[1].installConn(&conn{peer: 0, initiator: false})
-	w.svs[1].send(0, msgConfirm{})
+	w.svs[1].send(0, Msg{Kind: msgConfirm})
 	w.run(time(2))
 	if w.svs[1].ConnCount() != 0 {
 		t.Error("responder's half not torn down after stray confirm")
@@ -190,25 +191,25 @@ func TestStrayConfirmGetsBye(t *testing.T) {
 }
 
 func TestMessageClassification(t *testing.T) {
-	cases := map[telemetry.Class][]any{
+	cases := map[telemetry.Class][]netif.MsgKind{
 		telemetry.Connect: {
-			msgDiscover{}, msgReply{}, msgSolicit{}, msgOffer{}, msgAccept{},
-			msgConfirm{}, msgReject{}, msgCapture{}, msgEnslaveReq{},
-			msgEnslaveAccept{}, msgEnslaveConfirm{}, msgEnslaveReject{},
+			msgDiscover, msgReply, msgSolicit, msgOffer, msgAccept,
+			msgConfirm, msgReject, msgCapture, msgEnslaveReq,
+			msgEnslaveAccept, msgEnslaveConfirm, msgEnslaveReject,
 		},
-		telemetry.Ping:     {msgPing{}},
-		telemetry.Pong:     {msgPong{}},
-		telemetry.Query:    {msgQuery{}},
-		telemetry.QueryHit: {msgQueryHit{}},
-		telemetry.Bye:      {msgBye{}},
+		telemetry.Ping:     {msgPing},
+		telemetry.Pong:     {msgPong},
+		telemetry.Query:    {msgQuery},
+		telemetry.QueryHit: {msgQueryHit},
+		telemetry.Bye:      {msgBye},
 	}
-	for class, msgs := range cases {
-		for _, m := range msgs {
-			if got := classOf(m); got != class {
-				t.Errorf("classOf(%T) = %v, want %v", m, got, class)
+	for class, kinds := range cases {
+		for _, k := range kinds {
+			if got := classOf(k); got != class {
+				t.Errorf("classOf(%v) = %v, want %v", k, got, class)
 			}
-			if sizeOf(m) <= 0 {
-				t.Errorf("sizeOf(%T) not positive", m)
+			if sizeOf(k) <= 0 {
+				t.Errorf("sizeOf(%v) not positive", k)
 			}
 		}
 	}
@@ -220,5 +221,5 @@ func TestClassOfUnknownPanics(t *testing.T) {
 			t.Error("classOf(unknown) did not panic")
 		}
 	}()
-	classOf(42)
+	classOf(netif.MsgKind(42))
 }

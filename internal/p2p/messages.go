@@ -1,6 +1,77 @@
 package p2p
 
-import "manetp2p/internal/telemetry"
+import (
+	"manetp2p/internal/netif"
+	"manetp2p/internal/telemetry"
+)
+
+// Msg is the overlay message: netif's value-typed tagged union. It
+// crosses the network interface by value, so sending, relaying, and
+// delivering a message never boxes it onto the heap.
+type Msg = netif.Msg
+
+// The kind constants alias netif's, named after the message they tag so
+// protocol code reads the way the paper does. The overlay vocabulary:
+//
+//   - msgDiscover: the Basic algorithm's discovery broadcast.
+//   - msgReply: the Basic algorithm's answer to a discover — "every
+//     node that listens to this message answers it" (§6.1.1). Receipt
+//     immediately creates an asymmetric reference at the discoverer.
+//   - msgSolicit: the Regular/Random establishment broadcast ("looking
+//     for establishing connections", §6.1.3). Rand marks the Random
+//     algorithm's long-link solicitation; for the Hybrid algorithm,
+//     masters solicit other masters with MasterOnly set.
+//   - msgOffer: opens the three-way handshake — the responder is
+//     willing to form a symmetric connection. Hops echoes how many
+//     ad-hoc hops the solicitation traveled, which the Random algorithm
+//     uses to pick the farthest responder.
+//   - msgAccept: the solicitor's second handshake step, committing a
+//     slot (Master when connecting as a hybrid master).
+//   - msgConfirm: the responder's final handshake step; on receipt both
+//     ends consider the symmetric connection established.
+//   - msgReject: aborts a handshake whose responder ran out of
+//     capacity.
+//   - msgCapture: the Hybrid algorithm's discovery message carrying the
+//     sender's Qualifier (§6.2). Reply=false for the initial broadcast;
+//     a higher-qualified receiver answers with Reply=true.
+//   - msgEnslaveReq/Accept/Confirm/Reject: the enslave handshake — a
+//     node asks a better-qualified master (Qualifier) to adopt it.
+//   - msgPing/msgPong: the keepalive pair; Seq matches pongs to pings.
+//   - msgBye: a best-effort teardown notice so the remote side need not
+//     wait for a keepalive timeout. The paper relies on timeouts alone;
+//     Bye is an optimization that does not affect the counted classes.
+//   - msgQuery: a Gnutella-style file search flooded over overlay links
+//     (§7.2): TTL-limited, forwarded at most once per node, never back
+//     to the sender or the original requirer. Origin is the requirer,
+//     Seq the per-origin query id for duplicate suppression, File the
+//     requested rank, Hops the overlay hops traveled so far, Walk the
+//     random-walk propagation mode.
+//   - msgQueryHit: sent directly (ad-hoc unicast) to the requirer by a
+//     node holding the file; Seq echoes the query id, Hops the overlay
+//     hops the query traveled to reach Holder.
+//   - msgFetchReq/msgChunk: the optional download extension's transfer
+//     pair (see download.go).
+const (
+	msgDiscover       = netif.MsgDiscover
+	msgReply          = netif.MsgReply
+	msgSolicit        = netif.MsgSolicit
+	msgOffer          = netif.MsgOffer
+	msgAccept         = netif.MsgAccept
+	msgConfirm        = netif.MsgConfirm
+	msgReject         = netif.MsgReject
+	msgCapture        = netif.MsgCapture
+	msgEnslaveReq     = netif.MsgEnslaveReq
+	msgEnslaveAccept  = netif.MsgEnslaveAccept
+	msgEnslaveConfirm = netif.MsgEnslaveConfirm
+	msgEnslaveReject  = netif.MsgEnslaveReject
+	msgPing           = netif.MsgPing
+	msgPong           = netif.MsgPong
+	msgBye            = netif.MsgBye
+	msgQuery          = netif.MsgQuery
+	msgQueryHit       = netif.MsgQueryHit
+	msgFetchReq       = netif.MsgFetchReq
+	msgChunk          = netif.MsgChunk
+)
 
 // Nominal p2p message sizes in bytes for traffic/energy accounting.
 const (
@@ -20,165 +91,95 @@ const (
 	sizeQueryHit = 20
 )
 
-// msgDiscover is the Basic algorithm's discovery broadcast.
-type msgDiscover struct{}
-
-// msgReply is the Basic algorithm's answer to a discover: "every node
-// that listens to this message answers it" (§6.1.1). Receipt immediately
-// creates an asymmetric reference at the discoverer.
-type msgReply struct{}
-
-// msgSolicit is the Regular/Random establishment broadcast ("looking for
-// establishing connections", §6.1.3). For the Hybrid algorithm, masters
-// solicit other masters with MasterOnly set.
-type msgSolicit struct {
-	Rand       bool // this solicitation seeks the Random algorithm's long link
-	MasterOnly bool // only masters may respond (Hybrid master mesh)
+// The class and size tables are indexed by message kind — one bounds
+// check and one load on the hot send path, where the old any-typed
+// type switches boxed every message they touched. A kind missing from
+// a table (MsgNone, MsgTest, or a newly added kind without entries)
+// panics exactly like the switches' default arms did; the coverage
+// test in messages_test.go keeps the tables and the kind enum in sync.
+var classTable = [netif.NumMsgKinds]telemetry.Class{
+	msgDiscover:       telemetry.Connect,
+	msgReply:          telemetry.Connect,
+	msgSolicit:        telemetry.Connect,
+	msgOffer:          telemetry.Connect,
+	msgAccept:         telemetry.Connect,
+	msgConfirm:        telemetry.Connect,
+	msgReject:         telemetry.Connect,
+	msgCapture:        telemetry.Connect,
+	msgEnslaveReq:     telemetry.Connect,
+	msgEnslaveAccept:  telemetry.Connect,
+	msgEnslaveConfirm: telemetry.Connect,
+	msgEnslaveReject:  telemetry.Connect,
+	msgPing:           telemetry.Ping,
+	msgPong:           telemetry.Pong,
+	msgBye:            telemetry.Bye,
+	msgQuery:          telemetry.Query,
+	msgQueryHit:       telemetry.QueryHit,
+	msgFetchReq:       telemetry.Transfer,
+	msgChunk:          telemetry.Transfer,
 }
 
-// msgOffer opens the three-way handshake: the responder is willing to
-// form a symmetric connection. BcastHops echoes how many ad-hoc hops the
-// solicitation traveled, which the Random algorithm uses to pick the
-// farthest responder.
-type msgOffer struct {
-	Rand       bool
-	MasterOnly bool
-	BcastHops  int
+// classKnown marks kinds with a class assignment: telemetry.Connect is
+// the zero Class, so the table alone cannot tell "Connect" from
+// "missing".
+var classKnown = [netif.NumMsgKinds]bool{
+	msgDiscover:       true,
+	msgReply:          true,
+	msgSolicit:        true,
+	msgOffer:          true,
+	msgAccept:         true,
+	msgConfirm:        true,
+	msgReject:         true,
+	msgCapture:        true,
+	msgEnslaveReq:     true,
+	msgEnslaveAccept:  true,
+	msgEnslaveConfirm: true,
+	msgEnslaveReject:  true,
+	msgPing:           true,
+	msgPong:           true,
+	msgBye:            true,
+	msgQuery:          true,
+	msgQueryHit:       true,
+	msgFetchReq:       true,
+	msgChunk:          true,
 }
 
-// msgAccept is the solicitor's second handshake step, committing a slot.
-type msgAccept struct {
-	Rand   bool
-	Master bool
+// sizeTable gives each kind's nominal wire size; 0 means unsized (the
+// kind is not a wire message).
+var sizeTable = [netif.NumMsgKinds]int{
+	msgDiscover:       sizeDiscover,
+	msgReply:          sizeReply,
+	msgSolicit:        sizeSolicit,
+	msgOffer:          sizeOffer,
+	msgAccept:         sizeAccept,
+	msgConfirm:        sizeConfirm,
+	msgReject:         sizeReject,
+	msgCapture:        sizeCapture,
+	msgEnslaveReq:     sizeEnslave,
+	msgEnslaveAccept:  sizeEnslave,
+	msgEnslaveConfirm: sizeEnslave,
+	msgEnslaveReject:  sizeEnslave,
+	msgPing:           sizePing,
+	msgPong:           sizePong,
+	msgBye:            sizeBye,
+	msgQuery:          sizeQuery,
+	msgQueryHit:       sizeQueryHit,
+	msgFetchReq:       sizeFetchReq,
+	msgChunk:          sizeChunk,
 }
 
-// msgConfirm is the responder's final handshake step; on receipt both
-// ends consider the symmetric connection established.
-type msgConfirm struct {
-	Rand   bool
-	Master bool
-}
-
-// msgReject aborts a handshake whose responder ran out of capacity.
-type msgReject struct{}
-
-// msgCapture is the Hybrid algorithm's discovery message carrying the
-// sender's qualifier (§6.2). Reply=false for the initial broadcast;
-// a higher-qualified receiver answers with Reply=true.
-type msgCapture struct {
-	Qualifier float64
-	Reply     bool
-}
-
-// msgEnslaveReq asks the receiver to become the sender's master.
-type msgEnslaveReq struct {
-	Qualifier float64
-}
-
-// msgEnslaveAccept grants a slave slot (master side of the handshake).
-type msgEnslaveAccept struct{}
-
-// msgEnslaveConfirm finalizes enslavement (slave side).
-type msgEnslaveConfirm struct{}
-
-// msgEnslaveReject denies a slave slot.
-type msgEnslaveReject struct{}
-
-// msgPing is the keepalive probe. Seq matches pongs to pings.
-type msgPing struct {
-	Seq uint32
-}
-
-// msgPong answers a ping.
-type msgPong struct {
-	Seq uint32
-}
-
-// msgBye is a best-effort teardown notice so the remote side need not
-// wait for a keepalive timeout. The paper relies on timeouts alone; Bye
-// is an optimization that does not affect the counted message classes.
-type msgBye struct{}
-
-// msgQuery is a Gnutella-style file search flooded over overlay links
-// (§7.2): TTL-limited, forwarded at most once per node, never back to
-// the sender or to the original requirer.
-type msgQuery struct {
-	Origin  int    // the requirer
-	QID     uint32 // per-origin query id for duplicate suppression
-	File    int    // requested file rank
-	TTL     int    // remaining p2p hops
-	P2PHops int    // overlay hops traveled so far
-	Walk    bool   // random-walk propagation instead of flooding
-}
-
-// msgQueryHit is sent directly (ad-hoc unicast) to the requirer by a
-// node holding the file.
-type msgQueryHit struct {
-	QID     uint32
-	File    int
-	Holder  int
-	P2PHops int // overlay hops the query traveled to reach the holder
-}
-
-// classOf maps a message to the paper's counting classes.
-func classOf(m any) telemetry.Class {
-	switch m.(type) {
-	case msgDiscover, msgReply, msgSolicit, msgOffer, msgAccept, msgConfirm, msgReject,
-		msgCapture, msgEnslaveReq, msgEnslaveAccept, msgEnslaveConfirm, msgEnslaveReject:
-		return telemetry.Connect
-	case msgPing:
-		return telemetry.Ping
-	case msgPong:
-		return telemetry.Pong
-	case msgQuery:
-		return telemetry.Query
-	case msgQueryHit:
-		return telemetry.QueryHit
-	case msgBye:
-		return telemetry.Bye
-	case msgFetchReq, msgChunk:
-		return telemetry.Transfer
-	default:
+// classOf maps a message kind to the paper's counting classes.
+func classOf(k netif.MsgKind) telemetry.Class {
+	if int(k) >= netif.NumMsgKinds || !classKnown[k] {
 		panic("p2p: unclassified message")
 	}
+	return classTable[k]
 }
 
-// sizeOf returns the nominal wire size of a message.
-func sizeOf(m any) int {
-	switch m.(type) {
-	case msgDiscover:
-		return sizeDiscover
-	case msgReply:
-		return sizeReply
-	case msgSolicit:
-		return sizeSolicit
-	case msgOffer:
-		return sizeOffer
-	case msgAccept:
-		return sizeAccept
-	case msgConfirm:
-		return sizeConfirm
-	case msgReject:
-		return sizeReject
-	case msgCapture:
-		return sizeCapture
-	case msgEnslaveReq, msgEnslaveAccept, msgEnslaveConfirm, msgEnslaveReject:
-		return sizeEnslave
-	case msgPing:
-		return sizePing
-	case msgPong:
-		return sizePong
-	case msgBye:
-		return sizeBye
-	case msgQuery:
-		return sizeQuery
-	case msgQueryHit:
-		return sizeQueryHit
-	case msgFetchReq:
-		return sizeFetchReq
-	case msgChunk:
-		return sizeChunk
-	default:
+// sizeOf returns the nominal wire size of a message kind.
+func sizeOf(k netif.MsgKind) int {
+	if int(k) >= netif.NumMsgKinds || sizeTable[k] == 0 {
 		panic("p2p: unsized message")
 	}
+	return sizeTable[k]
 }

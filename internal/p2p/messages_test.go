@@ -1,0 +1,101 @@
+package p2p
+
+import (
+	"testing"
+
+	"manetp2p/internal/netif"
+	"manetp2p/internal/telemetry"
+)
+
+// wireKinds are the message kinds the overlay puts on the wire — every
+// netif kind except the reserved zero value and the test-only tag
+// carrier. If a kind is added to netif without entries in the p2p
+// class/size tables, TestEveryWireKindClassifiedAndSized fails; if it
+// is deliberately not a wire message, add it to the exclusions here.
+func wireKinds() []netif.MsgKind {
+	kinds := make([]netif.MsgKind, 0, netif.NumMsgKinds)
+	for k := netif.MsgKind(0); int(k) < netif.NumMsgKinds; k++ {
+		if k == netif.MsgNone || k == netif.MsgTest {
+			continue
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds
+}
+
+// TestEveryWireKindClassifiedAndSized is the kind-coverage check: every
+// wire kind must resolve through classOf and sizeOf without panicking,
+// with a positive size and a class within telemetry's range. Growing
+// the netif kind enum without extending the tables trips this
+// immediately.
+func TestEveryWireKindClassifiedAndSized(t *testing.T) {
+	kinds := wireKinds()
+	// 19 wire kinds today; this count only grows. A shrinking count
+	// means kinds were removed without updating the exclusions above.
+	if len(kinds) < 19 {
+		t.Fatalf("only %d wire kinds enumerated, want >= 19", len(kinds))
+	}
+	for _, k := range kinds {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("kind %d: classOf/sizeOf panicked: %v", k, r)
+				}
+			}()
+			if c := classOf(k); int(c) < 0 || int(c) >= telemetry.NumClasses {
+				t.Errorf("classOf(%d) = %v, outside telemetry's class range", k, c)
+			}
+			if s := sizeOf(k); s <= 0 {
+				t.Errorf("sizeOf(%d) = %d, want positive", k, s)
+			}
+		}()
+	}
+}
+
+// TestUnclassifiedKindsPanic makes the classOf/sizeOf panic arms
+// reachable-by-test: the reserved zero kind, the test-only kind, and an
+// out-of-range kind must all refuse classification and sizing.
+func TestUnclassifiedKindsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	for _, k := range []netif.MsgKind{netif.MsgNone, netif.MsgTest, netif.MsgKind(netif.NumMsgKinds), netif.MsgKind(250)} {
+		k := k
+		mustPanic("classOf", func() { classOf(k) })
+		mustPanic("sizeOf", func() { sizeOf(k) })
+	}
+}
+
+// TestClassTableMatchesSwitchSemantics pins the table contents against
+// the classification the old type switch implemented: all twelve
+// connection-management kinds count as Connect, the keepalive pair as
+// Ping/Pong, teardown as Bye, the search pair as Query/QueryHit, and
+// the download pair as Transfer.
+func TestClassTableMatchesSwitchSemantics(t *testing.T) {
+	want := map[netif.MsgKind]telemetry.Class{
+		msgDiscover: telemetry.Connect, msgReply: telemetry.Connect,
+		msgSolicit: telemetry.Connect, msgOffer: telemetry.Connect,
+		msgAccept: telemetry.Connect, msgConfirm: telemetry.Connect,
+		msgReject: telemetry.Connect, msgCapture: telemetry.Connect,
+		msgEnslaveReq: telemetry.Connect, msgEnslaveAccept: telemetry.Connect,
+		msgEnslaveConfirm: telemetry.Connect, msgEnslaveReject: telemetry.Connect,
+		msgPing: telemetry.Ping, msgPong: telemetry.Pong,
+		msgBye: telemetry.Bye, msgQuery: telemetry.Query,
+		msgQueryHit: telemetry.QueryHit,
+		msgFetchReq: telemetry.Transfer, msgChunk: telemetry.Transfer,
+	}
+	if len(want) != len(wireKinds()) {
+		t.Fatalf("expectation table covers %d kinds, wire has %d", len(want), len(wireKinds()))
+	}
+	for k, class := range want {
+		if got := classOf(k); got != class {
+			t.Errorf("classOf(%v) = %v, want %v", k, got, class)
+		}
+	}
+}

@@ -105,7 +105,7 @@ func (sv *Servent) tryCachedPeers() bool {
 		}
 		e.tried = now
 		e.hasTried = true
-		sv.send(peer, msgSolicit{})
+		sv.send(peer, Msg{Kind: msgSolicit})
 		sent++
 	}
 	return sent > 0

@@ -80,15 +80,14 @@ func (sv *Servent) runQuery() {
 	switch sv.par.QueryMode {
 	case QueryRandomWalk:
 		// Launch k walkers on random neighbors (distinct when possible).
-		var q any = msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.WalkTTL, Walk: true}
+		q := Msg{Kind: msgQuery, Origin: sv.id, Seq: sv.nextQID, File: file, TTL: sv.par.WalkTTL, Walk: true}
 		peers := sv.sortedPeers()
 		sv.opt.RNG.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
 		for w := 0; w < sv.par.Walkers; w++ {
 			sv.send(peers[w%len(peers)], q)
 		}
 	default:
-		// Box the query once; the fan-out sends the same interface value.
-		var q any = msgQuery{Origin: sv.id, QID: sv.nextQID, File: file, TTL: sv.par.QueryTTL, P2PHops: 0}
+		q := Msg{Kind: msgQuery, Origin: sv.id, Seq: sv.nextQID, File: file, TTL: sv.par.QueryTTL, Hops: 0}
 		for _, peer := range sv.sortedPeers() { // sorted: keeps runs reproducible
 			sv.send(peer, q)
 		}
@@ -136,7 +135,7 @@ func (sv *Servent) finishQuery() {
 // onQuery applies the paper's three forwarding rules and answers if this
 // node holds the file. Random-walk queries relax rule 1: a walker may
 // revisit a node (it keeps walking), but the node answers at most once.
-func (sv *Servent) onQuery(prev int, q msgQuery) {
+func (sv *Servent) onQuery(prev int, q Msg) {
 	if q.Origin == sv.id {
 		return
 	}
@@ -144,21 +143,20 @@ func (sv *Servent) onQuery(prev int, q msgQuery) {
 		sv.onWalkQuery(prev, q)
 		return
 	}
-	k := queryKey{q.Origin, q.QID}
+	k := queryKey{q.Origin, q.Seq}
 	if _, dup := sv.seen[k]; dup {
 		return // rule 1: forward or respond at most once
 	}
 	sv.seen[k] = struct{}{}
-	myDist := q.P2PHops + 1
+	myDist := q.Hops + 1
 	if sv.HasFile(q.File) {
 		// "it sends a response directly to the requirer."
-		sv.send(q.Origin, msgQueryHit{QID: q.QID, File: q.File, Holder: sv.id, P2PHops: myDist})
+		sv.send(q.Origin, Msg{Kind: msgQueryHit, Seq: q.Seq, File: q.File, Holder: sv.id, Hops: myDist})
 	}
 	if q.TTL <= 1 {
 		return
 	}
-	// Box the forwarded query once; the fan-out reuses the interface value.
-	var fwd any = msgQuery{Origin: q.Origin, QID: q.QID, File: q.File, TTL: q.TTL - 1, P2PHops: myDist}
+	fwd := Msg{Kind: msgQuery, Origin: q.Origin, Seq: q.Seq, File: q.File, TTL: q.TTL - 1, Hops: myDist}
 	for _, peer := range sv.sortedPeers() { // sorted: keeps runs reproducible
 		if peer == prev || peer == q.Origin {
 			continue // rules 2 and 3
@@ -170,13 +168,13 @@ func (sv *Servent) onQuery(prev int, q msgQuery) {
 // onWalkQuery advances one random walker: answer once if we hold the
 // file, then hand the walker to a random neighbor (avoiding an
 // immediate bounce when any alternative exists).
-func (sv *Servent) onWalkQuery(prev int, q msgQuery) {
-	myDist := q.P2PHops + 1
-	k := queryKey{q.Origin, q.QID}
+func (sv *Servent) onWalkQuery(prev int, q Msg) {
+	myDist := q.Hops + 1
+	k := queryKey{q.Origin, q.Seq}
 	if _, answered := sv.seen[k]; !answered {
 		sv.seen[k] = struct{}{}
 		if sv.HasFile(q.File) {
-			sv.send(q.Origin, msgQueryHit{QID: q.QID, File: q.File, Holder: sv.id, P2PHops: myDist})
+			sv.send(q.Origin, Msg{Kind: msgQueryHit, Seq: q.Seq, File: q.File, Holder: sv.id, Hops: myDist})
 		}
 	}
 	if q.TTL <= 1 {
@@ -198,15 +196,15 @@ func (sv *Servent) onWalkQuery(prev int, q msgQuery) {
 	next := candidates[sv.opt.RNG.Intn(len(candidates))]
 	fwd := q
 	fwd.TTL--
-	fwd.P2PHops = myDist
+	fwd.Hops = myDist
 	sv.send(next, fwd)
 }
 
 // onQueryHit accumulates an answer into the open request, tracking the
 // minimum p2p and ad-hoc distances to a holder.
-func (sv *Servent) onQueryHit(_ int, h msgQueryHit, adhocHops int) {
+func (sv *Servent) onQueryHit(_ int, h Msg, adhocHops int) {
 	r := sv.curReq
-	if r == nil || h.QID != r.qid {
+	if r == nil || h.Seq != r.qid {
 		return // late answer: the window closed
 	}
 	r.answers++
@@ -215,8 +213,8 @@ func (sv *Servent) onQueryHit(_ int, h msgQueryHit, adhocHops int) {
 			d.FirstAnswer(sv.id)
 		}
 	}
-	if r.minP2P == 0 || h.P2PHops < r.minP2P {
-		r.minP2P = h.P2PHops
+	if r.minP2P == 0 || h.Hops < r.minP2P {
+		r.minP2P = h.Hops
 		r.holder = h.Holder
 	}
 	if r.minAdhoc == 0 || adhocHops < r.minAdhoc {

@@ -154,7 +154,7 @@ func TestLateAnswersIgnoredAfterWindow(t *testing.T) {
 	}
 	recorded := w.col.Requests()[0].Answers
 	// Inject a late hit for the already-closed request.
-	sv.onQueryHit(1, msgQueryHit{QID: 1, File: 0, Holder: 1, P2PHops: 1}, 1)
+	sv.onQueryHit(1, Msg{Kind: msgQueryHit, Seq: 1, File: 0, Holder: 1, Hops: 1}, 1)
 	if len(w.col.Requests()) != 1 || w.col.Requests()[0].Answers != recorded {
 		t.Error("late answer mutated a closed request")
 	}

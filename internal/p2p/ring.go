@@ -62,7 +62,7 @@ func (sv *Servent) ringStep() {
 			// Peer-cache extension: a unicast retry toward a known peer
 			// replaces this step's broadcast when possible.
 			if !sv.tryCachedPeers() {
-				sv.broadcast(sv.nhops, msgSolicit{})
+				sv.broadcast(sv.nhops, Msg{Kind: msgSolicit})
 			}
 		}
 		if sv.alg == Random && sv.needRandomLink() {

@@ -376,20 +376,20 @@ func (sv *Servent) Leave(graceful bool) {
 }
 
 // count records a received message in the collector.
-func (sv *Servent) count(m any) {
+func (sv *Servent) count(k netif.MsgKind) {
 	if sv.opt.Collector != nil {
-		sv.opt.Collector.Recv(sv.id, classOf(m))
+		sv.opt.Collector.Recv(sv.id, classOf(k))
 	}
 }
 
 // send unicasts a p2p message to peer through the ad-hoc network.
-func (sv *Servent) send(peer int, m any) {
-	sv.rt.Send(peer, sizeOf(m), m)
+func (sv *Servent) send(peer int, m Msg) {
+	sv.rt.Send(peer, sizeOf(m.Kind), m)
 }
 
 // broadcast floods a p2p message within ttl ad-hoc hops.
-func (sv *Servent) broadcast(ttl int, m any) {
-	sv.rt.Broadcast(ttl, sizeOf(m), m)
+func (sv *Servent) broadcast(ttl int, m Msg) {
+	sv.rt.Broadcast(ttl, sizeOf(m.Kind), m)
 }
 
 // HandleBroadcast is the router's controlled-broadcast upper hook.
@@ -397,8 +397,9 @@ func (sv *Servent) HandleBroadcast(d netif.Delivery) {
 	if !sv.joined || d.From == sv.id {
 		return
 	}
-	sv.count(d.Payload)
-	switch m := d.Payload.(type) {
+	sv.count(d.Payload.Kind)
+	m := d.Payload
+	switch m.Kind {
 	case msgDiscover:
 		sv.onDiscover(d.From)
 	case msgSolicit:
@@ -413,8 +414,9 @@ func (sv *Servent) HandleUnicast(d netif.Delivery) {
 	if !sv.joined {
 		return
 	}
-	sv.count(d.Payload)
-	switch m := d.Payload.(type) {
+	sv.count(d.Payload.Kind)
+	m := d.Payload
+	switch m.Kind {
 	case msgReply:
 		sv.onReply(d.From)
 	case msgSolicit:
@@ -455,7 +457,7 @@ func (sv *Servent) HandleUnicast(d netif.Delivery) {
 	case msgChunk:
 		sv.onChunk(d.From, m)
 	default:
-		panic(fmt.Sprintf("p2p: unexpected unicast payload %T", d.Payload))
+		panic(fmt.Sprintf("p2p: unexpected unicast payload kind %d", m.Kind))
 	}
 }
 
@@ -507,7 +509,7 @@ func (sv *Servent) closeConn(peer int, notify bool) {
 		c.deadline.Stop()
 	}
 	if notify && sv.alg != Basic {
-		sv.send(peer, msgBye{})
+		sv.send(peer, Msg{Kind: msgBye})
 	}
 	if !sv.joined {
 		return

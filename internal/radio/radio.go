@@ -14,18 +14,20 @@ import (
 	"fmt"
 
 	"manetp2p/internal/geom"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
 )
 
 // BroadcastAddr addresses a frame to every node in range of the sender.
 const BroadcastAddr = -1
 
-// Frame is one link-layer transmission unit.
+// Frame is one link-layer transmission unit. The payload travels by
+// value — relaying or queueing a frame never touches the heap.
 type Frame struct {
-	Src     int // transmitting node
-	Dst     int // receiving node or BroadcastAddr
-	Size    int // bytes on air, for energy/traffic accounting
-	Payload any // upper-layer packet; never inspected by the medium
+	Src     int          // transmitting node
+	Dst     int          // receiving node or BroadcastAddr
+	Size    int          // bytes on air, for energy/traffic accounting
+	Payload netif.Packet // upper-layer packet; never inspected by the medium
 }
 
 // Receiver is the upper-layer hook invoked on frame arrival.
@@ -111,6 +113,8 @@ type Medium struct {
 	// and a Stop() landing mid-batch no longer splits same-instant
 	// deliveries (both are diagnostics, not simulation state).
 	pending    deliveryHeap
+	frames     []Frame // slab of in-flight frames, indexed by delivery.idx
+	freeIdx    []int32 // recycled slab slots
 	drainFn    func()
 	drainH     sim.Handle
 	drainAt    sim.Time
@@ -120,12 +124,15 @@ type Medium struct {
 }
 
 // delivery is one in-flight frame: it arrives at node to at instant at,
-// ordered among all simulator events by the reserved seq.
+// ordered among all simulator events by the reserved seq. The record is
+// deliberately a 24-byte key — the frame itself sits in the medium's
+// slab under idx — so the heap's sift swaps move keys, not 200+-byte
+// value-typed packets (sifting whole frames dominated the CPU profile).
 type delivery struct {
 	at  sim.Time
 	seq uint64
-	to  int
-	f   Frame
+	to  int32
+	idx int32
 }
 
 // deliveryHeap is a value-typed binary min-heap over (at, seq).
@@ -167,7 +174,6 @@ func (q *deliveryHeap) pop() delivery {
 	n := len(q.items)
 	top := q.items[0]
 	q.items[0] = q.items[n-1]
-	q.items[n-1] = delivery{} // drop the Payload reference
 	q.items = q.items[:n-1]
 	n--
 	i := 0
@@ -187,6 +193,27 @@ func (q *deliveryHeap) pop() delivery {
 		i = smallest
 	}
 	return top
+}
+
+// putFrame parks an in-flight frame in the slab and returns its slot.
+// Slot indices are stable across slab growth, so a held index survives
+// reentrant Sends from a receive callback; pointers into the slab do not.
+func (m *Medium) putFrame(f Frame) int32 {
+	if n := len(m.freeIdx); n > 0 {
+		idx := m.freeIdx[n-1]
+		m.freeIdx = m.freeIdx[:n-1]
+		m.frames[idx] = f
+		return idx
+	}
+	m.frames = append(m.frames, f)
+	return int32(len(m.frames) - 1)
+}
+
+// releaseFrame recycles a slab slot, dropping the payload's slice
+// references so the frame does not pin memory while the slot sits free.
+func (m *Medium) releaseFrame(idx int32) {
+	m.frames[idx] = Frame{}
+	m.freeIdx = append(m.freeIdx, idx)
 }
 
 // NewMedium creates the medium; all nodes start down (not placed) until
@@ -370,7 +397,7 @@ func (m *Medium) deliver(f Frame, to int) {
 		delay += sim.Time(m.jrng.Int63n(int64(m.cfg.Jitter) + 1))
 	}
 	m.stats[to].Queued++
-	m.pending.push(delivery{at: m.sim.Now() + delay, seq: m.sim.ReserveSeq(), to: to, f: f})
+	m.pending.push(delivery{at: m.sim.Now() + delay, seq: m.sim.ReserveSeq(), to: int32(to), idx: m.putFrame(f)})
 	m.syncDrain()
 }
 
@@ -427,21 +454,26 @@ func (m *Medium) drainDeliveries() {
 }
 
 // arrive completes one delivery, with the same receiver checks the
-// per-frame closure used to make at fire time.
+// per-frame closure used to make at fire time. The frame is read out of
+// the slab by index at each use — never through a held pointer — because
+// the receive callback may Send, growing the slab.
 func (m *Medium) arrive(rec delivery) {
-	to := rec.to
+	to := int(rec.to)
 	// The receiver may have left or died while the frame was in
 	// flight; radio waves do not chase nodes.
 	if !m.up[to] {
 		m.stats[to].LostDown++
+		m.releaseFrame(rec.idx)
 		return
 	}
+	size := m.frames[rec.idx].Size
 	m.stats[to].RxFrames++
-	m.stats[to].RxBytes += uint64(rec.f.Size)
-	m.spendRx(to, rec.f.Size)
+	m.stats[to].RxBytes += uint64(size)
+	m.spendRx(to, size)
 	if m.up[to] { // spendRx may have killed it
-		m.recv[to](rec.f)
+		m.recv[to](m.frames[rec.idx])
 	}
+	m.releaseFrame(rec.idx)
 }
 
 func (m *Medium) spendTx(id, size int) {

@@ -4,8 +4,14 @@ import (
 	"testing"
 
 	"manetp2p/internal/geom"
+	"manetp2p/internal/netif"
 	"manetp2p/internal/sim"
 )
+
+// pkt wraps a tagged test message in a router frame for medium tests.
+func pkt(tag uint32) netif.Packet {
+	return netif.Packet{Msg: netif.TestMsg(tag)}
+}
 
 func testConfig(n int) Config {
 	return Config{
@@ -59,13 +65,13 @@ func TestUnicastInRange(t *testing.T) {
 	var rx capture
 	m.Join(0, geom.Point{X: 10, Y: 10}, func(Frame) {})
 	m.Join(1, geom.Point{X: 15, Y: 10}, rx.recv)
-	n := m.Send(Frame{Src: 0, Dst: 1, Size: 64, Payload: "hello"})
+	n := m.Send(Frame{Src: 0, Dst: 1, Size: 64, Payload: pkt(5)})
 	if n != 1 {
 		t.Fatalf("Send queued %d deliveries, want 1", n)
 	}
 	s.Run(sim.MaxTime)
-	if len(rx.frames) != 1 || rx.frames[0].Payload != "hello" {
-		t.Fatalf("rx = %+v, want one hello frame", rx.frames)
+	if len(rx.frames) != 1 || rx.frames[0].Payload.Msg != netif.TestMsg(5) {
+		t.Fatalf("rx = %+v, want one tagged frame", rx.frames)
 	}
 	if s.Now() != 2*sim.Millisecond {
 		t.Errorf("delivery at %v, want 2ms latency", s.Now())
@@ -351,9 +357,9 @@ func TestRejoinAfterLeave(t *testing.T) {
 	}
 }
 
-// prebox keeps the payload as an interface value so the alloc-guard
-// below measures the medium's own cost, not the caller's boxing.
-var prebox any = "payload"
+// prebox is the fixed value payload for the alloc guard; frames carry
+// it by value, so there is no caller-side boxing to exclude anymore.
+var prebox = pkt(99)
 
 // Alloc guard (ISSUE 2): once the delivery heap and event pool are warm,
 // a unicast Send — queue, drain event, arrival — performs zero heap
@@ -389,12 +395,12 @@ func TestDeliveryInterleavesWithScheduledEvents(t *testing.T) {
 	m := newTestMedium(t, s, testConfig(3))
 	var order []string
 	m.Join(0, geom.Point{X: 10, Y: 10}, func(Frame) {})
-	m.Join(1, geom.Point{X: 15, Y: 10}, func(f Frame) { order = append(order, "rx:"+f.Payload.(string)) })
-	m.Send(Frame{Src: 0, Dst: 1, Size: 8, Payload: "a"})
+	m.Join(1, geom.Point{X: 15, Y: 10}, func(f Frame) { order = append(order, "rx:"+string(rune(f.Payload.Msg.Seq))) })
+	m.Send(Frame{Src: 0, Dst: 1, Size: 8, Payload: pkt('a')})
 	// An event scheduled after frame a but before frame b, landing at the
 	// same 2ms instant, must run between the two arrivals.
 	s.Schedule(2*sim.Millisecond, func() { order = append(order, "ev") })
-	m.Send(Frame{Src: 0, Dst: 1, Size: 8, Payload: "b"})
+	m.Send(Frame{Src: 0, Dst: 1, Size: 8, Payload: pkt('b')})
 	s.Run(sim.MaxTime)
 	want := []string{"rx:a", "ev", "rx:b"}
 	if len(order) != len(want) {
@@ -415,9 +421,9 @@ func TestReceiveTriggeredSendDelayed(t *testing.T) {
 	var arrivals []sim.Time
 	m.Join(1, geom.Point{X: 15, Y: 10}, func(Frame) { arrivals = append(arrivals, s.Now()) })
 	m.Join(0, geom.Point{X: 10, Y: 10}, func(Frame) {
-		m.Send(Frame{Src: 0, Dst: 1, Size: 8, Payload: "reply"})
+		m.Send(Frame{Src: 0, Dst: 1, Size: 8, Payload: pkt(1)})
 	})
-	m.Send(Frame{Src: 1, Dst: 0, Size: 8, Payload: "ping"})
+	m.Send(Frame{Src: 1, Dst: 0, Size: 8, Payload: pkt(2)})
 	s.Run(sim.MaxTime)
 	if len(arrivals) != 1 || arrivals[0] != 4*sim.Millisecond {
 		t.Fatalf("reply arrivals = %v, want [4ms] (two hops of 2ms latency)", arrivals)

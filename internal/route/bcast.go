@@ -1,29 +1,19 @@
 package route
 
 import (
+	"manetp2p/internal/netif"
 	"manetp2p/internal/radio"
 )
-
-// Bcast is the shared controlled-broadcast carrier. Every protocol's
-// broadcast frame decodes into one of these; protocol-specific extras
-// ride in the optional fields (OriginSeq for AODV's table piggyback,
-// Path for DSR's route accumulation).
-type Bcast struct {
-	Origin    int
-	OriginSeq uint32 // AODV: origin's sequence number, for table updates
-	ID        uint32
-	HopCount  int
-	TTL       int
-	Size      int   // upper-layer payload size
-	Path      []int // DSR: nodes traversed so far, excluding the origin
-	Payload   any
-}
 
 // Bcaster is the paper's controlled broadcast (§5/§7): a TTL-limited
 // flood where each node relays a given (origin, id) at most once,
 // enforced by a duplicate cache. The four protocols differ only in
 // framing overhead and in small per-hop side effects, which plug in as
 // hooks; the relay discipline itself lives here exactly once.
+//
+// Broadcast frames are netif.Packet values of Kind PktBcast; the
+// protocol-specific extras ride in the shared fields (OriginSeq for
+// AODV's table piggyback, Path for DSR's route accumulation).
 type Bcaster struct {
 	core  *Core
 	med   *radio.Medium
@@ -42,14 +32,22 @@ type Bcaster struct {
 	// Accept runs on every first arrival, before delivery: table
 	// updates, route learning. It returns the hop count to report
 	// upward (DSR derives it from the path). Nil means use b.HopCount.
-	Accept func(prev int, b *Bcast) int
+	Accept func(prev int, b *netif.Packet) int
 
 	// PrepRelay mutates b just before the relay transmission (DSR
 	// appends this node to the path here — after delivery, so the
 	// reported path excludes the relaying node itself).
-	PrepRelay func(b *Bcast)
+	PrepRelay func(b *netif.Packet)
 
 	nextID uint32
+
+	// scratch is the in-flight copy Handle mutates and hands to the
+	// hooks. Routing it through a struct field instead of the stack
+	// keeps the packet from escaping to the heap at every relay (the
+	// hooks take a pointer); safe because frame deliveries never nest —
+	// a Send from inside a delivery hook is queued, not delivered
+	// synchronously (the conformance suite pins this).
+	scratch netif.Packet
 }
 
 // NewBcaster creates the broadcast relay for core's node with the given
@@ -69,20 +67,21 @@ func NewBcaster(core *Core, med *radio.Medium, hdrSize, perHop int, cfg CacheCon
 func (bc *Bcaster) Cache() *DupCache { return bc.cache }
 
 // frameSize is the on-air size of b.
-func (bc *Bcaster) frameSize(b *Bcast) int {
+func (bc *Bcaster) frameSize(b *netif.Packet) int {
 	return b.Size + bc.hdrSize + bc.perHop*len(b.Path)
 }
 
 // Originate floods a new broadcast from this node.
-func (bc *Bcaster) Originate(ttl, size int, payload any, originSeq uint32) {
+func (bc *Bcaster) Originate(ttl, size int, payload netif.Msg, originSeq uint32) {
 	bc.nextID++
-	b := Bcast{
+	b := netif.Packet{
+		Kind:      netif.PktBcast,
 		Origin:    bc.core.id,
 		OriginSeq: originSeq,
 		ID:        bc.nextID,
 		TTL:       ttl,
 		Size:      size,
-		Payload:   payload,
+		Msg:       payload,
 	}
 	bc.cache.Mark(Key{Origin: b.Origin, ID: b.ID})
 	bc.core.Count.BcastOrig++
@@ -91,7 +90,7 @@ func (bc *Bcaster) Originate(ttl, size int, payload any, originSeq uint32) {
 
 // Handle processes a broadcast arrival from neighbor prev: suppress
 // duplicates, deliver upward, relay while TTL remains.
-func (bc *Bcaster) Handle(prev int, b Bcast) {
+func (bc *Bcaster) Handle(prev int, b netif.Packet) {
 	if b.Origin == bc.core.id {
 		return
 	}
@@ -103,19 +102,21 @@ func (bc *Bcaster) Handle(prev int, b Bcast) {
 		}
 	}
 	bc.cache.Mark(k)
-	b.HopCount++
-	hops := b.HopCount
+	bc.scratch = b
+	p := &bc.scratch
+	p.HopCount++
+	hops := p.HopCount
 	if bc.Accept != nil {
-		hops = bc.Accept(prev, &b)
+		hops = bc.Accept(prev, p)
 	}
-	bc.core.DeliverBroadcast(b.Origin, hops, b.Payload)
-	if b.TTL <= 1 {
+	bc.core.DeliverBroadcast(p.Origin, hops, p.Msg)
+	if p.TTL <= 1 {
 		return
 	}
-	b.TTL--
+	p.TTL--
 	bc.core.Count.BcastRelayed++
 	if bc.PrepRelay != nil {
-		bc.PrepRelay(&b)
+		bc.PrepRelay(p)
 	}
-	bc.med.Send(radio.Frame{Src: bc.core.id, Dst: radio.BroadcastAddr, Size: bc.frameSize(&b), Payload: b})
+	bc.med.Send(radio.Frame{Src: bc.core.id, Dst: radio.BroadcastAddr, Size: bc.frameSize(p), Payload: *p})
 }

@@ -43,11 +43,15 @@ type Core struct {
 
 	onUnicast    func(netif.Delivery)
 	onBroadcast  func(netif.Delivery)
-	onSendFailed func(dst int, payload any)
+	onSendFailed func(dst int, payload netif.Msg)
 
 	// Bound once at construction so self-delivery schedules without a
-	// per-call closure allocation.
-	selfDeliverFn func(sim.Arg)
+	// per-call closure allocation; selfQ carries the payloads in FIFO
+	// order (one Schedule per SelfDeliver, so queue position and event
+	// order agree).
+	selfDeliverFn func()
+	selfQ         []netif.Msg
+	selfHead      int
 }
 
 // NewCore creates the dispatch core for node id.
@@ -74,10 +78,10 @@ func (c *Core) OnBroadcast(fn func(netif.Delivery)) { c.onBroadcast = fn }
 
 // OnSendFailed installs the hook invoked when a payload is abandoned
 // undeliverable.
-func (c *Core) OnSendFailed(fn func(dst int, payload any)) { c.onSendFailed = fn }
+func (c *Core) OnSendFailed(fn func(dst int, payload netif.Msg)) { c.onSendFailed = fn }
 
 // DeliverUnicast dispatches a unicast arrival to the upper layer.
-func (c *Core) DeliverUnicast(from, hops int, payload any) {
+func (c *Core) DeliverUnicast(from, hops int, payload netif.Msg) {
 	c.Count.Delivered++
 	if c.onUnicast != nil {
 		c.onUnicast(netif.Delivery{From: from, Hops: hops, Payload: payload})
@@ -85,7 +89,7 @@ func (c *Core) DeliverUnicast(from, hops int, payload any) {
 }
 
 // DeliverBroadcast dispatches a controlled-broadcast arrival.
-func (c *Core) DeliverBroadcast(from, hops int, payload any) {
+func (c *Core) DeliverBroadcast(from, hops int, payload netif.Msg) {
 	c.Count.Delivered++
 	if c.onBroadcast != nil {
 		c.onBroadcast(netif.Delivery{From: from, Hops: hops, Payload: payload})
@@ -96,7 +100,7 @@ func (c *Core) DeliverBroadcast(from, hops int, payload any) {
 // every protocol funnels through here, which is what makes the
 // fires-exactly-once conformance property and the SendFailed counter
 // trustworthy.
-func (c *Core) FailSend(dst int, payload any) {
+func (c *Core) FailSend(dst int, payload netif.Msg) {
 	c.Count.SendFailed++
 	if c.onSendFailed != nil {
 		c.onSendFailed(dst, payload)
@@ -104,13 +108,24 @@ func (c *Core) FailSend(dst int, payload any) {
 }
 
 // SelfDeliver completes a Send addressed to this node on the next
-// event-loop turn, like every remote delivery: asynchronously.
-func (c *Core) SelfDeliver(payload any) {
-	c.sim.ScheduleArg(0, c.selfDeliverFn, sim.Arg{X: payload})
+// event-loop turn, like every remote delivery: asynchronously. The
+// payload parks in the node's own FIFO instead of boxing into the
+// event, so the schedule-and-fire round trip allocates nothing once
+// the queue's backing array is warm.
+func (c *Core) SelfDeliver(payload netif.Msg) {
+	c.selfQ = append(c.selfQ, payload)
+	c.sim.Schedule(0, c.selfDeliverFn)
 }
 
-func (c *Core) selfDeliver(a sim.Arg) {
-	c.DeliverUnicast(c.id, 0, a.X)
+func (c *Core) selfDeliver() {
+	m := c.selfQ[c.selfHead]
+	c.selfQ[c.selfHead] = netif.Msg{}
+	c.selfHead++
+	if c.selfHead == len(c.selfQ) {
+		c.selfQ = c.selfQ[:0]
+		c.selfHead = 0
+	}
+	c.DeliverUnicast(c.id, 0, m)
 }
 
 // SeenEntries sums the live entry counts of every duplicate cache this

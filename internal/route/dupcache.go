@@ -1,7 +1,7 @@
 package route
 
 import (
-	"sort"
+	"slices"
 
 	"manetp2p/internal/sim"
 )
@@ -218,15 +218,23 @@ func (dc *DupCache) sweep() {
 func (dc *DupCache) prune() {
 	live := dc.collectLive()
 	if len(live) >= dc.cfg.HardCap {
-		sort.Slice(live, func(i, j int) bool {
-			a, b := live[i], live[j]
+		slices.SortFunc(live, func(a, b dupEntry) int {
 			if a.t != b.t {
-				return a.t < b.t
+				if a.t < b.t {
+					return -1
+				}
+				return 1
 			}
 			if a.k.Origin != b.k.Origin {
-				return a.k.Origin < b.k.Origin
+				return a.k.Origin - b.k.Origin
 			}
-			return a.k.ID < b.k.ID
+			if a.k.ID != b.k.ID {
+				if a.k.ID < b.k.ID {
+					return -1
+				}
+				return 1
+			}
+			return 0
 		})
 		live = live[len(live)-dc.cfg.HardCap*3/4:]
 	}

@@ -121,7 +121,7 @@ func TestCoreSelfDeliverIsAsynchronous(t *testing.T) {
 	c, s := testCore(5)
 	var got []int
 	c.OnUnicast(func(d netif.Delivery) { got = append(got, d.Hops) })
-	c.SelfDeliver("x")
+	c.SelfDeliver(netif.TestMsg(1))
 	if len(got) != 0 {
 		t.Fatal("self delivery ran synchronously")
 	}
